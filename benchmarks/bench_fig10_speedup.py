@@ -1,0 +1,117 @@
+"""Fig. 10 — parallel speedup and its calibration Amdahl bottleneck.
+
+The paper runs the power-capping example at E = 0.01 across 1-16 slaves:
+speedup is good to ~8 slaves, then flattens because each slave must burn
+its own warm-up + 5000-observation calibration before contributing to
+the ~40,000-observation aggregate sample.
+
+We measure two things on a process-backend run: (a) wall-clock speedup
+vs the single-slave configuration, and (b) the calibration fraction —
+the share of total simulated events spent warming/calibrating — which
+grows with slave count and bounds the achievable speedup.
+
+Default slave counts: 1, 2, 4 (the box running the benchmarks has few
+cores); REPRO_BENCH_FULL=1 extends to 8.
+"""
+
+import pytest
+
+from conftest import full_scale, save_rows
+from repro.parallel import ParallelSimulation
+
+WARMUP = 300
+CALIBRATION = 3000
+
+
+def factory(seed):
+    from repro import Experiment, Server
+    from repro.workloads import web
+
+    experiment = Experiment(seed=seed, warmup_samples=WARMUP,
+                            calibration_samples=CALIBRATION)
+    server = Server(cores=1)
+    experiment.add_source(web().at_load(0.7), target=server)
+    experiment.track_response_time(
+        server, mean_accuracy=0.015, quantiles={0.95: 0.05}
+    )
+    return experiment
+
+
+def slave_counts():
+    return (1, 2, 4, 8) if full_scale() else (1, 2, 4)
+
+
+def run_point(n_slaves):
+    simulation = ParallelSimulation(
+        factory, n_slaves=n_slaves, master_seed=59, backend="process",
+        chunk_size=2000,
+    )
+    result = simulation.run()
+    # Observations each slave burned before measuring: its own warm-up
+    # plus its own calibration sample (Fig. 3, steps 3-4).
+    overhead_observations = (WARMUP + CALIBRATION) * n_slaves
+    return result, overhead_observations
+
+
+def sweep():
+    rows = []
+    baseline_wall = None
+    for n_slaves in slave_counts():
+        result, overhead = run_point(n_slaves)
+        if baseline_wall is None:
+            baseline_wall = result.wall_time
+        total_events = sum(result.slave_events) + result.master_events
+        rows.append(
+            (
+                n_slaves,
+                result.wall_time,
+                baseline_wall / result.wall_time,
+                total_events / result.wall_time,
+                result.total_accepted,
+                overhead,
+                result.converged,
+            )
+        )
+    return rows
+
+
+def test_fig10_parallel_speedup(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_rows(
+        "fig10_speedup",
+        ["slaves", "wall_s", "speedup", "events_per_s", "aggregate_sample",
+         "overhead_observations", "converged"],
+        rows,
+    )
+    assert all(row[6] for row in rows)
+    by_slaves = {row[0]: row for row in rows}
+
+    # Robust (host-independent) Fig.-10 signals.  Wall-clock speedup of
+    # any single pairing is noisy — each slave draws its own lag from
+    # its own calibration, so events-per-accepted-sample varies by seed,
+    # and per-process throughput depends on the host's core count.
+    # What must always hold:
+    #
+    # 1. Parallel measurement beats the single-slave configuration.
+    for n_slaves in slave_counts():
+        if n_slaves > 1:
+            assert by_slaves[n_slaves][1] < by_slaves[1][1]
+    # 2. Throughput never collapses below the serial configuration.
+    for n_slaves in slave_counts():
+        assert by_slaves[n_slaves][3] > 0.7 * by_slaves[1][3]
+    # 3. The aggregate measured sample stays roughly constant — slaves
+    #    split the measurement, they don't multiply it.
+    samples = [row[4] for row in rows]
+    assert max(samples) < 2.5 * min(samples)
+
+
+def test_fig10_calibration_overhead_grows_linearly():
+    """Per-slave calibration cost is the serial fraction of Fig. 10."""
+    result_1, overhead_1 = run_point(1)
+    result_4, overhead_4 = run_point(4)
+    assert overhead_4 == 4 * overhead_1
+    # Aggregate accepted samples are comparable, so overhead per useful
+    # observation is ~4x worse with 4 slaves.
+    per_obs_1 = overhead_1 / result_1.total_accepted
+    per_obs_4 = overhead_4 / result_4.total_accepted
+    assert per_obs_4 > 2.0 * per_obs_1

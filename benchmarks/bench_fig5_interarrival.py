@@ -1,0 +1,71 @@
+"""Fig. 5 — the inter-arrival distribution's effect on tail latency.
+
+The paper shows normalized 95th-percentile latency vs QPS for three
+inter-arrival scenarios: near-uniform "Low Cv" (loadtester traffic), the
+textbook exponential, and the measured (higher-variance) empirical
+process.  The message: convenient low-variance assumptions substantially
+underestimate the tail, and the error grows with load.
+"""
+
+import pytest
+
+from conftest import save_rows
+from repro.casestudies import latency_vs_qps
+
+KINDS = ("lowcv", "exponential", "empirical")
+FRACTIONS = (0.65, 0.70, 0.75, 0.80)
+
+
+def sweep():
+    table = {}
+    for kind in KINDS:
+        rows = latency_vs_qps(
+            FRACTIONS,
+            interarrival_kind=kind,
+            accuracy=0.1,
+            seed=23,
+            normalize_by_service_mean=True,
+        )
+        table[kind] = {row["qps_fraction"]: row["latency"] for row in rows}
+    return table
+
+
+def test_fig5_interarrival_shape(benchmark):
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        (kind, fraction, table[kind][fraction])
+        for kind in KINDS
+        for fraction in FRACTIONS
+    ]
+    save_rows(
+        "fig5_interarrival",
+        ["interarrival", "qps_fraction", "p95_over_mean_service"],
+        rows,
+    )
+
+    # Ordering at every load: lowcv < exponential < empirical.
+    for fraction in FRACTIONS:
+        assert table["lowcv"][fraction] < table["exponential"][fraction]
+        assert table["exponential"][fraction] < table["empirical"][fraction]
+
+    # The gap between empirical and lowcv widens with load (absolute).
+    gaps = [
+        table["empirical"][fraction] - table["lowcv"][fraction]
+        for fraction in FRACTIONS
+    ]
+    assert gaps[-1] > gaps[0]
+
+    # All curves rise with load.
+    for kind in KINDS:
+        curve = [table[kind][fraction] for fraction in FRACTIONS]
+        assert curve[-1] > curve[0]
+
+
+def test_fig5_normalized_range_plausible():
+    """The paper's y-axis spans roughly 1-8 x (1/mu) at these loads."""
+    value = latency_vs_qps(
+        [0.65], interarrival_kind="lowcv", accuracy=0.1, seed=29,
+        normalize_by_service_mean=True,
+    )[0]["latency"]
+    assert 1.0 < value < 20.0

@@ -1,0 +1,67 @@
+"""Fig. 6 — DreamWeaver: full-system idleness vs 99th-percentile latency.
+
+The paper validates BigHouse's DreamWeaver model against a Solr software
+prototype: sweeping the per-task delay threshold traces the idle-time /
+tail-latency trade-off curve, with simulation closely matching hardware.
+We reproduce the simulation side (the prototype hardware is the paper's
+half): the curve must be monotone — more tolerated delay buys more
+coalesced deep sleep and costs tail latency — and saturate at high
+thresholds, as the published figure shows.
+"""
+
+import pytest
+
+from conftest import save_rows
+from repro.casestudies import dreamweaver_tradeoff
+
+THRESHOLDS_MS = (0.0, 2.0, 5.0, 10.0, 20.0, 50.0)
+
+
+def sweep():
+    return dreamweaver_tradeoff(
+        [t / 1e3 for t in THRESHOLDS_MS],
+        load=0.3,
+        cores=32,
+        seed=17,
+        accuracy=0.1,
+        max_events=4_000_000,
+    )
+
+
+def test_fig6_tradeoff_curve(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    save_rows(
+        "fig6_dreamweaver",
+        ["threshold_ms", "idle_fraction", "p99_latency_ms", "naps",
+         "timeout_wakes"],
+        [
+            (t, row["idle_fraction"], row["latency"] * 1e3,
+             int(row["naps"]), int(row["wakes_by_timeout"]))
+            for t, row in zip(THRESHOLDS_MS, rows)
+        ],
+    )
+
+    idles = [row["idle_fraction"] for row in rows]
+    latencies = [row["latency"] for row in rows]
+
+    # Latency grows monotonically with the threshold.
+    assert all(a <= b * 1.05 for a, b in zip(latencies, latencies[1:]))
+    assert latencies[-1] > 2.0 * latencies[0]
+
+    # Idleness grows from ~0 (PowerNap on a 32-core box has nothing to
+    # coalesce) and saturates; allow the plateau to wobble slightly.
+    assert idles[0] < 0.02
+    assert max(idles) > 0.25
+    rising = idles[: idles.index(max(idles)) + 1]
+    assert all(a <= b + 0.03 for a, b in zip(rising, rising[1:]))
+
+
+def test_fig6_powernap_baseline_starved_on_manycore():
+    """The motivating observation: without coalescing, a many-core server
+    at moderate load is essentially never fully idle."""
+    rows = dreamweaver_tradeoff(
+        [0.0], load=0.3, cores=32, seed=19, accuracy=0.15,
+        max_events=2_000_000,
+    )
+    assert rows[0]["idle_fraction"] < 0.02

@@ -1,0 +1,76 @@
+"""Fig. 8 — sensitivity of convergence cost to service-time variance.
+
+The paper adjusts the workload's service distribution to a target
+coefficient of variation and tracks how many simulated events are needed
+to reach accuracy E = 0.05 on response time: higher Cv inflates output
+variance and, via Eq. 2, the required sample grows with sigma^2 — a
+disproportionate increase that only bites at tight accuracies.
+"""
+
+import pytest
+
+from conftest import save_rows
+from repro import Experiment, Server, Workload
+from repro.distributions import Exponential, fit_mean_cv
+
+CV_VALUES = (1.0, 2.0, 4.0)
+SERVICE_MEAN = 0.05
+LOAD = 0.5
+
+
+def events_to_converge(cv, accuracy, seed=41):
+    experiment = Experiment(seed=seed, warmup_samples=300,
+                            calibration_samples=2000)
+    server = Server(cores=1)
+    workload = Workload(
+        name=f"cv{cv}",
+        interarrival=Exponential(rate=LOAD / SERVICE_MEAN),
+        service=fit_mean_cv(SERVICE_MEAN, cv),
+    )
+    experiment.add_source(workload, target=server)
+    experiment.track_response_time(server, mean_accuracy=accuracy,
+                                   quantiles=None)
+    result = experiment.run(max_events=40_000_000)
+    statistic = experiment.stats["response_time"]
+    return result.events_processed, statistic.accepted, result.converged
+
+
+def sweep():
+    rows = []
+    for cv in CV_VALUES:
+        for accuracy in (0.2, 0.1, 0.05):
+            events, accepted, converged = events_to_converge(cv, accuracy)
+            rows.append((cv, accuracy, events, accepted, converged))
+    return rows
+
+
+def test_fig8_cv_sensitivity(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_rows(
+        "fig8_cv_sensitivity",
+        ["service_cv", "target_E", "events", "accepted", "converged"],
+        rows,
+    )
+    assert all(row[4] for row in rows), "some points failed to converge"
+
+    by_key = {(row[0], row[1]): row[2] for row in rows}
+
+    # At the tight accuracy, higher Cv needs disproportionately more events.
+    tight = [by_key[(cv, 0.05)] for cv in CV_VALUES]
+    assert tight[0] < tight[1] < tight[2]
+    assert tight[2] > 4 * tight[0]
+
+    # At loose accuracy the spread across Cv is much smaller (the paper's
+    # "for larger values of E, the difference ... is small").
+    loose = [by_key[(cv, 0.2)] for cv in CV_VALUES]
+    tight_spread = tight[2] / tight[0]
+    loose_spread = loose[2] / loose[0]
+    assert loose_spread < tight_spread
+
+
+def test_fig8_quadratic_accuracy_cost():
+    """Halving E roughly quadruples the converged sample (Eq. 2)."""
+    _, accepted_loose, _ = events_to_converge(2.0, 0.1, seed=43)
+    _, accepted_tight, _ = events_to_converge(2.0, 0.05, seed=43)
+    ratio = accepted_tight / accepted_loose
+    assert ratio == pytest.approx(4.0, rel=0.5)

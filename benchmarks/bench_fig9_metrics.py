@@ -1,0 +1,94 @@
+"""Fig. 9 — sensitivity of runtime to the output-metric set and accuracy.
+
+The paper runs the power-capping cluster tracking progressively larger
+metric bundles — response time only, + waiting time, + capping level —
+at accuracies E in {0.1, 0.05, 0.01}.  Two effects:
+
+1. tighter E drastically increases runtime (quadratic, Eqs. 2-3), and
+2. adding metrics whose observations are *rarer* (waiting events require
+   queuing; capping observations arrive once per server-epoch instead of
+   per request) stretches simulation length, because the slowest metric
+   gates termination.
+
+Default accuracies are {0.2, 0.1, 0.05} to keep default runs fast; set
+REPRO_BENCH_FULL=1 for the paper's E = 0.01 point.
+"""
+
+import time
+
+import pytest
+
+from conftest import full_scale, save_rows
+from repro.casestudies import build_capped_cluster
+from repro.casestudies.power_capping_study import METRIC_BUNDLES
+
+
+def accuracies():
+    return (0.2, 0.1, 0.05, 0.01) if full_scale() else (0.2, 0.1, 0.05)
+
+
+def run_point(bundle_name, accuracy, seed=47):
+    cluster = build_capped_cluster(
+        n_servers=10,
+        workload="web",
+        load=0.6,
+        accuracy=accuracy,
+        seed=seed,
+        cap_fraction=0.75,
+        metrics=METRIC_BUNDLES[bundle_name],
+        warmup_samples=300,
+        calibration_samples=2000,
+    )
+    started = time.perf_counter()
+    result = cluster.run(max_events=60_000_000)
+    wall = time.perf_counter() - started
+    return wall, result
+
+
+def sweep():
+    rows = []
+    for bundle_name in METRIC_BUNDLES:
+        for accuracy in accuracies():
+            wall, result = run_point(bundle_name, accuracy)
+            rows.append(
+                (
+                    bundle_name,
+                    accuracy,
+                    wall,
+                    result.events_processed,
+                    result.sim_time,
+                    result.converged,
+                )
+            )
+    return rows
+
+
+def test_fig9_metric_set_sensitivity(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_rows(
+        "fig9_metrics",
+        ["metrics", "target_E", "wall_s", "events", "sim_time_s", "converged"],
+        rows,
+    )
+
+    events = {(row[0], row[1]): row[3] for row in rows}
+    tight = min(accuracies())
+    loose = max(accuracies())
+
+    # Effect 1: tighter accuracy costs more events for every bundle.
+    for bundle_name in METRIC_BUNDLES:
+        assert events[(bundle_name, tight)] > events[(bundle_name, loose)]
+
+    # Effect 2: +waiting dominates response-only at the tight accuracy
+    # (waiting observations are rarer and noisier than completions).
+    assert events[("+waiting", tight)] >= events[("response", tight)]
+
+    # Effect 3: +capping adds a further (possibly slight) increase.
+    assert events[("+capping", tight)] >= events[("+waiting", tight)] * 0.9
+
+
+def test_fig9_rare_metric_gates_termination():
+    """Termination waits for the slowest metric (Section 2.3)."""
+    _, response_only = run_point("response", 0.1, seed=53)
+    _, with_waiting = run_point("+waiting", 0.1, seed=53)
+    assert with_waiting.sim_time >= response_only.sim_time

@@ -1,0 +1,47 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and writes
+the rows it produced to ``benchmarks/results/<id>.txt`` so the numbers
+recorded in EXPERIMENTS.md can be re-derived with a single
+``pytest benchmarks/ --benchmark-only`` run.
+
+Scale note: the paper's largest configurations (10,000 simulated servers,
+16 slaves on 4 hosts) take hours; the benchmarks default to scaled-down
+sweeps that preserve the *shape* under test.  Set ``REPRO_BENCH_FULL=1``
+to include the heavyweight points.
+"""
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    """True when the heavyweight benchmark points are requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def save_rows(name: str, header: list, rows: list) -> Path:
+    """Persist a reproduced table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    widths = [
+        max(len(str(header[i])), *(len(_fmt(row[i])) for row in rows)) + 2
+        for i in range(len(header))
+    ] if rows else [len(str(h)) + 2 for h in header]
+    with path.open("w") as handle:
+        handle.write("".join(str(h).ljust(w) for h, w in zip(header, widths)))
+        handle.write("\n")
+        for row in rows:
+            handle.write(
+                "".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths))
+            )
+            handle.write("\n")
+    return path
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.6g}"
+    return str(cell)

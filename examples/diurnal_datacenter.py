@@ -1,0 +1,106 @@
+"""A power-capped cluster riding a diurnal load curve.
+
+Data center load swings 2-5x between night troughs and afternoon peaks;
+power capping exists precisely so the cluster can be provisioned below
+the theoretical peak and throttle through the rare coincidences.  This
+example drives a 10-server capped cluster with a compressed "day" (a
+200-simulated-second period, 3x peak-to-trough) and reports per-phase
+latency and capping behaviour.
+
+Run:  python examples/diurnal_datacenter.py
+"""
+
+import numpy as np
+
+from repro import Experiment, Server
+from repro.power import (
+    CubicDVFSPowerModel,
+    DVFSPerformanceModel,
+    PowerCappingController,
+    ServerDVFS,
+)
+from repro.workloads import VariableRateSource, diurnal_profile, web
+
+N_SERVERS = 10
+CORES = 4
+DAY = 200.0  # compressed diurnal period in simulated seconds
+PEAK_LOAD = 0.85  # cluster utilization at the top of the curve
+CAP_FRACTION = 0.8
+
+
+def main() -> None:
+    experiment = Experiment(seed=99, warmup_samples=500,
+                            calibration_samples=3000)
+    profile = diurnal_profile(peak_to_trough=3.0, period=DAY, knots=24)
+    # Base workload sized so the diurnal *peak* hits PEAK_LOAD.
+    base = web().at_load(PEAK_LOAD, cores=CORES)
+
+    perf = DVFSPerformanceModel(alpha=0.9, f_min=0.5)
+    servers, couplings = [], []
+    capping_log = []  # (time, watts-over-budget)
+    for index in range(N_SERVERS):
+        server = Server(cores=CORES, name=f"s{index}")
+        experiment.bind(server)
+        couplings.append(
+            ServerDVFS(server, CubicDVFSPowerModel(150.0, 300.0), perf)
+        )
+        servers.append(server)
+        source = VariableRateSource(base, profile, server)
+        source.bind(experiment.simulation)
+        experiment.sources.append(source)
+
+    controller = PowerCappingController(
+        couplings,
+        cluster_cap=CAP_FRACTION * 300.0 * N_SERVERS,
+        epoch=1.0,
+        on_capping_level=lambda w: capping_log.append(
+            (experiment.simulation.now, w)
+        ),
+    )
+    controller.bind(experiment.simulation)
+
+    latency_log = []  # (time, response_time)
+    servers[0].on_complete(
+        lambda job, srv: latency_log.append(
+            (experiment.simulation.now, job.response_time)
+        )
+    )
+    # Warm-up must cover at least one full diurnal period (the estimate
+    # is a time-average over the day).
+    experiment.track_response_time(
+        servers[0], mean_accuracy=0.05, quantiles={0.95: 0.1},
+        warmup_samples=2000,
+    )
+    result = experiment.run(max_events=30_000_000)
+
+    estimate = result["response_time"]
+    print("== Diurnal day on a power-capped cluster ==")
+    print(f"day-average response: mean={estimate.mean * 1e3:.1f} ms, "
+          f"p95={estimate.quantiles[0.95] * 1e3:.1f} ms "
+          f"(converged={result.converged})")
+
+    # Break the day into phases and show load-following behaviour.
+    print(f"\n{'day phase':>12} {'offered x':>10} {'p95 (ms)':>10} "
+          f"{'capping W/srv':>14}")
+    latencies = np.array(latency_log)
+    cappings = np.array(capping_log) if capping_log else np.zeros((0, 2))
+    for label, lo, hi in (("night", 0.0, 0.25), ("morning", 0.25, 0.5),
+                          ("peak", 0.5, 0.75), ("evening", 0.75, 1.0)):
+        phase_lat = latencies[
+            (latencies[:, 0] % DAY >= lo * DAY)
+            & (latencies[:, 0] % DAY < hi * DAY)
+        ]
+        phase_cap = cappings[
+            (cappings[:, 0] % DAY >= lo * DAY)
+            & (cappings[:, 0] % DAY < hi * DAY)
+        ]
+        mult = profile.multiplier((lo + hi) / 2.0 * DAY)
+        p95 = float(np.quantile(phase_lat[:, 1], 0.95)) if len(phase_lat) else 0.0
+        cap = float(np.mean(phase_cap[:, 1])) if len(phase_cap) else 0.0
+        print(f"{label:>12} {mult:>10.2f} {p95 * 1e3:>10.1f} {cap:>14.2f}")
+    print("\nCapping (and its latency cost) concentrates in the daily peak —")
+    print("the provisioning head-room the scheme is designed to exploit.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Google Web search power management (paper Section 3.1, Figs. 4-5).
+
+Reproduces the two validation views of the search case study:
+
+1. 95th-percentile latency vs load for a range of CPU slowdown settings
+   (S_CPU) — slowing the processor to save power stretches the latency
+   curve and pulls saturation left (Fig. 4);
+2. the same latency under three inter-arrival assumptions — near-uniform
+   "Low Cv" loadtester traffic, the textbook exponential, and the
+   empirically-shaped (higher-variance) process — showing how badly the
+   convenient assumptions underestimate the tail (Fig. 5).
+
+Run:  python examples/google_search_power.py
+"""
+
+from repro.casestudies import latency_vs_qps
+
+
+def fig4_view() -> None:
+    print("== Fig. 4: 95th-pct latency (ms) vs QPS, by S_CPU ==")
+    fractions = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
+    header = "S_CPU " + "".join(f"{int(f * 100):>8}%" for f in fractions)
+    print(header)
+    for s_cpu in (1.0, 1.1, 1.3, 1.6, 2.0):
+        stable = [f for f in fractions if f * s_cpu < 0.95]
+        rows = latency_vs_qps(stable, s_cpu=s_cpu, accuracy=0.1, seed=11)
+        by_fraction = {row["qps_fraction"]: row["latency"] for row in rows}
+        cells = []
+        for fraction in fractions:
+            if fraction in by_fraction:
+                cells.append(f"{by_fraction[fraction] * 1000:8.1f}")
+            else:
+                cells.append("       -")  # unstable operating point
+        print(f"{s_cpu:<6}" + "".join(cells))
+
+
+def fig5_view() -> None:
+    print("\n== Fig. 5: 95th-pct latency (x 1/mu) vs QPS, by inter-arrival ==")
+    fractions = [0.65, 0.70, 0.75, 0.80]
+    print("kind        " + "".join(f"{int(f * 100):>8}%" for f in fractions))
+    for kind in ("lowcv", "exponential", "empirical"):
+        rows = latency_vs_qps(
+            fractions,
+            interarrival_kind=kind,
+            accuracy=0.1,
+            seed=11,
+            normalize_by_service_mean=True,
+        )
+        cells = "".join(f"{row['latency']:8.2f}" for row in rows)
+        print(f"{kind:<12}{cells}")
+    print("\nLow-variance assumptions underestimate the measured tail —")
+    print("the gap widens with load, exactly the Fig. 5 effect.")
+
+
+if __name__ == "__main__":
+    fig4_view()
+    fig5_view()

@@ -1,0 +1,68 @@
+"""Quickstart: simulate one server until statistical convergence.
+
+Builds the simplest possible BigHouse experiment — one M/M/1 queue — and
+asks for the mean and 95th-percentile response time, each within +/-5% at
+95% confidence.  The simulation stops by itself as soon as both are
+known that precisely, which is the core idea of the framework: simulate
+exactly as long as the statistics demand, no longer.
+
+Run:  python examples/quickstart.py
+"""
+
+import math
+
+from repro import Experiment, Server, Workload
+from repro.distributions import Exponential
+from repro.workloads import web
+
+
+def mm1_demo() -> None:
+    """M/M/1 queue with known closed form, to show the estimates line up."""
+    arrival_rate = 10.0  # tasks per second
+    service_rate = 20.0  # tasks per second -> utilization 0.5
+    experiment = Experiment(seed=42)
+    server = Server(cores=1, name="demo")
+    workload = Workload(
+        name="mm1",
+        interarrival=Exponential(rate=arrival_rate),
+        service=Exponential(rate=service_rate),
+    )
+    experiment.add_source(workload, target=server)
+    experiment.track_response_time(
+        server, mean_accuracy=0.05, quantiles={0.95: 0.05}
+    )
+    result = experiment.run()
+
+    estimate = result["response_time"]
+    theory_mean = 1.0 / (service_rate - arrival_rate)
+    theory_q95 = theory_mean * math.log(20.0)
+    print("== M/M/1 @ rho=0.5 ==")
+    print(f"  mean response  : {estimate.mean * 1000:7.2f} ms "
+          f"(theory {theory_mean * 1000:.2f} ms)")
+    print(f"  95th percentile: {estimate.quantiles[0.95] * 1000:7.2f} ms "
+          f"(theory {theory_q95 * 1000:.2f} ms)")
+    print(f"  lag spacing l = {estimate.lag}, accepted sample = "
+          f"{estimate.accepted}, events = {result.events_processed}")
+    print(f"  converged = {result.converged}, "
+          f"simulated {result.sim_time:.0f} s in {result.wall_time:.2f} s wall")
+
+
+def table1_workload_demo() -> None:
+    """Same flow with a shipped Table-1 workload at 60% load."""
+    experiment = Experiment(seed=7)
+    server = Server(cores=1, name="web-server")
+    experiment.add_source(web().at_load(0.6), target=server)
+    experiment.track_response_time(
+        server, mean_accuracy=0.05, quantiles={0.95: 0.05}
+    )
+    result = experiment.run()
+    estimate = result["response_time"]
+    print("\n== 'Web' workload (Table 1) @ 60% load ==")
+    print(f"  mean response  : {estimate.mean * 1000:7.2f} ms")
+    print(f"  95th percentile: {estimate.quantiles[0.95] * 1000:7.2f} ms")
+    print(f"  lag = {estimate.lag}, accepted = {estimate.accepted}")
+
+
+if __name__ == "__main__":
+    mm1_demo()
+    table1_workload_demo()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 660 editable installs fail; this legacy ``setup.py`` lets
+``pip install -e .`` fall back to ``setup.py develop``.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

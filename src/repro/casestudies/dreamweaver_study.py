@@ -1,0 +1,97 @@
+"""DreamWeaver validation study (Section 3.2, Fig. 6).
+
+The paper validated BigHouse against a software prototype of DreamWeaver
+running Solr web search: sweeping the pre-specified per-task delay
+threshold traces a curve of full-system idle fraction against
+99th-percentile query latency — more tolerated delay buys more coalesced
+deep sleep at the cost of tail latency.
+
+The Solr/AOL/Wikipedia setup is not redistributable; per DESIGN.md we
+drive the same scheduling mechanism with the Google search workload
+(also a web-search service) on a many-core server.  The reproduction
+target is the *shape* of the trade-off curve, monotone in the threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.datacenter.server import Server
+from repro.engine.experiment import Experiment
+from repro.policies.dreamweaver import DreamWeaver
+from repro.workloads import google
+
+
+def dreamweaver_point(
+    delay_threshold: float,
+    load: float = 0.3,
+    cores: int = 32,
+    seed: int = 0,
+    quantile: float = 0.99,
+    accuracy: float = 0.1,
+    wake_transition: float = 1e-3,
+    nap_transition: float = 1e-3,
+    max_events: Optional[int] = None,
+    warmup_samples: int = 500,
+    calibration_samples: int = 3000,
+) -> Dict[str, float]:
+    """Run one threshold setting; returns idle fraction + tail latency.
+
+    ``load`` is the offered utilization of the many-core server; the
+    DreamWeaver study targets the low-load regime where idleness exists
+    to be coalesced.
+    """
+    experiment = Experiment(
+        seed=seed,
+        warmup_samples=warmup_samples,
+        calibration_samples=calibration_samples,
+    )
+    server = Server(cores=cores, name="solr-like")
+    policy = DreamWeaver(
+        server,
+        delay_threshold=delay_threshold,
+        wake_transition=wake_transition,
+        nap_transition=nap_transition,
+    )
+    policy.bind(experiment.simulation)
+    workload = google().at_load(load, cores=cores)
+    experiment.add_source(workload, target=server)
+    experiment.track_response_time(
+        server, mean_accuracy=accuracy, quantiles={quantile: accuracy}
+    )
+    result = experiment.run(max_events=max_events)
+    estimate = result["response_time"]
+    return {
+        "delay_threshold": delay_threshold,
+        "idle_fraction": policy.idle_fraction(),
+        "latency": estimate.quantiles[quantile],
+        "mean_latency": estimate.mean,
+        "naps": float(policy.naps_taken),
+        "wakes_by_timeout": float(policy.wakes_by_timeout),
+        "wakes_by_load": float(policy.wakes_by_load),
+        "converged": float(result.converged),
+    }
+
+
+def dreamweaver_tradeoff(
+    delay_thresholds: Iterable[float],
+    load: float = 0.3,
+    cores: int = 32,
+    seed: int = 0,
+    quantile: float = 0.99,
+    accuracy: float = 0.1,
+    max_events: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """Sweep the delay threshold; one Fig. 6 curve point per setting."""
+    return [
+        dreamweaver_point(
+            threshold,
+            load=load,
+            cores=cores,
+            seed=seed,
+            quantile=quantile,
+            accuracy=accuracy,
+            max_events=max_events,
+        )
+        for threshold in delay_thresholds
+    ]

@@ -1,0 +1,152 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors how the original BigHouse was driven — configuration files plus
+a launcher — without writing any Python:
+
+- ``run <config.json>`` — build and run a configured experiment, print
+  every metric's estimates;
+- ``workloads`` — list the shipped Table-1 workload models;
+- ``characterize <trace.txt>`` — distill a two-column
+  ``arrival_time size`` trace into empirical distribution files (the
+  Fig. 1 "offline benchmarking" path);
+- ``theory mm1|mmk|mg1 ...`` — closed-form baselines for quick checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.config import build_experiment
+    from repro.engine.report import result_to_dict
+
+    experiment = build_experiment(args.config)
+    result = experiment.run(max_events=args.max_events)
+    json.dump(result_to_dict(result), sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0 if result.converged else 3
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import TABLE1_SPECS
+
+    print(f"{'name':<8} {'ia mean':>10} {'ia Cv':>6} {'svc mean':>10} "
+          f"{'svc Cv':>7}  description")
+    for spec in TABLE1_SPECS.values():
+        print(
+            f"{spec.name:<8} {spec.interarrival_mean:>10.6g} "
+            f"{spec.interarrival_cv:>6.3g} {spec.service_mean:>10.6g} "
+            f"{spec.service_cv:>7.3g}  {spec.description}"
+        )
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.workloads import workload_from_trace
+
+    trace = []
+    path = Path(args.trace)
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                print(f"{path}:{line_number}: expected 'arrival size'",
+                      file=sys.stderr)
+                return 2
+            trace.append((float(parts[0]), float(parts[1])))
+    workload = workload_from_trace(trace, name=path.stem)
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    arr_path = out_dir / f"{path.stem}.arr"
+    svc_path = out_dir / f"{path.stem}.svc"
+    workload.interarrival.save(arr_path)
+    workload.service.save(svc_path)
+    print(f"inter-arrival: mean={workload.interarrival.mean():.6g}s "
+          f"cv={workload.interarrival.cv():.3g} -> {arr_path}")
+    print(f"service:       mean={workload.service.mean():.6g}s "
+          f"cv={workload.service.cv():.3g} -> {svc_path}")
+    return 0
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    from repro import theory
+    from repro.distributions import fit_mean_cv
+
+    if args.model == "mm1":
+        print(f"mean_response  {theory.mm1_mean_response(args.lam, args.mu):.6g}")
+        print(f"mean_waiting   {theory.mm1_mean_waiting(args.lam, args.mu):.6g}")
+        print(f"p95_response   "
+              f"{theory.mm1_quantile_response(args.lam, args.mu, 0.95):.6g}")
+    elif args.model == "mmk":
+        print(f"erlang_c       {theory.erlang_c(args.lam, args.mu, args.k):.6g}")
+        print(f"mean_waiting   "
+              f"{theory.mmk_mean_waiting(args.lam, args.mu, args.k):.6g}")
+        print(f"mean_response  "
+              f"{theory.mmk_mean_response(args.lam, args.mu, args.k):.6g}")
+    else:  # mg1
+        service = fit_mean_cv(1.0 / args.mu, args.cv)
+        print(f"mean_waiting   "
+              f"{theory.mg1_mean_waiting(args.lam, service):.6g}")
+        print(f"mean_response  "
+              f"{theory.mg1_mean_response(args.lam, service):.6g}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BigHouse-style stochastic queuing simulation",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run a JSON-configured experiment")
+    run.add_argument("config", help="path to the experiment JSON")
+    run.add_argument("--max-events", type=int, default=None,
+                     help="safety cap on simulated events")
+    run.set_defaults(handler=_cmd_run)
+
+    workloads = commands.add_parser(
+        "workloads", help="list the shipped Table-1 workload models"
+    )
+    workloads.set_defaults(handler=_cmd_workloads)
+
+    characterize = commands.add_parser(
+        "characterize",
+        help="distill an 'arrival size' trace into .arr/.svc distributions",
+    )
+    characterize.add_argument("trace", help="two-column trace file")
+    characterize.add_argument("--output-dir", default=".",
+                              help="where to write the distribution files")
+    characterize.set_defaults(handler=_cmd_characterize)
+
+    theory = commands.add_parser(
+        "theory", help="closed-form queueing baselines"
+    )
+    theory.add_argument("model", choices=("mm1", "mmk", "mg1"))
+    theory.add_argument("--lam", type=float, required=True,
+                        help="arrival rate (tasks/s)")
+    theory.add_argument("--mu", type=float, required=True,
+                        help="per-server service rate (tasks/s)")
+    theory.add_argument("--k", type=int, default=1, help="servers (mmk)")
+    theory.add_argument("--cv", type=float, default=1.0,
+                        help="service Cv (mg1)")
+    theory.set_defaults(handler=_cmd_theory)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

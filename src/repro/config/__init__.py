@@ -1,0 +1,23 @@
+"""Declarative experiment configuration.
+
+The original BigHouse is driven by "configuration files and concise Java
+code" (Section 2); this package is the configuration-file half: a JSON
+document describes the workload, the server pool, the balancer, and the
+output metrics, and :func:`build_experiment` wires it all up.
+"""
+
+from repro.config.loader import (
+    ConfigError,
+    build_distribution,
+    build_experiment,
+    build_workload,
+    load_config,
+)
+
+__all__ = [
+    "ConfigError",
+    "load_config",
+    "build_distribution",
+    "build_workload",
+    "build_experiment",
+]

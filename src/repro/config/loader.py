@@ -1,0 +1,238 @@
+"""JSON experiment configuration -> wired Experiment.
+
+Example document::
+
+    {
+      "seed": 42,
+      "warmup_samples": 1000,
+      "calibration_samples": 5000,
+      "workload": {"name": "web", "load": 0.6},
+      "servers": {"count": 4, "cores": 2, "discipline": "fcfs"},
+      "balancer": "jsq",
+      "metrics": [
+        {"kind": "response_time", "mean_accuracy": 0.05,
+         "quantiles": {"0.95": 0.05}},
+        {"kind": "waiting_time", "mean_accuracy": 0.1}
+      ]
+    }
+
+Workloads may alternatively be declared from explicit distributions::
+
+    "workload": {
+      "interarrival": {"type": "exponential", "mean": 0.1},
+      "service": {"type": "hyperexponential", "mean": 0.05, "cv": 3.0}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.datacenter.balancers import (
+    JoinShortestQueue,
+    RandomBalancer,
+    RoundRobinBalancer,
+)
+from repro.datacenter.disciplines import FCFSQueue, LIFOQueue, SJFQueue
+from repro.datacenter.server import Server
+from repro.distributions import (
+    BoundedPareto,
+    Deterministic,
+    EmpiricalDistribution,
+    Erlang,
+    Exponential,
+    Gamma,
+    HyperExponential,
+    LogNormal,
+    Pareto,
+    Uniform,
+    Weibull,
+    fit_mean_cv,
+)
+from repro.engine.experiment import Experiment
+from repro.workloads import by_name
+from repro.workloads.workload import Workload
+
+
+class ConfigError(ValueError):
+    """Raised for malformed configuration documents."""
+
+
+_BALANCERS = {
+    "random": RandomBalancer,
+    "round_robin": RoundRobinBalancer,
+    "jsq": JoinShortestQueue,
+}
+
+_DISCIPLINES = {
+    "fcfs": FCFSQueue,
+    "lifo": LIFOQueue,
+    "sjf": SJFQueue,
+}
+
+
+def load_config(path: Union[str, Path]) -> dict:
+    """Read a JSON config file."""
+    path = Path(path)
+    try:
+        with path.open() as handle:
+            return json.load(handle)
+    except json.JSONDecodeError as error:
+        raise ConfigError(f"{path}: invalid JSON: {error}") from error
+
+
+def build_distribution(spec: dict):
+    """Construct a distribution from a ``{"type": ..., ...}`` spec."""
+    if not isinstance(spec, dict) or "type" not in spec:
+        raise ConfigError(f"distribution spec needs a 'type': {spec!r}")
+    kind = spec["type"].lower()
+    try:
+        if kind == "exponential":
+            if "mean" in spec:
+                return Exponential.from_mean(spec["mean"])
+            return Exponential(rate=spec["rate"])
+        if kind == "deterministic":
+            return Deterministic(spec["value"])
+        if kind == "uniform":
+            return Uniform(spec["low"], spec["high"])
+        if kind == "gamma":
+            if "cv" in spec:
+                return Gamma.from_mean_cv(spec["mean"], spec["cv"])
+            return Gamma(spec["shape"], spec["scale"])
+        if kind == "erlang":
+            return Erlang(spec["k"], spec["rate"])
+        if kind == "lognormal":
+            if "cv" in spec:
+                return LogNormal.from_mean_cv(spec["mean"], spec["cv"])
+            return LogNormal(spec["mu"], spec["sigma"])
+        if kind == "weibull":
+            if "cv" in spec:
+                return Weibull.from_mean_cv(spec["mean"], spec["cv"])
+            return Weibull(spec["shape"], spec["scale"])
+        if kind == "pareto":
+            return Pareto(spec["alpha"], spec["xm"])
+        if kind == "bounded_pareto":
+            return BoundedPareto(spec["alpha"], spec["low"], spec["high"])
+        if kind == "hyperexponential":
+            if "cv" in spec:
+                return HyperExponential.from_mean_cv(spec["mean"], spec["cv"])
+            return HyperExponential(spec["p1"], spec["rate1"], spec["rate2"])
+        if kind == "fit":
+            return fit_mean_cv(spec["mean"], spec["cv"])
+        if kind == "empirical":
+            return EmpiricalDistribution.load(spec["path"])
+    except KeyError as error:
+        raise ConfigError(
+            f"distribution spec {spec!r} missing parameter {error}"
+        ) from None
+    raise ConfigError(f"unknown distribution type {kind!r}")
+
+
+def build_workload(spec: dict) -> Workload:
+    """Construct a workload from either a shipped name or explicit specs."""
+    if not isinstance(spec, dict):
+        raise ConfigError(f"workload spec must be an object, got {spec!r}")
+    if "name" in spec:
+        workload = by_name(spec["name"], empirical=spec.get("empirical", False))
+    elif "interarrival" in spec and "service" in spec:
+        workload = Workload(
+            name=spec.get("label", "configured"),
+            interarrival=build_distribution(spec["interarrival"]),
+            service=build_distribution(spec["service"]),
+        )
+    else:
+        raise ConfigError(
+            "workload spec needs 'name' or 'interarrival'+'service'"
+        )
+    cores = spec.get("cores_for_load", 1)
+    if "load" in spec:
+        workload = workload.at_load(spec["load"], cores=cores)
+    if "qps" in spec:
+        workload = workload.at_qps(spec["qps"])
+    if "service_scale" in spec:
+        workload = workload.scale_service(spec["service_scale"])
+    return workload
+
+
+def _build_servers(spec: dict) -> list[Server]:
+    count = spec.get("count", 1)
+    if count < 1:
+        raise ConfigError(f"servers.count must be >= 1, got {count}")
+    discipline_name = spec.get("discipline", "fcfs").lower()
+    if discipline_name not in _DISCIPLINES:
+        raise ConfigError(
+            f"unknown discipline {discipline_name!r}; "
+            f"choose from {sorted(_DISCIPLINES)}"
+        )
+    return [
+        Server(
+            cores=spec.get("cores", 1),
+            speed=spec.get("speed", 1.0),
+            discipline=_DISCIPLINES[discipline_name](),
+            name=f"server-{index}",
+        )
+        for index in range(count)
+    ]
+
+
+def build_experiment(config: Union[dict, str, Path]) -> Experiment:
+    """Build a fully wired experiment from a config dict or file path."""
+    if isinstance(config, (str, Path)):
+        config = load_config(config)
+    if "workload" not in config:
+        raise ConfigError("config needs a 'workload' section")
+    if "metrics" not in config or not config["metrics"]:
+        raise ConfigError("config needs a non-empty 'metrics' list")
+
+    experiment = Experiment(
+        seed=config.get("seed", 0),
+        warmup_samples=config.get("warmup_samples", 1000),
+        calibration_samples=config.get("calibration_samples", 5000),
+        confidence=config.get("confidence", 0.95),
+        max_events=config.get("max_events", 50_000_000),
+    )
+    # Load scaling should account for the total core pool by default.
+    server_spec = dict(config.get("servers", {}))
+    workload_spec = dict(config["workload"])
+    total_cores = server_spec.get("count", 1) * server_spec.get("cores", 1)
+    workload_spec.setdefault("cores_for_load", total_cores)
+    workload = build_workload(workload_spec)
+    servers = _build_servers(server_spec)
+
+    if len(servers) == 1:
+        entry = servers[0]
+    else:
+        balancer_name = config.get("balancer", "random").lower()
+        if balancer_name not in _BALANCERS:
+            raise ConfigError(
+                f"unknown balancer {balancer_name!r}; "
+                f"choose from {sorted(_BALANCERS)}"
+            )
+        entry = _BALANCERS[balancer_name](servers)
+
+    experiment.add_source(workload, target=entry)
+
+    for metric in config["metrics"]:
+        kind = metric.get("kind")
+        quantiles = {
+            float(q): float(accuracy)
+            for q, accuracy in metric.get("quantiles", {}).items()
+        } or None
+        kwargs = dict(
+            mean_accuracy=metric.get("mean_accuracy", 0.05),
+            quantiles=quantiles,
+        )
+        if "name" in metric:
+            kwargs["name"] = metric["name"]
+        if kind == "response_time":
+            experiment.track_response_time(entry, **kwargs)
+        elif kind == "waiting_time":
+            experiment.track_waiting_time(entry, **kwargs)
+        else:
+            raise ConfigError(
+                f"unknown metric kind {kind!r}; "
+                "use 'response_time' or 'waiting_time'"
+            )
+    return experiment

@@ -1,0 +1,111 @@
+"""Multi-metric coordination: the warm-up barrier and global convergence.
+
+The paper's two constraints when targeting multiple outputs (Section 2.3):
+
+1. *"the simulation may not progress out of the warm-up phase until Nw
+   observations have been collected for all output metrics"* — ensures the
+   entire model is warm before any metric starts measuring, and
+2. *"the simulation may not terminate until all outputs have a sufficient
+   sample size to reach convergence"* — the slowest metric determines
+   runtime (the effect Fig. 9 quantifies: adding a rarely-observed
+   "waiting" metric dominates an easily-converged "response" metric).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from repro.core.statistic import Estimate, Phase, Statistic, StatisticError
+
+
+class StatisticsCollection:
+    """The set of output metrics of one simulation."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, Statistic] = {}
+        self._barrier_lifted = False
+        self._recording_started = False
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, statistic: Statistic) -> Statistic:
+        """Register a metric.  Must happen before any observation."""
+        if self._recording_started:
+            raise StatisticError(
+                f"cannot add {statistic.name!r}: observations already recorded"
+            )
+        if statistic.name in self._stats:
+            raise StatisticError(f"duplicate statistic name: {statistic.name!r}")
+        statistic.take_barrier_control()
+        self._stats[statistic.name] = statistic
+        return statistic
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def __getitem__(self, name: str) -> Statistic:
+        return self._stats[name]
+
+    def __iter__(self) -> Iterator[Statistic]:
+        return iter(self._stats.values())
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    @property
+    def names(self) -> list[str]:
+        """Metric names in registration order."""
+        return list(self._stats)
+
+    # -- the observation stream --------------------------------------------
+
+    def record(self, name: str, value: float) -> None:
+        """Route one observation to its metric, managing the barrier."""
+        self._recording_started = True
+        try:
+            statistic = self._stats[name]
+        except KeyError:
+            raise StatisticError(f"unknown statistic: {name!r}") from None
+        statistic.observe(value)
+        if not self._barrier_lifted and statistic.warm_ready:
+            self._maybe_lift_barrier()
+
+    def _maybe_lift_barrier(self) -> None:
+        if all(stat.warm_ready for stat in self._stats.values()):
+            self._barrier_lifted = True
+            for stat in self._stats.values():
+                stat.lift_warmup_barrier()
+
+    # -- global state --------------------------------------------------------
+
+    @property
+    def warmup_barrier_lifted(self) -> bool:
+        """True once every metric has collected its warm-up quota."""
+        return self._barrier_lifted
+
+    @property
+    def all_converged(self) -> bool:
+        """True when every metric reached its target (simulation may stop)."""
+        if not self._stats:
+            return False
+        return all(stat.converged for stat in self._stats.values())
+
+    @property
+    def all_measuring(self) -> bool:
+        """True when every metric finished calibration (used by the
+        parallel master, which only needs the bin schemes)."""
+        if not self._stats:
+            return False
+        return all(
+            stat.phase in (Phase.MEASUREMENT, Phase.CONVERGED)
+            for stat in self._stats.values()
+        )
+
+    @property
+    def total_accepted(self) -> int:
+        """Accepted observations across all metrics (slave progress report)."""
+        return sum(stat.accepted for stat in self._stats.values())
+
+    def report(self) -> Dict[str, Estimate]:
+        """Estimates for every metric."""
+        return {name: stat.estimate() for name, stat in self._stats.items()}

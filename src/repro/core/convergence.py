@@ -1,0 +1,98 @@
+"""Shared convergence logic over a histogram.
+
+Both a live :class:`~repro.core.statistic.Statistic` and the parallel
+master (which judges convergence on the *merged* histogram aggregated
+from all slaves, Fig. 3) need the same computation: given current moment
+and quantile estimates, how large must the i.i.d. sample be (Eqs. 2-3),
+and is the current sample large enough?
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.confidence import mean_sample_size, quantile_sample_size, z_value
+from repro.core.histogram import Histogram
+
+
+def required_sample_size(
+    histogram: Histogram,
+    mean_accuracy: Optional[float],
+    quantile_targets: Mapping[float, float],
+    confidence: float = 0.95,
+    min_accepted: int = 100,
+) -> float:
+    """Current estimate of ``max(Nm, Nq, ...)`` for one metric.
+
+    Returns ``inf`` while any needed estimate is still undefined (zero
+    density at a target quantile, zero mean under a relative-accuracy
+    criterion) — the metric simply cannot be judged converged yet.
+    """
+    if histogram.count == 0:
+        return math.inf
+    requirement = float(min_accepted)
+    if mean_accuracy is not None:
+        std = histogram.std
+        if std > 0.0:
+            epsilon = mean_accuracy * abs(histogram.mean)
+            if epsilon <= 0.0:
+                return math.inf
+            requirement = max(
+                requirement, mean_sample_size(std, epsilon, confidence)
+            )
+    for q, accuracy in quantile_targets.items():
+        x_q = histogram.quantile(q)
+        density = histogram.density_at_quantile(q)
+        epsilon_p = accuracy * abs(x_q) * density
+        if epsilon_p <= 0.0:
+            return math.inf
+        # A probability half-width can never exceed the shorter tail.
+        epsilon_p = min(epsilon_p, q, 1.0 - q)
+        requirement = max(
+            requirement, quantile_sample_size(q, epsilon_p, confidence)
+        )
+    return requirement
+
+
+def is_converged(
+    histogram: Histogram,
+    mean_accuracy: Optional[float],
+    quantile_targets: Mapping[float, float],
+    confidence: float = 0.95,
+    min_accepted: int = 100,
+) -> bool:
+    """True when the histogram's sample covers the Eq. 2-3 requirement."""
+    return histogram.count >= required_sample_size(
+        histogram, mean_accuracy, quantile_targets, confidence, min_accepted
+    )
+
+
+def summarize_histogram(
+    histogram: Histogram,
+    quantile_targets: Mapping[float, float],
+    confidence: float = 0.95,
+) -> Tuple[float, float, Dict[float, float], Tuple[float, float],
+           Dict[float, Tuple[float, float]]]:
+    """(mean, std, quantiles, mean CI, quantile CIs) off a histogram.
+
+    The quantile CI uses the CLT order-statistic interval mapped through
+    the histogram's density at the quantile (Chen & Kelton).
+    """
+    if histogram.count == 0:
+        raise ValueError("cannot summarize an empty histogram")
+    z = z_value(confidence)
+    n = histogram.count
+    mean = histogram.mean
+    std = histogram.std
+    half = z * std / math.sqrt(n)
+    quantiles: Dict[float, float] = {}
+    quantile_ci: Dict[float, Tuple[float, float]] = {}
+    for q in quantile_targets:
+        x_q = histogram.quantile(q)
+        quantiles[q] = x_q
+        density = histogram.density_at_quantile(q)
+        if density > 0:
+            half_value = z * math.sqrt(q * (1.0 - q) / n) / density
+            quantile_ci[q] = (x_q - half_value, x_q + half_value)
+    return mean, std, quantiles, (mean - half, mean + half), quantile_ci

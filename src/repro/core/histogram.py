@@ -1,0 +1,256 @@
+"""Online histogram for quantile estimation (Chen & Kelton 2001).
+
+Recording and sorting every observation to extract exact quantiles would
+cost memory proportional to the (large) converged sample size.  BigHouse
+instead fixes a histogram bin scheme during the calibration phase and then
+streams measurement-phase observations into fixed-width bins; quantiles
+are read back by linear interpolation in the cumulative histogram.
+
+Histograms with identical bin schemes merge bin-wise, which is the entire
+"reduce" step of the parallel master/slave protocol (Fig. 3): slaves ship
+their histograms, the master adds them up and reads estimates off the sum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class HistogramError(ValueError):
+    """Raised for invalid bin schemes or incompatible merges."""
+
+
+@dataclass(frozen=True)
+class BinScheme:
+    """Immutable bin layout fixed at calibration time.
+
+    ``low``/``high`` bound the regular bins; observations outside land in
+    open-ended underflow/overflow regions whose extent is tracked by the
+    running min/max.  The scheme is what the master broadcasts to slaves.
+    """
+
+    low: float
+    high: float
+    bins: int
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.low) or not math.isfinite(self.high):
+            raise HistogramError(f"bounds must be finite: [{self.low}, {self.high}]")
+        if self.high <= self.low:
+            raise HistogramError(f"high ({self.high}) must exceed low ({self.low})")
+        if self.bins < 1:
+            raise HistogramError(f"need >= 1 bin, got {self.bins}")
+
+    @property
+    def width(self) -> float:
+        """Width of one regular bin."""
+        return (self.high - self.low) / self.bins
+
+    @classmethod
+    def from_sample(
+        cls,
+        sample: Sequence[float],
+        bins: int = 1000,
+        tail_padding: float = 0.5,
+    ) -> "BinScheme":
+        """Fit a scheme to a calibration sample.
+
+        The upper bound is padded by ``tail_padding`` of the sample range
+        because the measurement phase will see observations beyond the
+        calibration maximum (queue tails grow); padded mass would
+        otherwise all collapse into the overflow region and blunt
+        high-quantile resolution.
+        """
+        values = np.asarray(sample, dtype=float)
+        if values.size < 2:
+            raise HistogramError(f"need >= 2 calibration values, got {values.size}")
+        low = float(values.min())
+        high = float(values.max())
+        if high == low:
+            # Degenerate (deterministic metric): a token-width scheme.
+            span = abs(high) if high != 0 else 1.0
+            return cls(low=low - 0.5 * span, high=high + 0.5 * span, bins=bins)
+        pad = tail_padding * (high - low)
+        return cls(low=low, high=high + pad, bins=bins)
+
+
+class Histogram:
+    """Streaming histogram with mergeable counts and exact running moments.
+
+    Moments (mean/variance via a numerically stable sum formulation, plus
+    min/max) are tracked exactly from the raw stream; only the *quantiles*
+    go through the binned approximation.
+    """
+
+    def __init__(self, scheme: BinScheme):
+        self.scheme = scheme
+        self.counts = np.zeros(scheme.bins, dtype=np.int64)
+        self.underflow = 0
+        self.overflow = 0
+        self.count = 0
+        self._sum = 0.0
+        self._sum_sq = 0.0
+        self.min_seen = math.inf
+        self.max_seen = -math.inf
+
+    # -- insertion ---------------------------------------------------------
+
+    def insert(self, value: float) -> None:
+        """Record one observation."""
+        if not math.isfinite(value):
+            raise HistogramError(f"cannot insert non-finite value: {value}")
+        scheme = self.scheme
+        self.count += 1
+        self._sum += value
+        self._sum_sq += value * value
+        if value < self.min_seen:
+            self.min_seen = value
+        if value > self.max_seen:
+            self.max_seen = value
+        if value < scheme.low:
+            self.underflow += 1
+        elif value >= scheme.high:
+            self.overflow += 1
+        else:
+            index = int((value - scheme.low) / scheme.width)
+            # Floating-point edge: value just below high can round to bins.
+            if index >= scheme.bins:
+                index = scheme.bins - 1
+            self.counts[index] += 1
+
+    def insert_many(self, values: Iterable[float]) -> None:
+        """Record a batch of observations."""
+        for value in values:
+            self.insert(value)
+
+    # -- moments -----------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """Exact running mean of all inserted observations."""
+        if self.count == 0:
+            raise HistogramError("mean of empty histogram")
+        return self._sum / self.count
+
+    @property
+    def variance(self) -> float:
+        """Exact running (population) variance."""
+        if self.count == 0:
+            raise HistogramError("variance of empty histogram")
+        mean = self.mean
+        return max(0.0, self._sum_sq / self.count - mean * mean)
+
+    @property
+    def std(self) -> float:
+        """Exact running standard deviation."""
+        return math.sqrt(self.variance)
+
+    # -- quantiles ---------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """Quantile estimate by interpolating the cumulative histogram.
+
+        Underflow mass is spread over [min_seen, low) and overflow mass
+        over [high, max_seen], keeping extreme quantiles defined even when
+        the calibration-fixed scheme did not anticipate the tail.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise HistogramError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            raise HistogramError("quantile of empty histogram")
+        # Bin interpolation can stray past the observed extremes by up to
+        # one bin width; the extremes are known exactly, so clamp.
+        return min(self.max_seen, max(self.min_seen, self._quantile_raw(q)))
+
+    def _quantile_raw(self, q: float) -> float:
+        target = q * self.count
+        scheme = self.scheme
+        cumulative = 0.0
+        if self.underflow:
+            if target <= self.underflow:
+                lo = self.min_seen
+                hi = min(scheme.low, self.max_seen)
+                return lo + (hi - lo) * (target / self.underflow)
+            cumulative = float(self.underflow)
+        for index in range(scheme.bins):
+            bin_count = float(self.counts[index])
+            if bin_count and target <= cumulative + bin_count:
+                left = scheme.low + index * scheme.width
+                fraction = (target - cumulative) / bin_count
+                return left + fraction * scheme.width
+            cumulative += bin_count
+        # Remaining mass is overflow.
+        if self.overflow:
+            lo = scheme.high
+            hi = max(self.max_seen, scheme.high)
+            fraction = (target - cumulative) / self.overflow
+            return lo + (hi - lo) * min(1.0, max(0.0, fraction))
+        return float(self.max_seen)
+
+    def density_at_quantile(self, q: float) -> float:
+        """Estimated pdf at the q-quantile, used by the delta-method
+        conversion between value-space and probability-space accuracy."""
+        if self.count == 0:
+            raise HistogramError("density of empty histogram")
+        value = self.quantile(q)
+        scheme = self.scheme
+        if value < scheme.low:
+            span = max(scheme.low - self.min_seen, scheme.width)
+            return self.underflow / self.count / span
+        if value >= scheme.high:
+            span = max(self.max_seen - scheme.high, scheme.width)
+            return self.overflow / self.count / span
+        index = min(int((value - scheme.low) / scheme.width), scheme.bins - 1)
+        return float(self.counts[index]) / self.count / scheme.width
+
+    # -- merging (the parallel "reduce") ------------------------------------
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram with the identical scheme into this one."""
+        if other.scheme != self.scheme:
+            raise HistogramError(
+                f"cannot merge different schemes: {self.scheme} vs {other.scheme}"
+            )
+        self.counts += other.counts
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        self.count += other.count
+        self._sum += other._sum
+        self._sum_sq += other._sum_sq
+        self.min_seen = min(self.min_seen, other.min_seen)
+        self.max_seen = max(self.max_seen, other.max_seen)
+
+    # -- (de)serialization for the wire protocol ----------------------------
+
+    def to_payload(self) -> dict:
+        """Plain-dict form for pickling/IPC to the parallel master."""
+        return {
+            "scheme": (self.scheme.low, self.scheme.high, self.scheme.bins),
+            "counts": self.counts.tolist(),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+            "count": self.count,
+            "sum": self._sum,
+            "sum_sq": self._sum_sq,
+            "min_seen": self.min_seen,
+            "max_seen": self.max_seen,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Histogram":
+        """Inverse of :meth:`to_payload`."""
+        low, high, bins = payload["scheme"]
+        histogram = cls(BinScheme(low=low, high=high, bins=bins))
+        histogram.counts = np.asarray(payload["counts"], dtype=np.int64)
+        histogram.underflow = payload["underflow"]
+        histogram.overflow = payload["overflow"]
+        histogram.count = payload["count"]
+        histogram._sum = payload["sum"]
+        histogram._sum_sq = payload["sum_sq"]
+        histogram.min_seen = payload["min_seen"]
+        histogram.max_seen = payload["max_seen"]
+        return histogram

@@ -1,0 +1,129 @@
+"""Runs-up independence test (Knuth, TAOCP Vol. 2, §3.3.2G).
+
+BigHouse's calibration phase must pick a lag spacing ``l`` such that
+keeping only every ``l``-th observation from the (autocorrelated) output
+sequence yields a sample that can be treated as independent (Section 2.3,
+citing [10, 11, 20]).  The runs-up test is the classic tool: it counts
+maximal strictly-ascending runs of lengths 1..6+ and compares the counts
+against their expectation under independence using Knuth's quadratic-form
+statistic, which is asymptotically chi-square with 6 degrees of freedom.
+
+An autocorrelated sequence (e.g. successive response times from a busy
+queue) produces too few short runs — neighbours tend to move together —
+and fails the test; spacing the observations out restores independence.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+#: Knuth's quadratic-form coefficients (TAOCP §3.3.2, Eq. 3.3.2-14).
+KNUTH_A = np.array(
+    [
+        [4529.4, 9044.9, 13568.0, 18091.0, 22615.0, 27892.0],
+        [9044.9, 18097.0, 27139.0, 36187.0, 45234.0, 55789.0],
+        [13568.0, 27139.0, 40721.0, 54281.0, 67852.0, 83685.0],
+        [18091.0, 36187.0, 54281.0, 72414.0, 90470.0, 111580.0],
+        [22615.0, 45234.0, 67852.0, 90470.0, 113262.0, 139476.0],
+        [27892.0, 55789.0, 83685.0, 111580.0, 139476.0, 172860.0],
+    ]
+)
+
+#: Expected fraction of runs of length 1..5 and >= 6 under independence.
+KNUTH_B = np.array(
+    [1.0 / 6, 5.0 / 24, 11.0 / 120, 19.0 / 720, 29.0 / 5040, 1.0 / 840]
+)
+
+#: Degrees of freedom of the runs-up statistic.
+RUNS_UP_DOF = 6
+
+#: Minimum sequence length for the chi-square approximation to be usable.
+MIN_RUNS_SAMPLE = 64
+
+
+def runs_up_counts(sequence: Sequence[float]) -> np.ndarray:
+    """Count maximal ascending runs of length 1..5 and >= 6.
+
+    A run ends whenever the next value does not strictly increase.  Ties
+    end the run (the test targets continuous data where ties have measure
+    zero, but simulation outputs can repeat, e.g. zero waiting times).
+    """
+    values = np.asarray(sequence, dtype=float)
+    counts = np.zeros(6, dtype=np.int64)
+    if values.size == 0:
+        return counts
+    if values.size == 1:
+        counts[0] = 1
+        return counts
+    ascending = values[1:] > values[:-1]
+    run_length = 1
+    for up in ascending:
+        if up:
+            run_length += 1
+        else:
+            counts[min(run_length, 6) - 1] += 1
+            run_length = 1
+    counts[min(run_length, 6) - 1] += 1
+    return counts
+
+
+def runs_up_statistic(sequence: Sequence[float]) -> float:
+    """Knuth's V statistic; ~ chi-square(6) under independence."""
+    values = np.asarray(sequence, dtype=float)
+    n = values.size
+    if n < MIN_RUNS_SAMPLE:
+        raise ValueError(
+            f"runs-up test needs >= {MIN_RUNS_SAMPLE} observations, got {n}"
+        )
+    counts = runs_up_counts(values).astype(float)
+    deviation = counts - n * KNUTH_B
+    return float(deviation @ KNUTH_A @ deviation) / n
+
+
+def runs_up_passes(sequence: Sequence[float], significance: float = 0.05) -> bool:
+    """True if the sequence is consistent with independence.
+
+    One-sided upper-tail test: autocorrelation inflates V, so we reject
+    when V exceeds the chi-square(6) critical value at ``significance``.
+    """
+    if not 0.0 < significance < 1.0:
+        raise ValueError(f"significance must be in (0, 1), got {significance}")
+    critical = float(_scipy_stats.chi2.ppf(1.0 - significance, RUNS_UP_DOF))
+    return runs_up_statistic(sequence) <= critical
+
+
+def find_lag(
+    sample: Sequence[float],
+    max_lag: int = 50,
+    significance: float = 0.05,
+    min_points: int = MIN_RUNS_SAMPLE,
+) -> int:
+    """Smallest lag ``l`` whose spaced subsequence passes the runs-up test.
+
+    This is the calibration-phase computation: given the ~5000-observation
+    calibration sample, try ``l = 1, 2, ...`` and return the first lag at
+    which ``sample[::l]`` looks independent.  If no lag up to ``max_lag``
+    passes (or subsequences become too short to test), the largest testable
+    lag is returned — a conservative fallback mirroring the original
+    implementation's behaviour of never aborting a simulation over
+    calibration.
+    """
+    values = np.asarray(sample, dtype=float)
+    if values.size < min_points:
+        raise ValueError(
+            f"calibration sample too small: {values.size} < {min_points}"
+        )
+    if max_lag < 1:
+        raise ValueError(f"max_lag must be >= 1, got {max_lag}")
+    largest_testable = 1
+    for lag in range(1, max_lag + 1):
+        spaced = values[::lag]
+        if spaced.size < min_points:
+            break
+        largest_testable = lag
+        if runs_up_passes(spaced, significance):
+            return lag
+    return largest_testable

@@ -1,0 +1,324 @@
+"""Per-metric phase machine: warm-up, calibration, measurement, convergence.
+
+A :class:`Statistic` is one output metric (e.g. 95th-percentile response
+time) with its own accuracy/confidence targets.  It consumes the raw
+observation stream the simulation produces for that metric and implements
+the full sequence of Fig. 2:
+
+- discard the first ``Nw`` observations (warm-up; cold-start bias),
+- collect a ``Nc``-observation calibration sample, run the runs-up test
+  to find the lag spacing ``l`` and fix the histogram bin scheme,
+- accept only every ``l``-th observation into the histogram, and
+- declare convergence once the accepted sample size covers
+  ``max(Nm, Nq)`` from Eqs. 2-3.
+
+The simulated-event cost of a metric is therefore ``l`` times its required
+i.i.d. sample size — exactly the inflation the paper discusses.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.core.confidence import z_value
+from repro.core.convergence import required_sample_size, summarize_histogram
+from repro.core.histogram import BinScheme, Histogram
+from repro.core.runs_test import find_lag
+
+
+class StatisticError(RuntimeError):
+    """Raised for invalid statistic configuration or use."""
+
+
+class Phase(enum.Enum):
+    """The four phases of a BigHouse output metric (Fig. 2)."""
+
+    WARMUP = "warmup"
+    CALIBRATION = "calibration"
+    MEASUREMENT = "measurement"
+    CONVERGED = "converged"
+
+
+@dataclass
+class Estimate:
+    """A converged (or in-progress) report for one output metric."""
+
+    name: str
+    phase: Phase
+    converged: bool
+    lag: Optional[int]
+    accepted: int
+    observed: int
+    mean: Optional[float] = None
+    std: Optional[float] = None
+    quantiles: Dict[float, float] = field(default_factory=dict)
+    mean_ci: Optional[Tuple[float, float]] = None
+    quantile_ci: Dict[float, Tuple[float, float]] = field(default_factory=dict)
+
+    def quantile(self, q: float) -> float:
+        """Quantile estimate for a tracked q (KeyError if not tracked)."""
+        return self.quantiles[q]
+
+
+def _normalize_quantiles(
+    quantiles: Union[None, Mapping[float, float], Iterable]
+) -> Dict[float, float]:
+    """Accept {q: accuracy}, [(q, accuracy), ...], or [q, ...] forms."""
+    if quantiles is None:
+        return {}
+    if isinstance(quantiles, Mapping):
+        items = list(quantiles.items())
+    else:
+        items = []
+        for entry in quantiles:
+            if isinstance(entry, (tuple, list)):
+                items.append((entry[0], entry[1]))
+            else:
+                items.append((float(entry), 0.05))
+    normalized = {}
+    for q, accuracy in items:
+        if not 0.0 < q < 1.0:
+            raise StatisticError(f"quantile must be in (0, 1), got {q}")
+        if not 0.0 < accuracy < 1.0:
+            raise StatisticError(
+                f"quantile accuracy must be in (0, 1), got {accuracy}"
+            )
+        normalized[float(q)] = float(accuracy)
+    return normalized
+
+
+class Statistic:
+    """One output metric progressing through the BigHouse phase sequence.
+
+    Parameters
+    ----------
+    name:
+        Metric identifier (e.g. ``"response_time"``).
+    mean_accuracy:
+        Target relative accuracy ``E`` for the mean estimate (Eq. 1);
+        ``None`` disables the mean criterion.
+    quantiles:
+        Quantile targets, e.g. ``{0.95: 0.05}`` for the 95th percentile
+        within ±5%.  May be empty.
+    confidence:
+        Confidence level ``1 - alpha`` shared by all criteria.
+    warmup_samples:
+        ``Nw`` — observations discarded before calibration.
+    calibration_samples:
+        ``Nc`` — calibration sample size (the paper uses 5000; the
+        runs-up test needs a few thousand points for its chi-square
+        approximation).
+    bins:
+        Regular bins in the quantile histogram.
+    max_lag:
+        Upper bound on the lag search during calibration.
+    fixed_scheme:
+        Pre-determined histogram bin scheme.  Used by parallel slaves,
+        whose calibration determines only their own lag (Fig. 3).
+    min_accepted:
+        Floor on the accepted sample size before convergence may be
+        declared, guarding the large-sample approximations.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        mean_accuracy: Optional[float] = 0.05,
+        quantiles: Union[None, Mapping[float, float], Iterable] = None,
+        confidence: float = 0.95,
+        warmup_samples: int = 1000,
+        calibration_samples: int = 5000,
+        bins: int = 1000,
+        max_lag: int = 50,
+        fixed_scheme: Optional[BinScheme] = None,
+        min_accepted: int = 100,
+        significance: float = 0.05,
+        convergence_check_interval: int = 32,
+    ):
+        if mean_accuracy is not None and not 0.0 < mean_accuracy < 1.0:
+            raise StatisticError(
+                f"mean_accuracy must be in (0, 1) or None, got {mean_accuracy}"
+            )
+        if warmup_samples < 0:
+            raise StatisticError(f"warmup_samples must be >= 0: {warmup_samples}")
+        if calibration_samples < 2:
+            raise StatisticError(
+                f"calibration_samples must be >= 2: {calibration_samples}"
+            )
+        self.name = name
+        self.mean_accuracy = mean_accuracy
+        self.quantile_targets = _normalize_quantiles(quantiles)
+        if mean_accuracy is None and not self.quantile_targets:
+            raise StatisticError(
+                f"statistic {name!r} has no convergence criterion: "
+                "set mean_accuracy and/or quantiles"
+            )
+        self.confidence = confidence
+        self._z = z_value(confidence)
+        self.warmup_samples = int(warmup_samples)
+        self.calibration_samples = int(calibration_samples)
+        self.bins = int(bins)
+        self.max_lag = int(max_lag)
+        self.fixed_scheme = fixed_scheme
+        self.min_accepted = int(min_accepted)
+        self.significance = significance
+        self.convergence_check_interval = int(convergence_check_interval)
+
+        self.phase = Phase.WARMUP
+        self.lag: Optional[int] = None
+        self.histogram: Optional[Histogram] = None
+        self.observed = 0
+        self.accepted = 0
+        self._warmup_seen = 0
+        self._calibration: list[float] = []
+        self._since_accept = 0
+        self._barrier_lifted = True  # collection may take control of this
+        self._required_cache: Optional[float] = None
+
+    # -- collection coordination -------------------------------------------
+
+    @property
+    def warm_ready(self) -> bool:
+        """True once this metric has seen its Nw warm-up observations."""
+        return self._warmup_seen >= self.warmup_samples
+
+    def take_barrier_control(self) -> None:
+        """Called by a StatisticsCollection: warm-up exit now needs an
+        explicit :meth:`lift_warmup_barrier` (all-metrics-warm semantics)."""
+        if self.phase is not Phase.WARMUP:
+            raise StatisticError(
+                f"{self.name}: cannot take barrier control in phase {self.phase}"
+            )
+        self._barrier_lifted = False
+
+    def lift_warmup_barrier(self) -> None:
+        """Allow the metric to leave warm-up (all metrics are warm)."""
+        self._barrier_lifted = True
+        if self.phase is Phase.WARMUP and self.warm_ready:
+            self._enter_calibration()
+
+    # -- the observation stream ---------------------------------------------
+
+    def observe(self, value: float) -> None:
+        """Feed one raw observation through the current phase."""
+        self.observed += 1
+        if self.phase is Phase.WARMUP:
+            self._warmup_seen += 1
+            if self.warm_ready and self._barrier_lifted:
+                self._enter_calibration()
+            return
+        if self.phase is Phase.CALIBRATION:
+            self._calibration.append(value)
+            if len(self._calibration) >= self.calibration_samples:
+                self._finish_calibration()
+            return
+        if self.phase is Phase.MEASUREMENT:
+            self._since_accept += 1
+            if self._since_accept >= self.lag:
+                self._since_accept = 0
+                self.histogram.insert(value)
+                self.accepted += 1
+                if (
+                    self.accepted % self.convergence_check_interval == 0
+                    and self._converged_now()
+                ):
+                    self.phase = Phase.CONVERGED
+            return
+        # CONVERGED: further observations are ignored.
+
+    def _enter_calibration(self) -> None:
+        self.phase = Phase.CALIBRATION
+        if self.calibration_samples == 0:  # pragma: no cover - guarded in init
+            self._finish_calibration()
+
+    def _finish_calibration(self) -> None:
+        """Runs-up lag search + histogram bin determination (Fig. 2, step 2)."""
+        self.lag = find_lag(
+            self._calibration,
+            max_lag=self.max_lag,
+            significance=self.significance,
+        )
+        scheme = self.fixed_scheme or BinScheme.from_sample(
+            self._calibration, bins=self.bins
+        )
+        self.histogram = Histogram(scheme)
+        self._calibration = []
+        self._since_accept = 0
+        self.phase = Phase.MEASUREMENT
+
+    # -- convergence ----------------------------------------------------------
+
+    @property
+    def converged(self) -> bool:
+        """True once the metric reached its accuracy/confidence target."""
+        return self.phase is Phase.CONVERGED
+
+    def required_sample_size(self) -> float:
+        """Current estimate of max(Nm, Nq) given the running moments.
+
+        Infinite while an estimate needed by a criterion is still
+        undefined (e.g. zero density at a quantile early on).
+        """
+        if self.histogram is None:
+            return math.inf
+        return required_sample_size(
+            self.histogram,
+            self.mean_accuracy,
+            self.quantile_targets,
+            self.confidence,
+            self.min_accepted,
+        )
+
+    def _converged_now(self) -> bool:
+        return self.accepted >= self.required_sample_size()
+
+    def achieved_accuracy(self) -> Dict[str, float]:
+        """Current relative half-widths per criterion (for Fig. 8-style
+        accuracy-vs-events traces).  Keys: ``"mean"`` and ``"q<q>"``."""
+        out: Dict[str, float] = {}
+        hist = self.histogram
+        if hist is None or hist.count < 2:
+            return out
+        n = hist.count
+        if self.mean_accuracy is not None and hist.mean != 0:
+            out["mean"] = self._z * hist.std / math.sqrt(n) / abs(hist.mean)
+        for q in self.quantile_targets:
+            x_q = hist.quantile(q)
+            density = hist.density_at_quantile(q)
+            if density > 0 and x_q != 0:
+                half_p = self._z * math.sqrt(q * (1 - q) / n)
+                out[f"q{q:g}"] = half_p / density / abs(x_q)
+        return out
+
+    # -- reporting --------------------------------------------------------------
+
+    def estimate(self) -> Estimate:
+        """Snapshot of all estimates with confidence intervals."""
+        est = Estimate(
+            name=self.name,
+            phase=self.phase,
+            converged=self.converged,
+            lag=self.lag,
+            accepted=self.accepted,
+            observed=self.observed,
+        )
+        hist = self.histogram
+        if hist is None or hist.count == 0:
+            return est
+        (
+            est.mean,
+            est.std,
+            est.quantiles,
+            est.mean_ci,
+            est.quantile_ci,
+        ) = summarize_histogram(hist, self.quantile_targets, self.confidence)
+        return est
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Statistic({self.name!r}, phase={self.phase.value}, "
+            f"observed={self.observed}, accepted={self.accepted}, lag={self.lag})"
+        )

@@ -1,0 +1,95 @@
+"""Warm-up (initial-transient) detection heuristics.
+
+The paper: "a reliable method for determining Nw has been the subject of
+years of debate ... To date, no rigorous method for automatically
+detecting steady-state is available and Nw must be explicitly specified
+by the user."  That remains true — but the best-regarded *heuristic* is
+MSER (White's Marginal Standard Error Rule, usually applied to batched
+data as MSER-5): truncate the prefix that minimizes the marginal
+standard error of the remaining sample,
+
+    MSER(d) = s_d^2 / (n - d)
+
+over truncation points d, where s_d^2 is the variance of the
+observations after d.  Intuition: cutting genuine transient reduces the
+variance faster than it shrinks the sample; cutting steady-state data
+only shrinks the sample.
+
+This module provides :func:`mser` / :func:`mser5` as *advisory* tools —
+pilot-run a metric, ask for a suggested Nw, then configure the real
+experiment with it.  It deliberately does not auto-wire into
+`Statistic`: the paper's position (explicit user-specified Nw) is the
+honest default, and the rule's known failure mode (favoring tiny
+samples at the sequence tail) is guarded by only searching the first
+half of the sample.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def mser(sample: Sequence[float], max_fraction: float = 0.5) -> Tuple[int, float]:
+    """MSER truncation point for a raw observation sequence.
+
+    Returns ``(d, score)``: discard the first ``d`` observations.  Only
+    truncation points up to ``max_fraction`` of the sample are
+    considered (the rule degenerates when the retained tail gets small).
+    """
+    values = np.asarray(sample, dtype=float)
+    n = values.size
+    if n < 10:
+        raise ValueError(f"need >= 10 observations, got {n}")
+    if not 0.0 < max_fraction <= 0.9:
+        raise ValueError(f"max_fraction must be in (0, 0.9], got {max_fraction}")
+    limit = max(1, int(n * max_fraction))
+    # Suffix sums give all suffix means/variances in O(n).
+    suffix_sum = np.cumsum(values[::-1])[::-1]
+    suffix_sq = np.cumsum((values**2)[::-1])[::-1]
+    best_d, best_score = 0, np.inf
+    for d in range(0, limit):
+        m = n - d
+        mean = suffix_sum[d] / m
+        variance = max(0.0, suffix_sq[d] / m - mean * mean)
+        score = variance / m
+        if score < best_score:
+            best_d, best_score = d, score
+    return best_d, float(best_score)
+
+
+def mser5(sample: Sequence[float], batch: int = 5,
+          max_fraction: float = 0.5) -> Tuple[int, float]:
+    """MSER over means of non-overlapping batches (the usual MSER-5).
+
+    Batching smooths the sequence so the rule does not chase individual
+    outliers.  The returned truncation point is in *raw observations*
+    (a multiple of ``batch``).
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    values = np.asarray(sample, dtype=float)
+    n_batches = values.size // batch
+    if n_batches < 10:
+        raise ValueError(
+            f"need >= 10 full batches ({10 * batch} observations), "
+            f"got {values.size}"
+        )
+    means = values[: n_batches * batch].reshape(n_batches, batch).mean(axis=1)
+    d_batches, score = mser(means, max_fraction)
+    return d_batches * batch, score
+
+
+def suggest_warmup(sample: Sequence[float], batch: int = 5,
+                   safety_factor: float = 2.0) -> int:
+    """A practical Nw suggestion: MSER-5 truncation times a safety factor.
+
+    Pilot-run the simulation, collect a few thousand observations of the
+    slowest-warming metric, and pass them here; configure the real
+    experiment's ``warmup_samples`` with the result.
+    """
+    if safety_factor < 1.0:
+        raise ValueError(f"safety_factor must be >= 1, got {safety_factor}")
+    d, _ = mser5(sample, batch=batch)
+    return int(np.ceil(d * safety_factor))

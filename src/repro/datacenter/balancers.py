@@ -1,0 +1,109 @@
+"""Load balancers: fan arriving tasks out across a server pool.
+
+The paper positions BigHouse for "studies investigating load balancing,
+power management, resource allocation, hardware provisioning" (Section 2);
+these are the standard dispatch policies such a study sweeps.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+from repro.datacenter.job import Job
+from repro.datacenter.server import Server
+from repro.engine.simulation import Simulation
+
+
+class LoadBalancer(abc.ABC):
+    """Dispatches each arriving job to one of a fixed set of backends."""
+
+    def __init__(self, servers: Sequence[Server], name: str = "balancer"):
+        if not servers:
+            raise ValueError("load balancer needs >= 1 server")
+        self.servers = list(servers)
+        self.name = name
+        self.sim: Optional[Simulation] = None
+        self.dispatched = 0
+
+    def bind(self, sim: Simulation) -> None:
+        """Attach to a simulation; binds every backend transitively."""
+        if self.sim is sim:
+            return
+        if self.sim is not None:
+            raise RuntimeError(f"{self.name}: already bound")
+        self.sim = sim
+        for server in self.servers:
+            server.bind(sim)
+
+    def arrive(self, job: Job) -> None:
+        """Route one job."""
+        if job.arrival_time is None:
+            job.arrival_time = self.sim.now
+        self.dispatched += 1
+        self.choose(job).arrive(job)
+
+    @abc.abstractmethod
+    def choose(self, job: Job) -> Server:
+        """Pick the backend for this job."""
+
+    def on_complete(self, listener) -> None:
+        """Attach a completion listener to every backend."""
+        for server in self.servers:
+            server.on_complete(listener)
+
+
+class RandomBalancer(LoadBalancer):
+    """Uniform random dispatch — memoryless, the M/G/k-ish baseline."""
+
+    def bind(self, sim: Simulation) -> None:
+        super().bind(sim)
+        self._rng = sim.spawn_rng()
+
+    def choose(self, job: Job) -> Server:
+        return self.servers[self._rng.integers(len(self.servers))]
+
+
+class RoundRobinBalancer(LoadBalancer):
+    """Cyclic dispatch — equalizes counts, not load."""
+
+    def __init__(self, servers: Sequence[Server], name: str = "round-robin"):
+        super().__init__(servers, name)
+        self._next = 0
+
+    def choose(self, job: Job) -> Server:
+        server = self.servers[self._next]
+        self._next = (self._next + 1) % len(self.servers)
+        return server
+
+
+class JoinShortestQueue(LoadBalancer):
+    """Dispatch to the backend with the fewest outstanding jobs.
+
+    Ties break by server order, keeping runs deterministic.
+    """
+
+    def choose(self, job: Job) -> Server:
+        return min(self.servers, key=lambda server: server.outstanding)
+
+
+class PowerOfTwoChoices(LoadBalancer):
+    """Sample two random backends, join the shorter one.
+
+    The Mitzenmacher "power of d choices" policy: near-JSQ tail behaviour
+    at O(1) state-inspection cost — the practical compromise deployed in
+    real front-ends, and a natural policy-comparison experiment for the
+    framework.
+    """
+
+    def bind(self, sim: Simulation) -> None:
+        super().bind(sim)
+        self._rng = sim.spawn_rng()
+
+    def choose(self, job: Job) -> Server:
+        n = len(self.servers)
+        if n == 1:
+            return self.servers[0]
+        first, second = self._rng.choice(n, size=2, replace=False)
+        a, b = self.servers[first], self.servers[second]
+        return a if a.outstanding <= b.outstanding else b

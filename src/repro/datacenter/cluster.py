@@ -1,0 +1,115 @@
+"""Cluster containers: racks and whole-datacenter groupings.
+
+BigHouse "uses an object-oriented hierarchy to represent various parts of
+the data center such as servers, racks, etc." (Section 2.1).  These
+containers aggregate utilization/idleness across their members and are
+what the power-capping controller iterates over each budgeting epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.datacenter.server import Server
+from repro.engine.simulation import Simulation
+
+
+class Rack:
+    """A named group of servers (aggregation + addressing unit)."""
+
+    def __init__(self, servers: Sequence[Server], name: str = "rack"):
+        if not servers:
+            raise ValueError("rack needs >= 1 server")
+        self.servers: List[Server] = list(servers)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def __iter__(self) -> Iterator[Server]:
+        return iter(self.servers)
+
+    def bind(self, sim: Simulation) -> None:
+        """Bind every member server."""
+        for server in self.servers:
+            server.bind(sim)
+
+    def total_cores(self) -> int:
+        """Cores across the rack."""
+        return sum(server.cores for server in self.servers)
+
+    def utilization_now(self) -> float:
+        """Instantaneous busy-core fraction across the rack."""
+        busy = sum(server.busy_cores for server in self.servers)
+        return busy / self.total_cores()
+
+
+class Cluster:
+    """A collection of racks; the top of the object hierarchy.
+
+    Convenience constructor :meth:`homogeneous` builds the flat N-server
+    clusters used in the scalability study (Section 4), grouping servers
+    into racks of ``rack_size``.
+    """
+
+    def __init__(self, racks: Sequence[Rack], name: str = "cluster"):
+        if not racks:
+            raise ValueError("cluster needs >= 1 rack")
+        self.racks: List[Rack] = list(racks)
+        self.name = name
+
+    @classmethod
+    def homogeneous(
+        cls,
+        n_servers: int,
+        cores: int = 4,
+        rack_size: int = 40,
+        name: str = "cluster",
+        server_factory=None,
+    ) -> "Cluster":
+        """Build N identical servers grouped into racks.
+
+        ``server_factory(index)`` may be supplied to customize servers
+        (e.g. to attach power models); it must return a :class:`Server`.
+        """
+        if n_servers < 1:
+            raise ValueError(f"need >= 1 server, got {n_servers}")
+        if rack_size < 1:
+            raise ValueError(f"rack_size must be >= 1, got {rack_size}")
+        servers = []
+        for index in range(n_servers):
+            if server_factory is not None:
+                servers.append(server_factory(index))
+            else:
+                servers.append(Server(cores=cores, name=f"{name}-s{index}"))
+        racks = [
+            Rack(servers[start:start + rack_size],
+                 name=f"{name}-r{start // rack_size}")
+            for start in range(0, n_servers, rack_size)
+        ]
+        return cls(racks, name=name)
+
+    @property
+    def servers(self) -> List[Server]:
+        """All servers, rack by rack."""
+        return [server for rack in self.racks for server in rack]
+
+    def __len__(self) -> int:
+        return sum(len(rack) for rack in self.racks)
+
+    def __iter__(self) -> Iterator[Server]:
+        return iter(self.servers)
+
+    def bind(self, sim: Simulation) -> None:
+        """Bind every server in every rack."""
+        for rack in self.racks:
+            rack.bind(sim)
+
+    def total_cores(self) -> int:
+        """Cores across the cluster."""
+        return sum(rack.total_cores() for rack in self.racks)
+
+    def utilization_now(self) -> float:
+        """Instantaneous busy-core fraction across the cluster."""
+        busy = sum(server.busy_cores for server in self.servers)
+        return busy / self.total_cores()

@@ -1,0 +1,90 @@
+"""Pluggable queueing disciplines.
+
+The paper's studies all use FCFS request queues, but the discipline is a
+natural extension point of the object model ("the server model might be
+subclassed or extended", Section 2.1); LIFO and SJF are provided both as
+useful baselines and as tests that the server logic is discipline-neutral.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import itertools
+from collections import deque
+from typing import Optional
+
+from repro.datacenter.job import Job
+
+
+class QueueingDiscipline(abc.ABC):
+    """Order in which queued jobs are dispatched to free cores."""
+
+    @abc.abstractmethod
+    def push(self, job: Job) -> None:
+        """Enqueue a job."""
+
+    @abc.abstractmethod
+    def pop(self) -> Optional[Job]:
+        """Dequeue the next job to serve, or None if empty."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Jobs currently queued."""
+
+
+class FCFSQueue(QueueingDiscipline):
+    """First-come, first-served — the default for request/response services."""
+
+    def __init__(self) -> None:
+        self._queue: deque[Job] = deque()
+
+    def push(self, job: Job) -> None:
+        self._queue.append(job)
+
+    def pop(self) -> Optional[Job]:
+        return self._queue.popleft() if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class LIFOQueue(QueueingDiscipline):
+    """Last-come, first-served (stack) — a tail-latency-hostile baseline."""
+
+    def __init__(self) -> None:
+        self._stack: list[Job] = []
+
+    def push(self, job: Job) -> None:
+        self._stack.append(job)
+
+    def pop(self) -> Optional[Job]:
+        return self._stack.pop() if self._stack else None
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class SJFQueue(QueueingDiscipline):
+    """Non-preemptive shortest-job-first, ties broken by arrival order.
+
+    Requires job sizes to be known at enqueue time (they are: the source
+    or server draws the size on arrival).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Job]] = []
+        self._counter = itertools.count()
+
+    def push(self, job: Job) -> None:
+        if job.size is None:
+            raise ValueError("SJF requires job.size to be set before enqueue")
+        heapq.heappush(self._heap, (job.size, next(self._counter), job))
+
+    def pop(self) -> Optional[Job]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)

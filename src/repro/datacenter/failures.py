@@ -1,0 +1,124 @@
+"""Failure injection: server crashes and repairs.
+
+Availability is a first-order concern in cluster studies (hardware
+provisioning, the paper's stated application space).  A
+:class:`FailureInjector` drives a server through an alternating
+up/down renewal process: time-to-failure and time-to-repair are drawn
+from arbitrary distributions; while down the server is paused (in-flight
+work freezes — a crash-and-recover model where jobs resume, matching
+checkpointed services) or optionally dropped.
+
+Availability statistics (uptime fraction, MTTF/MTTR estimates) are
+tracked exactly, and the injected downtime is visible to every
+latency metric — tail percentiles feel repairs long before means do,
+which is exactly the kind of question a BigHouse user would pose.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datacenter.server import Server
+from repro.distributions import Distribution
+from repro.engine.simulation import Simulation
+
+
+class FailureInjector:
+    """Alternating failure/repair process wrapped around one server.
+
+    Parameters
+    ----------
+    server:
+        The victim (not yet bound).
+    time_to_failure:
+        Distribution of up intervals.
+    time_to_repair:
+        Distribution of down intervals.
+    drop_queued:
+        When True, a failure discards queued (not yet started) jobs —
+        the fail-stop, no-retry model.  In-flight jobs always freeze and
+        resume (checkpoint semantics).
+    """
+
+    def __init__(
+        self,
+        server: Server,
+        time_to_failure: Distribution,
+        time_to_repair: Distribution,
+        drop_queued: bool = False,
+    ):
+        self.server = server
+        self.time_to_failure = time_to_failure
+        self.time_to_repair = time_to_repair
+        self.drop_queued = drop_queued
+        self.sim: Optional[Simulation] = None
+        self._rng = None
+        self.failed = False
+        self.failures = 0
+        self.repairs = 0
+        self.dropped_jobs = 0
+        self._downtime = 0.0
+        self._down_since: Optional[float] = None
+
+    def bind(self, sim: Simulation) -> None:
+        """Attach; the first failure is scheduled immediately."""
+        if self.sim is not None:
+            raise RuntimeError("failure injector already bound")
+        self.sim = sim
+        self.server.bind(sim)
+        self._rng = sim.spawn_rng()
+        self._schedule_failure()
+
+    def _schedule_failure(self) -> None:
+        delay = float(self.time_to_failure.sample(self._rng))
+        self.sim.schedule_in(delay, self._fail, "failure")
+
+    def _schedule_repair(self) -> None:
+        delay = float(self.time_to_repair.sample(self._rng))
+        self.sim.schedule_in(delay, self._repair, "repair")
+
+    def _fail(self) -> None:
+        if self.failed:  # pragma: no cover - defensive
+            return
+        self.failed = True
+        self.failures += 1
+        self._down_since = self.sim.now
+        if self.drop_queued:
+            while True:
+                job = self.server.queue.pop()
+                if job is None:
+                    break
+                self.dropped_jobs += 1
+        self.server.pause()
+        self._schedule_repair()
+
+    def _repair(self) -> None:
+        if not self.failed:  # pragma: no cover - defensive
+            return
+        self.failed = False
+        self.repairs += 1
+        self._downtime += self.sim.now - self._down_since
+        self._down_since = None
+        self.server.resume()
+        self._schedule_failure()
+
+    # -- availability accounting ------------------------------------------
+
+    def downtime(self) -> float:
+        """Total down seconds so far (including a current outage)."""
+        total = self._downtime
+        if self.failed and self._down_since is not None:
+            total += self.sim.now - self._down_since
+        return total
+
+    def availability(self) -> float:
+        """Uptime fraction since the start of the simulation."""
+        if self.sim is None or self.sim.now <= 0:
+            return 1.0
+        return 1.0 - self.downtime() / self.sim.now
+
+    def mttr(self) -> float:
+        """Mean time to repair over completed outages."""
+        if self.repairs == 0:
+            raise ValueError("no completed repairs yet")
+        return self._downtime / self.repairs

@@ -1,0 +1,80 @@
+"""The task abstraction.
+
+"A task in the queuing model corresponds to the most natural unit of work
+for the workload under study, such as a single request, transaction,
+query" (Section 2).  A job carries its service demand (``size``, in
+seconds of work at unit speed) and accumulates timestamps as it moves
+through the network; response and waiting times fall out as differences.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Job:
+    """One task flowing through the queuing network.
+
+    Attributes
+    ----------
+    size:
+        Total service demand in seconds at speed 1.0.  ``None`` means the
+        serving server draws it from its own service distribution on
+        arrival (multi-tier pipelines re-draw per stage).
+    remaining:
+        Work left, maintained by the server as speeds change.
+    arrival_time / start_time / finish_time:
+        Network arrival, first instant of service, and completion.
+    """
+
+    __slots__ = (
+        "job_id",
+        "size",
+        "remaining",
+        "arrival_time",
+        "start_time",
+        "finish_time",
+        "delay_used",
+        "_completion_event",
+        "_last_progress",
+        "stages_completed",
+        "job_class",
+    )
+
+    def __init__(self, job_id: int, size: Optional[float] = None):
+        if size is not None and size < 0:
+            raise ValueError(f"job size must be >= 0, got {size}")
+        self.job_id = job_id
+        self.size = size
+        self.remaining = size
+        self.arrival_time: Optional[float] = None
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        #: Cumulative time this job has spent delayed (not in service);
+        #: maintained by delay-aware policies such as DreamWeaver.
+        self.delay_used: float = 0.0
+        self._completion_event = None
+        self._last_progress: Optional[float] = None
+        self.stages_completed: int = 0
+        #: Traffic class (see repro.datacenter.multiclass); None = plain.
+        self.job_class = None
+
+    @property
+    def response_time(self) -> float:
+        """End-to-end latency: finish - arrival."""
+        if self.finish_time is None or self.arrival_time is None:
+            raise ValueError(f"job {self.job_id} has not finished")
+        return self.finish_time - self.arrival_time
+
+    @property
+    def waiting_time(self) -> float:
+        """Queueing delay before first service: start - arrival."""
+        if self.start_time is None or self.arrival_time is None:
+            raise ValueError(f"job {self.job_id} has not started")
+        return self.start_time - self.arrival_time
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Job(#{self.job_id}, size={self.size}, "
+            f"arrived={self.arrival_time}, finished={self.finish_time})"
+        )

@@ -1,0 +1,128 @@
+"""Processor-sharing (PS) server model.
+
+Time-sharing operating systems approximate PS: all jobs in the station
+progress simultaneously, each at ``speed / n`` when ``n`` jobs are
+present.  PS cannot be expressed as a queueing *discipline* on the
+standard server (there is no queue — everyone is in service), so it is a
+separate station type with the same outward interface (``bind``,
+``arrive``, ``on_complete``), implemented by re-scheduling the earliest
+completion every time the multiprogramming level changes.
+
+PS is insensitive to the service distribution's shape: mean response at
+load rho is E[S] / (1 - rho) regardless of Cv — a sharp contrast with
+FCFS under heavy-tailed service, and a useful cross-check that the
+simulator's service accounting is exact (a property test pins this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.datacenter.job import Job
+from repro.datacenter.server import ServerError
+from repro.engine.simulation import Simulation
+
+
+class ProcessorSharingServer:
+    """Single-station egalitarian processor sharing."""
+
+    def __init__(self, speed: float = 1.0, service_distribution=None,
+                 name: str = "ps-server"):
+        if speed <= 0:
+            raise ServerError(f"speed must be > 0, got {speed}")
+        self.speed = float(speed)
+        self.service_distribution = service_distribution
+        self.name = name
+        self.sim: Optional[Simulation] = None
+        self._service_rng = None
+        self._jobs: dict[int, Job] = {}
+        self._completion_event = None
+        self._last_progress = 0.0
+        self.completed_jobs = 0
+        self._complete_listeners: list[Callable[[Job, "ProcessorSharingServer"], None]] = []
+
+    # -- wiring ---------------------------------------------------------------
+
+    def bind(self, sim: Simulation) -> None:
+        """Attach to a simulation (idempotent)."""
+        if self.sim is sim:
+            return
+        if self.sim is not None:
+            raise ServerError(f"{self.name}: already bound")
+        self.sim = sim
+        self._last_progress = sim.now
+        if self.service_distribution is not None:
+            self._service_rng = sim.spawn_rng()
+
+    def on_complete(self, listener: Callable[[Job, "ProcessorSharingServer"], None]) -> None:
+        """Call ``listener(job, server)`` on every completion."""
+        self._complete_listeners.append(listener)
+
+    # -- state ------------------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Jobs currently sharing the processor."""
+        return len(self._jobs)
+
+    @property
+    def per_job_rate(self) -> float:
+        """Service rate each job receives right now."""
+        n = len(self._jobs)
+        return self.speed / n if n else self.speed
+
+    # -- mechanics ---------------------------------------------------------------
+
+    def _advance_progress(self) -> None:
+        """Debit elapsed shared service from every in-flight job."""
+        now = self.sim.now
+        elapsed = now - self._last_progress
+        if elapsed > 0 and self._jobs:
+            per_job = elapsed * self.speed / len(self._jobs)
+            for job in self._jobs.values():
+                job.remaining = max(0.0, job.remaining - per_job)
+        self._last_progress = now
+
+    def _reschedule(self) -> None:
+        if self._completion_event is not None:
+            self.sim.cancel(self._completion_event)
+            self._completion_event = None
+        if not self._jobs:
+            return
+        soonest = min(self._jobs.values(), key=lambda job: job.remaining)
+        delay = soonest.remaining * len(self._jobs) / self.speed
+        self._completion_event = self.sim.schedule_in(
+            delay,
+            lambda j=soonest: self._complete(j),
+            f"{self.name}:complete#{soonest.job_id}",
+        )
+
+    def arrive(self, job: Job) -> None:
+        """Admit a job into the sharing pool."""
+        if self.sim is None:
+            raise ServerError(f"{self.name}: not bound")
+        if job.arrival_time is None:
+            job.arrival_time = self.sim.now
+        if job.size is None:
+            if self.service_distribution is None:
+                raise ServerError(
+                    f"{self.name}: sizeless job and no service distribution"
+                )
+            job.size = float(self.service_distribution.sample(self._service_rng))
+        if job.remaining is None:
+            job.remaining = job.size
+        self._advance_progress()
+        job.start_time = self.sim.now  # PS serves immediately (slower)
+        self._jobs[job.job_id] = job
+        self._reschedule()
+
+    def _complete(self, job: Job) -> None:
+        self._completion_event = None
+        self._advance_progress()
+        del self._jobs[job.job_id]
+        job.remaining = 0.0
+        job.finish_time = self.sim.now
+        self.completed_jobs += 1
+        for listener in self._complete_listeners:
+            listener(job, self)
+        self._reschedule()

@@ -1,0 +1,119 @@
+"""Task sources: synthetic-draw arrival generators and trace replay.
+
+"The BigHouse simulation engine synthesizes a task trace from the workload
+models" (Section 2.3): a :class:`Source` draws inter-arrival gaps and
+service demands from a workload's distributions and injects jobs into a
+target (server or load balancer).  :class:`TraceSource` replays an
+explicit (arrival_time, size) trace instead, which the paper notes
+eliminates some sampling difficulties at the cost of statistical rigor
+when the simulated system diverges from the traced one.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.datacenter.job import Job
+from repro.engine.simulation import Simulation
+
+#: Shared across sources so job ids are globally unique within a process.
+_JOB_COUNTER = itertools.count(1)
+
+
+class Source:
+    """Open-loop arrival process driven by a workload model.
+
+    Parameters
+    ----------
+    workload:
+        Object with ``interarrival`` and ``service`` distributions
+        (:class:`repro.workloads.Workload`).
+    target:
+        Component with ``arrive(job)`` and ``bind(sim)``.
+    draw_sizes:
+        When True (default) the source stamps each job's service demand;
+        when False jobs are injected with ``size=None`` and the serving
+        server draws from its own service distribution (multi-tier use).
+    max_jobs:
+        Optional cap on generated jobs (for bounded runs/tests).
+    """
+
+    def __init__(self, workload, target, draw_sizes: bool = True,
+                 max_jobs: Optional[int] = None, name: str = "source"):
+        self.workload = workload
+        self.target = target
+        self.draw_sizes = draw_sizes
+        self.max_jobs = max_jobs
+        self.name = name
+        self.generated = 0
+        self.sim: Optional[Simulation] = None
+        self._arrival_rng = None
+        self._service_rng = None
+
+    def bind(self, sim: Simulation) -> None:
+        """Attach to a simulation and schedule the first arrival."""
+        if self.sim is not None:
+            raise RuntimeError(f"{self.name}: already bound")
+        self.sim = sim
+        self._arrival_rng = sim.spawn_rng()
+        self._service_rng = sim.spawn_rng()
+        self.target.bind(sim)
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        if self.max_jobs is not None and self.generated >= self.max_jobs:
+            return
+        gap = float(self.workload.interarrival.sample(self._arrival_rng))
+        self.sim.schedule_in(gap, self._emit, f"{self.name}:arrival")
+
+    def _emit(self) -> None:
+        size = None
+        if self.draw_sizes:
+            size = float(self.workload.service.sample(self._service_rng))
+        job = Job(next(_JOB_COUNTER), size=size)
+        job.arrival_time = self.sim.now
+        self.generated += 1
+        self.target.arrive(job)
+        self._schedule_next()
+
+
+class TraceSource:
+    """Replays an explicit trace of (arrival_time, size) pairs."""
+
+    def __init__(self, trace: Iterable[Tuple[float, float]], target,
+                 name: str = "trace-source"):
+        self.trace: Sequence[Tuple[float, float]] = list(trace)
+        for arrival, size in self.trace:
+            if arrival < 0 or size < 0:
+                raise ValueError(
+                    f"trace entries must be non-negative, got ({arrival}, {size})"
+                )
+        if any(
+            self.trace[i][0] > self.trace[i + 1][0]
+            for i in range(len(self.trace) - 1)
+        ):
+            raise ValueError("trace arrival times must be non-decreasing")
+        self.target = target
+        self.name = name
+        self.generated = 0
+        self.sim: Optional[Simulation] = None
+
+    def bind(self, sim: Simulation) -> None:
+        """Attach and schedule every trace arrival."""
+        if self.sim is not None:
+            raise RuntimeError(f"{self.name}: already bound")
+        self.sim = sim
+        self.target.bind(sim)
+        for arrival, size in self.trace:
+            sim.schedule_at(
+                arrival,
+                lambda s=size: self._emit(s),
+                f"{self.name}:arrival",
+            )
+
+    def _emit(self, size: float) -> None:
+        job = Job(next(_JOB_COUNTER), size=size)
+        job.arrival_time = self.sim.now
+        self.generated += 1
+        self.target.arrive(job)

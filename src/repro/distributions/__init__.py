@@ -1,0 +1,58 @@
+"""Random-variable substrate for stochastic queuing simulation.
+
+BigHouse characterizes workloads as distributions of inter-arrival and
+service times rather than traces or binaries.  This package provides:
+
+- analytic distributions (:class:`Exponential`, :class:`Gamma`,
+  :class:`Erlang`, :class:`LogNormal`, :class:`Weibull`, :class:`Pareto`,
+  :class:`Uniform`, :class:`Deterministic`),
+- the two-phase balanced-means :class:`HyperExponential` used to model
+  high-variance (Cv > 1) empirical workloads,
+- :class:`EmpiricalDistribution`, the histogram/inverse-CDF representation
+  BigHouse ships its measured workloads in (compact, < 1 MB),
+- wrappers (:class:`Scaled`, :class:`Shifted`, :class:`Truncated`,
+  :class:`Mixture`) used e.g. to scale inter-arrival times to vary load,
+- :func:`fit_mean_cv`, the moment-matching fitter used to synthesize the
+  Table-1 workload models from their published moments.
+
+All distributions are immutable, stateless samplers: randomness enters
+only through the ``numpy.random.Generator`` handed to :meth:`sample`.
+"""
+
+from repro.distributions.base import Distribution, DistributionError
+from repro.distributions.continuous import (
+    BoundedPareto,
+    Deterministic,
+    Erlang,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Pareto,
+    Uniform,
+    Weibull,
+)
+from repro.distributions.hyperexponential import HyperExponential
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.distributions.transforms import Mixture, Scaled, Shifted, Truncated
+from repro.distributions.fitting import fit_mean_cv
+
+__all__ = [
+    "Distribution",
+    "DistributionError",
+    "BoundedPareto",
+    "Deterministic",
+    "Erlang",
+    "Exponential",
+    "Gamma",
+    "LogNormal",
+    "Pareto",
+    "Uniform",
+    "Weibull",
+    "HyperExponential",
+    "EmpiricalDistribution",
+    "Mixture",
+    "Scaled",
+    "Shifted",
+    "Truncated",
+    "fit_mean_cv",
+]

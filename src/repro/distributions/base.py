@@ -1,0 +1,92 @@
+"""Abstract base class for all distributions.
+
+Distributions are *stateless samplers*: a distribution object carries its
+parameters, while all randomness flows through the ``numpy.random.Generator``
+passed to :meth:`Distribution.sample`.  This is what lets BigHouse's
+parallel mode hand each slave a unique seed and otherwise share the exact
+same workload model object (Section 2.4 of the paper).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+
+class DistributionError(ValueError):
+    """Raised for invalid distribution parameters or impossible fits."""
+
+
+class Distribution(abc.ABC):
+    """A non-negative random variable describing task behaviour.
+
+    Subclasses implement :meth:`sample` and the analytic moments
+    :meth:`mean` and :meth:`variance`.  Everything else (standard
+    deviation, coefficient of variation, bulk sampling, empirical moment
+    checks) is derived here.
+    """
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one value using ``rng`` as the sole source of randomness."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Analytic mean of the distribution."""
+
+    @abc.abstractmethod
+    def variance(self) -> float:
+        """Analytic variance of the distribution."""
+
+    def std(self) -> float:
+        """Analytic standard deviation."""
+        return math.sqrt(self.variance())
+
+    def cv(self) -> float:
+        """Coefficient of variation, sigma / mean.
+
+        The paper's Table 1 characterizes every workload by its Cv; high
+        service-time Cv (e.g. Shell at 15) is what makes simple queuing
+        formulas inaccurate and drives simulation time (Fig. 8).
+        """
+        mean = self.mean()
+        if mean == 0:
+            raise DistributionError("Cv undefined for zero-mean distribution")
+        return self.std() / mean
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` values.  Subclasses may override with vectorized draws."""
+        if n < 0:
+            raise DistributionError(f"cannot draw a negative count: {n}")
+        return np.array([self.sample(rng) for _ in range(n)], dtype=float)
+
+    def empirical_moments(
+        self, rng: np.random.Generator, n: int = 100_000
+    ) -> tuple[float, float]:
+        """Monte-Carlo estimate of (mean, std); used by tests and fitters."""
+        draws = self.sample_many(rng, n)
+        return float(np.mean(draws)), float(np.std(draws))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(
+            f"{key}={value!r}"
+            for key, value in sorted(vars(self).items())
+            if not key.startswith("_")
+        )
+        return f"{type(self).__name__}({params})"
+
+
+def require_positive(name: str, value: float) -> float:
+    """Validate that a parameter is strictly positive, returning it."""
+    if not value > 0:
+        raise DistributionError(f"{name} must be > 0, got {value}")
+    return float(value)
+
+
+def require_nonnegative(name: str, value: float) -> float:
+    """Validate that a parameter is >= 0, returning it."""
+    if value < 0:
+        raise DistributionError(f"{name} must be >= 0, got {value}")
+    return float(value)

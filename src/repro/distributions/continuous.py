@@ -1,0 +1,313 @@
+"""Analytic continuous distributions used as building blocks.
+
+These cover the synthetic inter-arrival scenarios in Fig. 5 of the paper
+(`Low Cv` -> :class:`Uniform` / :class:`Erlang`, `Exponential` ->
+:class:`Exponential`) and the shapes used to synthesize empirical workload
+models (:class:`LogNormal`, :class:`Weibull`, :class:`Pareto` for heavy
+tails; :class:`Gamma` / :class:`Erlang` for Cv < 1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributions.base import (
+    Distribution,
+    DistributionError,
+    require_nonnegative,
+    require_positive,
+)
+
+
+class Exponential(Distribution):
+    """Exponential distribution with rate ``rate`` (mean ``1/rate``).
+
+    The classic M/M/1 assumption; the paper shows (Fig. 5) that assuming
+    it for real internet services badly underestimates tail latency.
+    """
+
+    def __init__(self, rate: float):
+        self.rate = require_positive("rate", rate)
+
+    @classmethod
+    def from_mean(cls, mean: float) -> "Exponential":
+        """Construct from a mean instead of a rate."""
+        return cls(rate=1.0 / require_positive("mean", mean))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(1.0 / self.rate))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(1.0 / self.rate, size=n)
+
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    def variance(self) -> float:
+        return 1.0 / (self.rate * self.rate)
+
+
+class Deterministic(Distribution):
+    """Constant value; the Cv = 0 limit ("Low Cv" loadtester traffic)."""
+
+    def __init__(self, value: float):
+        self.value = require_nonnegative("value", value)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.value, dtype=float)
+
+    def mean(self) -> float:
+        return self.value
+
+    def variance(self) -> float:
+        return 0.0
+
+
+class Uniform(Distribution):
+    """Uniform distribution on [low, high]."""
+
+    def __init__(self, low: float, high: float):
+        if high < low:
+            raise DistributionError(f"high ({high}) < low ({low})")
+        self.low = require_nonnegative("low", low)
+        self.high = float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def variance(self) -> float:
+        return (self.high - self.low) ** 2 / 12.0
+
+
+class Gamma(Distribution):
+    """Gamma distribution with shape ``k`` and scale ``theta``.
+
+    Cv = 1/sqrt(k), so any Cv <= 1 can be matched with k >= 1 (and Cv > 1
+    with k < 1, though the hyperexponential is preferred there because its
+    tail better matches measured service distributions).
+    """
+
+    def __init__(self, shape: float, scale: float):
+        self.shape = require_positive("shape", shape)
+        self.scale = require_positive("scale", scale)
+
+    @classmethod
+    def from_mean_cv(cls, mean: float, cv: float) -> "Gamma":
+        """Moment-match: shape = 1/cv^2, scale = mean * cv^2."""
+        require_positive("mean", mean)
+        require_positive("cv", cv)
+        cv_squared = cv * cv
+        if cv_squared == 0.0 or not math.isfinite(1.0 / cv_squared):
+            raise DistributionError(
+                f"cv={cv} too small for a Gamma fit (shape overflows); "
+                "use Deterministic"
+            )
+        shape = 1.0 / cv_squared
+        return cls(shape=shape, scale=mean / shape)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.gamma(self.shape, self.scale))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.gamma(self.shape, self.scale, size=n)
+
+    def mean(self) -> float:
+        return self.shape * self.scale
+
+    def variance(self) -> float:
+        return self.shape * self.scale * self.scale
+
+
+class Erlang(Gamma):
+    """Erlang distribution: Gamma with integer shape ``k``.
+
+    The sum of k exponentials; the standard "low Cv" arrival process.
+    """
+
+    def __init__(self, k: int, rate: float):
+        if int(k) != k or k < 1:
+            raise DistributionError(f"Erlang k must be a positive integer, got {k}")
+        require_positive("rate", rate)
+        super().__init__(shape=float(k), scale=1.0 / rate)
+        self.k = int(k)
+        self.rate = float(rate)
+
+
+class LogNormal(Distribution):
+    """Log-normal distribution parameterized by the underlying normal.
+
+    Used to synthesize moderately heavy-tailed service distributions; a
+    common good fit for measured request service times.
+    """
+
+    def __init__(self, mu: float, sigma: float):
+        self.mu = float(mu)
+        self.sigma = require_positive("sigma", sigma)
+
+    @classmethod
+    def from_mean_cv(cls, mean: float, cv: float) -> "LogNormal":
+        """Moment-match mean and coefficient of variation exactly."""
+        require_positive("mean", mean)
+        require_positive("cv", cv)
+        sigma2 = math.log(1.0 + cv * cv)
+        mu = math.log(mean) - sigma2 / 2.0
+        return cls(mu=mu, sigma=math.sqrt(sigma2))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.mu, self.sigma))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.lognormal(self.mu, self.sigma, size=n)
+
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma * self.sigma / 2.0)
+
+    def variance(self) -> float:
+        s2 = self.sigma * self.sigma
+        return (math.exp(s2) - 1.0) * math.exp(2.0 * self.mu + s2)
+
+
+class Weibull(Distribution):
+    """Weibull distribution with shape ``k`` and scale ``lam``."""
+
+    def __init__(self, shape: float, scale: float):
+        self.shape = require_positive("shape", shape)
+        self.scale = require_positive("scale", scale)
+
+    @classmethod
+    def from_mean_cv(cls, mean: float, cv: float) -> "Weibull":
+        """Moment-match by solving for the shape numerically.
+
+        The Weibull Cv depends only on the shape k (decreasing in k), so
+        a bracketed root search pins k, then the scale matches the mean.
+        """
+        require_positive("mean", mean)
+        require_positive("cv", cv)
+
+        def cv_of_shape(k: float) -> float:
+            g1 = math.gamma(1.0 + 1.0 / k)
+            g2 = math.gamma(1.0 + 2.0 / k)
+            return math.sqrt(max(0.0, g2 / (g1 * g1) - 1.0))
+
+        from scipy.optimize import brentq
+
+        lo, hi = 0.05, 50.0
+        if not cv_of_shape(hi) <= cv <= cv_of_shape(lo):
+            raise DistributionError(
+                f"cv={cv} outside the Weibull-representable range "
+                f"[{cv_of_shape(hi):.4g}, {cv_of_shape(lo):.4g}]"
+            )
+        shape = float(brentq(lambda k: cv_of_shape(k) - cv, lo, hi))
+        scale = mean / math.gamma(1.0 + 1.0 / shape)
+        return cls(shape=shape, scale=scale)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.scale * rng.weibull(self.shape))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.scale * rng.weibull(self.shape, size=n)
+
+    def mean(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    def variance(self) -> float:
+        g1 = math.gamma(1.0 + 1.0 / self.shape)
+        g2 = math.gamma(1.0 + 2.0 / self.shape)
+        return self.scale * self.scale * (g2 - g1 * g1)
+
+
+class BoundedPareto(Distribution):
+    """Pareto truncated to [low, high] — the standard heavy-tail model
+    for request sizes in the systems literature (infinite-variance tails
+    do not occur in finite systems; the bound is physical).
+
+    Density proportional to x^(-alpha-1) on [low, high].
+    """
+
+    def __init__(self, alpha: float, low: float, high: float):
+        self.alpha = require_positive("alpha", alpha)
+        self.low = require_positive("low", low)
+        if high <= low:
+            raise DistributionError(f"high ({high}) must exceed low ({low})")
+        self.high = float(high)
+
+    def _moment(self, k: int) -> float:
+        """E[X^k] for the truncated Pareto (closed form)."""
+        a, lo, hi = self.alpha, self.low, self.high
+        if abs(a - k) < 1e-12:
+            # Degenerate exponent: integral produces a log term.
+            norm = 1.0 - (lo / hi) ** a
+            return a * lo**a * math.log(hi / lo) / norm
+        norm = 1.0 - (lo / hi) ** a
+        return (
+            a * lo**a / norm
+            * (lo ** (k - a) - hi ** (k - a))
+            / (a - k)
+        )
+
+    def mean(self) -> float:
+        return self._moment(1)
+
+    def variance(self) -> float:
+        mean = self._moment(1)
+        return max(0.0, self._moment(2) - mean * mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self._inverse(rng.random()))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self._inverse(rng.random(size=n))
+
+    def _inverse(self, u):
+        """Inverse CDF of the bounded Pareto."""
+        a, lo, hi = self.alpha, self.low, self.high
+        ratio = (lo / hi) ** a
+        return lo / (1.0 - u * (1.0 - ratio)) ** (1.0 / a)
+
+
+class Pareto(Distribution):
+    """Pareto (Type I) distribution with tail index ``alpha`` and scale ``xm``.
+
+    Models the extreme tails seen in interactive workloads (Shell: Cv = 15).
+    The variance only exists for alpha > 2.
+    """
+
+    def __init__(self, alpha: float, xm: float):
+        self.alpha = require_positive("alpha", alpha)
+        self.xm = require_positive("xm", xm)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        # Inverse transform: xm * U^(-1/alpha)
+        u = rng.random()
+        while u == 0.0:  # pragma: no cover - measure-zero guard
+            u = rng.random()
+        return float(self.xm * u ** (-1.0 / self.alpha))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        u = rng.random(size=n)
+        u[u == 0.0] = 0.5
+        return self.xm * u ** (-1.0 / self.alpha)
+
+    def mean(self) -> float:
+        if self.alpha <= 1:
+            raise DistributionError(f"Pareto mean undefined for alpha={self.alpha}")
+        return self.alpha * self.xm / (self.alpha - 1.0)
+
+    def variance(self) -> float:
+        if self.alpha <= 2:
+            raise DistributionError(
+                f"Pareto variance undefined for alpha={self.alpha}"
+            )
+        a = self.alpha
+        return self.xm * self.xm * a / ((a - 1.0) ** 2 * (a - 2.0))

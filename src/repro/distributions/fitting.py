@@ -1,0 +1,49 @@
+"""Moment-matching fitters.
+
+:func:`fit_mean_cv` is the workhorse behind our Table-1 substitution: given
+a published (mean, Cv) pair it picks an analytic shape whose first two
+moments match exactly:
+
+- Cv == 0  -> :class:`Deterministic`
+- Cv <  1  -> :class:`Gamma` (shape 1/Cv^2 > 1; smooth, light tail)
+- Cv == 1  -> :class:`Exponential`
+- Cv >  1  -> balanced-means :class:`HyperExponential` (heavy tail, the
+  conventional H2 stand-in for measured high-variance service times)
+
+The original workloads were captured on live servers and are not
+redistributable; matching moments preserves every behaviour the BigHouse
+statistics machinery is sensitive to (convergence time scales with output
+variance, Eqs. 2-3 / Fig. 8).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.distributions.base import Distribution, DistributionError, require_positive
+from repro.distributions.continuous import Deterministic, Exponential, Gamma
+from repro.distributions.hyperexponential import HyperExponential
+
+#: Cv values within this distance of 1.0 are treated as exponential.
+_EXPONENTIAL_TOLERANCE = 1e-9
+
+#: Cv values below this are numerically deterministic (cv**2 underflows
+#: and the Gamma shape 1/cv^2 overflows).
+_DETERMINISTIC_TOLERANCE = 1e-8
+
+
+def fit_mean_cv(mean: float, cv: float) -> Distribution:
+    """Return a distribution with exactly the given mean and Cv.
+
+    Raises :class:`DistributionError` for non-positive mean or negative Cv.
+    """
+    require_positive("mean", mean)
+    if cv < 0:
+        raise DistributionError(f"Cv must be >= 0, got {cv}")
+    if cv < _DETERMINISTIC_TOLERANCE:
+        return Deterministic(mean)
+    if math.isclose(cv, 1.0, rel_tol=0, abs_tol=_EXPONENTIAL_TOLERANCE):
+        return Exponential.from_mean(mean)
+    if cv < 1.0:
+        return Gamma.from_mean_cv(mean, cv)
+    return HyperExponential.from_mean_cv(mean, cv)

@@ -1,0 +1,37 @@
+"""Discrete-event simulation engine.
+
+A deliberately small, classic engine: a time-ordered event queue with
+cancellation (needed to re-schedule job completions when a server's speed
+changes under DVFS or DreamWeaver preemption), deterministic per-component
+random streams spawned from a single experiment seed, and an
+:class:`~repro.engine.experiment.Experiment` driver that advances events
+until every tracked output metric has converged (Section 2.3 of the
+paper) or a safety limit is hit.
+"""
+
+from repro.engine.events import Event, EventQueue, SimulationError
+from repro.engine.simulation import Simulation
+from repro.engine.experiment import Experiment, ExperimentResult
+from repro.engine.probes import CompletionProbe, PeriodicProbe, slowdown
+from repro.engine.report import (
+    estimate_to_dict,
+    load_result,
+    result_to_dict,
+    save_result,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SimulationError",
+    "Simulation",
+    "Experiment",
+    "ExperimentResult",
+    "PeriodicProbe",
+    "CompletionProbe",
+    "slowdown",
+    "estimate_to_dict",
+    "result_to_dict",
+    "save_result",
+    "load_result",
+]

@@ -1,0 +1,84 @@
+"""Event and event-queue primitives.
+
+The queue is a binary heap with lazy deletion: cancelling an event marks
+it dead and it is skipped on pop.  Lazy deletion keeps cancellation O(1),
+which matters because speed-rescaling servers (power capping at every
+one-second epoch across thousands of servers, Section 4.1) cancel and
+re-schedule completion events constantly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for impossible simulation states (time travel, dead events)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events compare by (time, sequence-number) so simultaneous events fire
+    in schedule order, keeping runs reproducible.
+    """
+
+    __slots__ = ("time", "seq", "callback", "label", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None], label: str):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event({self.label!r} @ {self.time:.6g}, {state})"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with O(1) cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events."""
+        return self._live
+
+    def schedule(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Insert an event; returns a handle usable with :meth:`cancel`."""
+        event = Event(time, next(self._counter), callback, label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Mark an event dead; it will be skipped when reached."""
+        if event.cancelled:
+            raise SimulationError(f"event already cancelled: {event!r}")
+        event.cancelled = True
+        self._live -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                self._live -= 1
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,292 @@
+"""The Experiment: a simulation run that stops at statistical convergence.
+
+This is the user-facing composition layer of BigHouse: describe a queuing
+network (sources, servers, balancers), declare output metrics with
+accuracy/confidence targets, and :meth:`Experiment.run` exercises the
+discrete-event simulation until every metric converges (Section 2.3) —
+or a safety bound (event count / virtual time) trips first, in which case
+the result is flagged unconverged rather than silently wrong.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Union
+
+from repro.core.collection import StatisticsCollection
+from repro.core.statistic import Estimate, Statistic
+from repro.datacenter.source import Source, TraceSource
+from repro.engine.simulation import Simulation
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run."""
+
+    estimates: Dict[str, Estimate]
+    converged: bool
+    events_processed: int
+    sim_time: float
+    wall_time: float
+    jobs_generated: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> Estimate:
+        return self.estimates[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.estimates
+
+
+class Experiment:
+    """A convergence-terminated stochastic queuing simulation.
+
+    Parameters mirror the knobs of the BigHouse statistics package and
+    become defaults for every metric tracked through this experiment:
+
+    - ``warmup_samples`` (Nw), ``calibration_samples`` (Nc = 5000),
+    - ``confidence`` (1 - alpha, default 95%),
+    - ``bins`` / ``max_lag`` for calibration,
+    - ``max_events`` / ``max_sim_time`` as safety bounds.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        warmup_samples: int = 1000,
+        calibration_samples: int = 5000,
+        confidence: float = 0.95,
+        bins: int = 1000,
+        max_lag: int = 50,
+        max_events: int = 50_000_000,
+        max_sim_time: Optional[float] = None,
+        convergence_check_interval: int = 256,
+    ):
+        self.simulation = Simulation(seed)
+        self.stats = StatisticsCollection()
+        self.seed = seed
+        self.warmup_samples = warmup_samples
+        self.calibration_samples = calibration_samples
+        self.confidence = confidence
+        self.bins = bins
+        self.max_lag = max_lag
+        self.max_events = max_events
+        self.max_sim_time = max_sim_time
+        self.convergence_check_interval = convergence_check_interval
+        self.sources: list = []
+        self._has_run = False
+
+    # -- topology -----------------------------------------------------------
+
+    def add_source(
+        self,
+        workload,
+        target,
+        draw_sizes: bool = True,
+        max_jobs: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> Source:
+        """Create and bind an open-loop source feeding ``target``."""
+        source = Source(
+            workload,
+            target,
+            draw_sizes=draw_sizes,
+            max_jobs=max_jobs,
+            name=name or f"source-{len(self.sources)}",
+        )
+        source.bind(self.simulation)
+        self.sources.append(source)
+        return source
+
+    def add_trace_source(self, trace, target, name: Optional[str] = None) -> TraceSource:
+        """Create and bind a trace-replay source feeding ``target``."""
+        source = TraceSource(trace, target, name=name or f"trace-{len(self.sources)}")
+        source.bind(self.simulation)
+        self.sources.append(source)
+        return source
+
+    def bind(self, component) -> None:
+        """Bind any component (server, balancer, cluster) to the clock."""
+        component.bind(self.simulation)
+
+    # -- metrics ----------------------------------------------------------------
+
+    def track(
+        self,
+        name: str,
+        mean_accuracy: Optional[float] = 0.05,
+        quantiles: Union[None, Mapping[float, float], Iterable] = None,
+        **overrides,
+    ) -> Statistic:
+        """Declare an output metric with this experiment's defaults.
+
+        Returns the :class:`Statistic`; feed it via :meth:`record`.
+        """
+        kwargs = dict(
+            mean_accuracy=mean_accuracy,
+            quantiles=quantiles,
+            confidence=self.confidence,
+            warmup_samples=self.warmup_samples,
+            calibration_samples=self.calibration_samples,
+            bins=self.bins,
+            max_lag=self.max_lag,
+        )
+        kwargs.update(overrides)
+        return self.stats.add(Statistic(name, **kwargs))
+
+    def record(self, name: str, value: float) -> None:
+        """Feed one observation to a tracked metric."""
+        self.stats.record(name, value)
+
+    def track_response_time(
+        self,
+        station,
+        name: str = "response_time",
+        mean_accuracy: Optional[float] = 0.05,
+        quantiles: Union[None, Mapping[float, float], Iterable] = None,
+        **overrides,
+    ) -> Statistic:
+        """Track job response time (finish - arrival) at a server/balancer."""
+        statistic = self.track(
+            name, mean_accuracy=mean_accuracy, quantiles=quantiles, **overrides
+        )
+        station.on_complete(
+            lambda job, server: self.record(name, job.response_time)
+        )
+        return statistic
+
+    def track_waiting_time(
+        self,
+        station,
+        name: str = "waiting_time",
+        mean_accuracy: Optional[float] = 0.05,
+        quantiles: Union[None, Mapping[float, float], Iterable] = None,
+        **overrides,
+    ) -> Statistic:
+        """Track queueing delay (start - arrival) at a server/balancer."""
+        statistic = self.track(
+            name, mean_accuracy=mean_accuracy, quantiles=quantiles, **overrides
+        )
+        station.on_complete(
+            lambda job, server: self.record(name, job.waiting_time)
+        )
+        return statistic
+
+    # -- running -------------------------------------------------------------------
+
+    def _run_loop(self, stop_when, max_events=None, max_sim_time=None) -> None:
+        budget = max_events if max_events is not None else self.max_events
+        horizon = max_sim_time if max_sim_time is not None else self.max_sim_time
+        remaining = budget - self.simulation.events_processed
+        if remaining <= 0:
+            return
+        self.simulation.run(
+            until=horizon,
+            max_events=remaining,
+            stop_when=stop_when,
+            stop_check_interval=self.convergence_check_interval,
+        )
+
+    def progress(self) -> Dict[str, Dict[str, float]]:
+        """Live progress snapshot per metric.
+
+        Each entry reports the phase, observation counts, the current
+        Eq. 2-3 sample-size requirement, and the achieved relative
+        accuracies — what a user polls to see how far a long simulation
+        is from terminating.
+        """
+        snapshot: Dict[str, Dict[str, float]] = {}
+        for statistic in self.stats:
+            required = statistic.required_sample_size()
+            entry = {
+                "phase": statistic.phase.value,
+                "observed": statistic.observed,
+                "accepted": statistic.accepted,
+                "required": required,
+                "lag": statistic.lag,
+            }
+            if required not in (0, math.inf):
+                entry["fraction_done"] = min(
+                    1.0, statistic.accepted / required
+                )
+            entry.update(statistic.achieved_accuracy())
+            snapshot[statistic.name] = entry
+        return snapshot
+
+    def run(
+        self,
+        max_events: Optional[int] = None,
+        max_sim_time: Optional[float] = None,
+    ) -> ExperimentResult:
+        """Run until every tracked metric converges (or a bound trips)."""
+        if not len(self.stats):
+            raise RuntimeError(
+                "experiment has no tracked metrics; call track()/"
+                "track_response_time() before run()"
+            )
+        started = time.perf_counter()
+        self._run_loop(
+            stop_when=lambda: self.stats.all_converged,
+            max_events=max_events,
+            max_sim_time=max_sim_time,
+        )
+        wall = time.perf_counter() - started
+        self._has_run = True
+        return ExperimentResult(
+            estimates=self.stats.report(),
+            converged=self.stats.all_converged,
+            events_processed=self.simulation.events_processed,
+            sim_time=self.simulation.now,
+            wall_time=wall,
+            jobs_generated=sum(source.generated for source in self.sources),
+        )
+
+    def run_until_calibrated(
+        self, max_events: Optional[int] = None
+    ) -> ExperimentResult:
+        """Run only through warm-up + calibration for every metric.
+
+        This is the master's first step in a parallel simulation (Fig. 3):
+        it needs the calibrated histogram bin schemes, nothing more.
+        """
+        if not len(self.stats):
+            raise RuntimeError("experiment has no tracked metrics")
+        started = time.perf_counter()
+        self._run_loop(
+            stop_when=lambda: self.stats.all_measuring,
+            max_events=max_events,
+        )
+        wall = time.perf_counter() - started
+        return ExperimentResult(
+            estimates=self.stats.report(),
+            converged=self.stats.all_converged,
+            events_processed=self.simulation.events_processed,
+            sim_time=self.simulation.now,
+            wall_time=wall,
+            jobs_generated=sum(source.generated for source in self.sources),
+        )
+
+    def run_until_accepted(
+        self, additional: int, max_events: Optional[int] = None
+    ) -> ExperimentResult:
+        """Run until ``additional`` more observations have been accepted
+        across all metrics (a slave measurement chunk, Fig. 3)."""
+        if additional < 1:
+            raise ValueError(f"additional must be >= 1, got {additional}")
+        target = self.stats.total_accepted + additional
+        started = time.perf_counter()
+        self._run_loop(
+            stop_when=lambda: self.stats.total_accepted >= target,
+            max_events=max_events,
+        )
+        wall = time.perf_counter() - started
+        return ExperimentResult(
+            estimates=self.stats.report(),
+            converged=self.stats.all_converged,
+            events_processed=self.simulation.events_processed,
+            sim_time=self.simulation.now,
+            wall_time=wall,
+            jobs_generated=sum(source.generated for source in self.sources),
+        )

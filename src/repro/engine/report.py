@@ -1,0 +1,73 @@
+"""Result serialization: experiment outcomes as plain JSON.
+
+Long parameter sweeps (every benchmark in this repo) want results on
+disk in a tool-agnostic form.  ``result_to_dict`` flattens an
+:class:`~repro.engine.experiment.ExperimentResult` (or a parallel /
+replicated result) into JSON-safe plain data; ``save_result`` /
+``load_result`` are the file-shaped conveniences.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.statistic import Estimate
+from repro.engine.experiment import ExperimentResult
+
+
+def estimate_to_dict(estimate: Estimate) -> dict:
+    """One metric's estimate as plain data."""
+    return {
+        "name": estimate.name,
+        "phase": estimate.phase.value,
+        "converged": estimate.converged,
+        "lag": estimate.lag,
+        "accepted": estimate.accepted,
+        "observed": estimate.observed,
+        "mean": estimate.mean,
+        "std": estimate.std,
+        "mean_ci": list(estimate.mean_ci) if estimate.mean_ci else None,
+        "quantiles": {str(q): value for q, value in estimate.quantiles.items()},
+        "quantile_ci": {
+            str(q): list(interval)
+            for q, interval in estimate.quantile_ci.items()
+        },
+    }
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """A full experiment outcome as plain data."""
+    return {
+        "converged": result.converged,
+        "events_processed": result.events_processed,
+        "sim_time": result.sim_time,
+        "wall_time": result.wall_time,
+        "jobs_generated": result.jobs_generated,
+        "extras": dict(result.extras),
+        "metrics": {
+            name: estimate_to_dict(estimate)
+            for name, estimate in result.estimates.items()
+        },
+    }
+
+
+def save_result(result: ExperimentResult, path: Union[str, Path]) -> Path:
+    """Write a result as indented JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(result_to_dict(result), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_result(path: Union[str, Path]) -> dict:
+    """Read a saved result back as the plain-dict form.
+
+    (Deliberately not reconstructed into live objects: a saved result is
+    a report, not a resumable simulation.)
+    """
+    with Path(path).open() as handle:
+        return json.load(handle)

@@ -1,0 +1,146 @@
+"""The simulation clock + event loop, separated from experiment policy.
+
+:class:`Simulation` knows how to advance virtual time and dispatch events;
+it knows nothing about convergence, workloads, or servers.  The
+:class:`~repro.engine.experiment.Experiment` layer composes it with the
+statistics package.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.engine.events import Event, EventQueue, SimulationError
+
+
+class Simulation:
+    """Virtual clock, event queue, and deterministic RNG streams."""
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.events = EventQueue()
+        self.events_processed: int = 0
+        self._seed_sequence = np.random.SeedSequence(seed)
+        self._periodic_handles: list[Event] = []
+        self._trace: Optional[deque] = None
+
+    # -- debug tracing -------------------------------------------------------
+
+    def enable_tracing(self, capacity: int = 1000) -> None:
+        """Record the last ``capacity`` processed events for debugging.
+
+        Each entry is ``(time, label)``; inspect with :meth:`trace`.
+        Tracing costs one append per event — leave it off in production
+        runs.
+        """
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self._trace = deque(maxlen=capacity)
+
+    def trace(self) -> list:
+        """The recorded (time, label) pairs, oldest first."""
+        if self._trace is None:
+            raise SimulationError("tracing not enabled; call enable_tracing()")
+        return list(self._trace)
+
+    # -- randomness --------------------------------------------------------
+
+    def spawn_rng(self) -> np.random.Generator:
+        """A fresh, independent random stream for one component.
+
+        Every component (arrival process, service draws, policy noise)
+        gets its own stream so adding a component never perturbs the
+        draws of existing components — the standard variance-reduction
+        discipline for queuing simulation.
+        """
+        (child,) = self._seed_sequence.spawn(1)
+        return np.random.default_rng(child)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time} < now {self.now}"
+            )
+        return self.events.schedule(time, callback, label)
+
+    def schedule_in(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.events.schedule(self.now + delay, callback, label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (used for completion re-scheduling)."""
+        self.events.cancel(event)
+
+    def schedule_periodic(
+        self, period: float, callback: Callable[[], None], label: str = ""
+    ) -> None:
+        """Fire ``callback`` every ``period`` time units, forever.
+
+        Used by the power-capping budgeting epoch ("budgets are calculated
+        every second", Section 4.1).
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be > 0: {period}")
+
+        def tick() -> None:
+            callback()
+            handle = self.schedule_in(period, tick, label)
+            self._periodic_handles.append(handle)
+
+        handle = self.schedule_in(period, tick, label)
+        self._periodic_handles.append(handle)
+
+    # -- event loop ---------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process one event.  Returns False when the queue is empty."""
+        event = self.events.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SimulationError(
+                f"time went backwards: event at {event.time}, now {self.now}"
+            )
+        self.now = event.time
+        self.events_processed += 1
+        if self._trace is not None:
+            self._trace.append((event.time, event.label))
+        event.callback()
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+        stop_check_interval: int = 256,
+    ) -> None:
+        """Run the loop until a bound is reached.
+
+        ``stop_when`` is polled every ``stop_check_interval`` events; the
+        Experiment layer passes the statistics-convergence check here so
+        that the convergence test itself does not dominate runtime.
+        """
+        processed = 0
+        while True:
+            if until is not None:
+                next_time = self.events.peek_time()
+                if next_time is None or next_time > until:
+                    self.now = until if next_time is None or until < next_time else self.now
+                    return
+            if max_events is not None and processed >= max_events:
+                return
+            if not self.step():
+                return
+            processed += 1
+            if stop_when is not None and processed % stop_check_interval == 0:
+                if stop_when():
+                    return

@@ -1,0 +1,38 @@
+"""Distributed (master/slave) simulation — Fig. 3 of the paper.
+
+BigHouse parallelizes *measurement*, not the event loop: a master runs
+warm-up + calibration once and fixes the histogram bin scheme; each slave
+then runs an independent replica of the simulation under a unique random
+seed (its own warm-up, its own lag calibration) and streams accepted
+observations into a local histogram.  The master monitors the aggregate
+accepted-sample size, signals convergence when Eqs. 2-3 are satisfied by
+the merged sample, and reduces the slave histograms into final estimates
+— "a single program executed with high fan-out ... After completion,
+their results are then merged (map/reduce)".
+
+Because each slave must burn its own warm-up + 5000-observation
+calibration before contributing samples, calibration is the Amdahl
+bottleneck that limits speedup beyond ~16 slaves (Fig. 10).
+
+Backends: ``serial`` (in-process, deterministic, used in tests) and
+``process`` (one OS process per slave via :mod:`multiprocessing`).
+"""
+
+from repro.parallel.protocol import MetricTargets, SlaveReport, ParallelError
+from repro.parallel.master import ParallelResult, ParallelSimulation
+from repro.parallel.replications import (
+    ReplicatedEstimate,
+    ReplicationResult,
+    run_replications,
+)
+
+__all__ = [
+    "MetricTargets",
+    "SlaveReport",
+    "ParallelError",
+    "ParallelResult",
+    "ParallelSimulation",
+    "ReplicatedEstimate",
+    "ReplicationResult",
+    "run_replications",
+]

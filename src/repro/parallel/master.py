@@ -1,0 +1,364 @@
+"""The parallel master and its two slave backends.
+
+Protocol (Fig. 3):
+
+1. master runs warm-up + calibration of a serial instance, fixing the
+   histogram bin scheme per metric;
+2. the bin schemes are broadcast; every slave builds its *own* replica of
+   the experiment under a unique seed and runs its own warm-up +
+   calibration (lag only — the scheme is imposed);
+3. slaves measure in chunks, reporting their full local histograms;
+4. the master merges the histograms after each round and signals stop as
+   soon as the merged (aggregate) sample satisfies Eqs. 2-3;
+5. final estimates are read off the merged histograms.
+
+The experiment ``factory`` must be a callable ``factory(seed, **kwargs)
+-> Experiment`` that declares the same metrics every time.  For the
+``process`` backend it must be picklable (a module-level function).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.convergence import is_converged, summarize_histogram
+from repro.core.histogram import Histogram
+from repro.core.statistic import Estimate, Phase
+from repro.engine.experiment import Experiment
+from repro.parallel.protocol import (
+    MetricTargets,
+    ParallelError,
+    SlaveReport,
+    scheme_from_payload,
+    scheme_payload,
+)
+
+#: Multiplier used to derive distinct slave seeds from the master seed.
+_SEED_STRIDE = 0x9E3779B9
+
+
+def slave_seed(master_seed: int, slave_id: int) -> int:
+    """Deterministic, distinct seed for each slave (unique-seed rule)."""
+    return (master_seed + _SEED_STRIDE * (slave_id + 1)) & 0x7FFFFFFF
+
+
+def build_slave_experiment(
+    factory: Callable[..., Experiment],
+    factory_kwargs: dict,
+    seed: int,
+    schemes: Dict[str, tuple],
+) -> Experiment:
+    """Instantiate a slave replica with the master's bin schemes imposed."""
+    experiment = factory(seed=seed, **factory_kwargs)
+    for name, payload in schemes.items():
+        if name not in experiment.stats:
+            raise ParallelError(
+                f"factory did not declare metric {name!r} for seed {seed}"
+            )
+        experiment.stats[name].fixed_scheme = scheme_from_payload(payload)
+    return experiment
+
+
+def _slave_report(experiment: Experiment, slave_id: int) -> SlaveReport:
+    histograms = {}
+    lags = {}
+    for statistic in experiment.stats:
+        if statistic.histogram is not None:
+            histograms[statistic.name] = statistic.histogram.to_payload()
+        lags[statistic.name] = statistic.lag
+    return SlaveReport(
+        slave_id=slave_id,
+        histograms=histograms,
+        events_processed=experiment.simulation.events_processed,
+        sim_time=experiment.simulation.now,
+        total_accepted=experiment.stats.total_accepted,
+        lags=lags,
+    )
+
+
+def _process_slave_main(
+    conn,
+    factory,
+    factory_kwargs,
+    seed,
+    schemes,
+    chunk_size,
+    max_events_per_chunk,
+    slave_id,
+):
+    """Entry point of one slave process: chunked measure/report loop."""
+    experiment = build_slave_experiment(factory, factory_kwargs, seed, schemes)
+    while True:
+        command = conn.recv()
+        if command == "stop":
+            conn.close()
+            return
+        if command != "chunk":  # pragma: no cover - protocol guard
+            raise ParallelError(f"unknown command: {command!r}")
+        experiment.run_until_accepted(
+            chunk_size, max_events=max_events_per_chunk
+        )
+        conn.send(_slave_report(experiment, slave_id))
+
+
+@dataclass
+class ParallelResult:
+    """Outcome of a distributed simulation."""
+
+    estimates: Dict[str, Estimate]
+    converged: bool
+    n_slaves: int
+    rounds: int
+    master_events: int
+    slave_events: List[int]
+    total_accepted: int
+    wall_time: float
+    master_wall_time: float
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> Estimate:
+        return self.estimates[name]
+
+    @property
+    def total_events(self) -> int:
+        """Events simulated across master + all slaves."""
+        return self.master_events + sum(self.slave_events)
+
+
+class ParallelSimulation:
+    """Master orchestration of a distributed BigHouse run.
+
+    Parameters
+    ----------
+    factory:
+        ``factory(seed, **factory_kwargs) -> Experiment``; must declare
+        identical metrics on every call.
+    n_slaves:
+        Number of measurement replicas.
+    backend:
+        ``"serial"`` (in-process round-robin; deterministic) or
+        ``"process"`` (one OS process per slave).
+    chunk_size:
+        Accepted observations per slave per round between merges.
+    max_rounds:
+        Safety bound on measure/merge rounds.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[..., Experiment],
+        factory_kwargs: Optional[dict] = None,
+        n_slaves: int = 4,
+        master_seed: int = 0,
+        chunk_size: int = 2000,
+        backend: str = "serial",
+        max_rounds: int = 10_000,
+        max_events_per_chunk: int = 10_000_000,
+    ):
+        if n_slaves < 1:
+            raise ParallelError(f"need >= 1 slave, got {n_slaves}")
+        if chunk_size < 1:
+            raise ParallelError(f"chunk_size must be >= 1, got {chunk_size}")
+        if backend not in ("serial", "process"):
+            raise ParallelError(f"unknown backend {backend!r}")
+        self.factory = factory
+        self.factory_kwargs = dict(factory_kwargs or {})
+        self.n_slaves = n_slaves
+        self.master_seed = master_seed
+        self.chunk_size = chunk_size
+        self.backend = backend
+        self.max_rounds = max_rounds
+        self.max_events_per_chunk = max_events_per_chunk
+
+    # -- master steps ----------------------------------------------------------
+
+    def _calibrate_master(self):
+        master = self.factory(seed=self.master_seed, **self.factory_kwargs)
+        master.run_until_calibrated()
+        for statistic in master.stats:
+            if statistic.phase not in (Phase.MEASUREMENT, Phase.CONVERGED):
+                raise ParallelError(
+                    f"master failed to calibrate metric {statistic.name!r} "
+                    f"(stuck in {statistic.phase.value})"
+                )
+        schemes = {
+            statistic.name: scheme_payload(statistic.histogram.scheme)
+            for statistic in master.stats
+        }
+        targets = {
+            statistic.name: MetricTargets.from_statistic(statistic)
+            for statistic in master.stats
+        }
+        return master, schemes, targets
+
+    @staticmethod
+    def _merge_reports(
+        reports: List[SlaveReport], schemes: Dict[str, tuple]
+    ) -> Dict[str, Histogram]:
+        merged: Dict[str, Histogram] = {}
+        for name, payload in schemes.items():
+            merged[name] = Histogram(scheme_from_payload(payload))
+        for report in reports:
+            for name in schemes:
+                if name in report.histograms:
+                    merged[name].merge(report.histogram(name))
+        return merged
+
+    @staticmethod
+    def _all_converged(
+        merged: Dict[str, Histogram], targets: Dict[str, MetricTargets]
+    ) -> bool:
+        return all(
+            is_converged(
+                merged[name],
+                target.mean_accuracy,
+                target.quantile_dict,
+                target.confidence,
+                target.min_accepted,
+            )
+            for name, target in targets.items()
+        )
+
+    @staticmethod
+    def _estimates(
+        merged: Dict[str, Histogram],
+        targets: Dict[str, MetricTargets],
+        converged: bool,
+    ) -> Dict[str, Estimate]:
+        estimates = {}
+        for name, target in targets.items():
+            histogram = merged[name]
+            estimate = Estimate(
+                name=name,
+                phase=Phase.CONVERGED if converged else Phase.MEASUREMENT,
+                converged=converged,
+                lag=None,
+                accepted=histogram.count,
+                observed=histogram.count,
+            )
+            if histogram.count:
+                (
+                    estimate.mean,
+                    estimate.std,
+                    estimate.quantiles,
+                    estimate.mean_ci,
+                    estimate.quantile_ci,
+                ) = summarize_histogram(
+                    histogram, target.quantile_dict, target.confidence
+                )
+            estimates[name] = estimate
+        return estimates
+
+    # -- backends -------------------------------------------------------------------
+
+    def run(self) -> ParallelResult:
+        """Execute the full master/slave protocol."""
+        started = time.perf_counter()
+        master, schemes, targets = self._calibrate_master()
+        master_wall = time.perf_counter() - started
+        if self.backend == "serial":
+            result = self._run_serial(schemes, targets)
+        else:
+            result = self._run_process(schemes, targets)
+        result.master_events = master.simulation.events_processed
+        result.master_wall_time = master_wall
+        result.wall_time = time.perf_counter() - started
+        return result
+
+    def _run_serial(self, schemes, targets) -> ParallelResult:
+        slaves = [
+            build_slave_experiment(
+                self.factory,
+                self.factory_kwargs,
+                slave_seed(self.master_seed, slave_id),
+                schemes,
+            )
+            for slave_id in range(self.n_slaves)
+        ]
+        rounds = 0
+        converged = False
+        reports: List[SlaveReport] = []
+        merged: Dict[str, Histogram] = self._merge_reports([], schemes)
+        while rounds < self.max_rounds and not converged:
+            rounds += 1
+            reports = []
+            for slave_id, slave in enumerate(slaves):
+                slave.run_until_accepted(
+                    self.chunk_size, max_events=self.max_events_per_chunk
+                )
+                reports.append(_slave_report(slave, slave_id))
+            merged = self._merge_reports(reports, schemes)
+            converged = self._all_converged(merged, targets)
+        return ParallelResult(
+            estimates=self._estimates(merged, targets, converged),
+            converged=converged,
+            n_slaves=self.n_slaves,
+            rounds=rounds,
+            master_events=0,
+            slave_events=[report.events_processed for report in reports],
+            total_accepted=sum(report.total_accepted for report in reports),
+            wall_time=0.0,
+            master_wall_time=0.0,
+        )
+
+    def _run_process(self, schemes, targets) -> ParallelResult:
+        context = multiprocessing.get_context("fork")
+        pipes = []
+        processes = []
+        for slave_id in range(self.n_slaves):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_process_slave_main,
+                args=(
+                    child_conn,
+                    self.factory,
+                    self.factory_kwargs,
+                    slave_seed(self.master_seed, slave_id),
+                    schemes,
+                    self.chunk_size,
+                    self.max_events_per_chunk,
+                    slave_id,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            pipes.append(parent_conn)
+            processes.append(process)
+        rounds = 0
+        converged = False
+        reports: List[SlaveReport] = []
+        merged: Dict[str, Histogram] = self._merge_reports([], schemes)
+        try:
+            while rounds < self.max_rounds and not converged:
+                rounds += 1
+                for pipe in pipes:
+                    pipe.send("chunk")
+                reports = [pipe.recv() for pipe in pipes]
+                merged = self._merge_reports(reports, schemes)
+                converged = self._all_converged(merged, targets)
+        finally:
+            for pipe in pipes:
+                try:
+                    pipe.send("stop")
+                    pipe.close()
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    pass
+            for process in processes:
+                process.join(timeout=30)
+                if process.is_alive():  # pragma: no cover - hung slave
+                    process.terminate()
+        return ParallelResult(
+            estimates=self._estimates(merged, targets, converged),
+            converged=converged,
+            n_slaves=self.n_slaves,
+            rounds=rounds,
+            master_events=0,
+            slave_events=[report.events_processed for report in reports],
+            total_accepted=sum(report.total_accepted for report in reports),
+            wall_time=0.0,
+            master_wall_time=0.0,
+        )

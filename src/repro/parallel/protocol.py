@@ -1,0 +1,73 @@
+"""Wire-format objects exchanged between master and slaves.
+
+Everything here is plain data (picklable, no live simulation state): the
+master broadcasts bin schemes + metric targets; slaves report their full
+local histograms each round (idempotent full-state reports make the
+merge trivially restartable — the master just re-sums).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.histogram import BinScheme, Histogram
+from repro.core.statistic import Statistic
+
+
+class ParallelError(RuntimeError):
+    """Raised for parallel-protocol failures."""
+
+
+@dataclass(frozen=True)
+class MetricTargets:
+    """Convergence targets for one metric, detached from its Statistic."""
+
+    name: str
+    mean_accuracy: Optional[float]
+    quantile_targets: Tuple[Tuple[float, float], ...]
+    confidence: float
+    min_accepted: int
+
+    @classmethod
+    def from_statistic(cls, statistic: Statistic) -> "MetricTargets":
+        """Snapshot the targets of a live statistic."""
+        return cls(
+            name=statistic.name,
+            mean_accuracy=statistic.mean_accuracy,
+            quantile_targets=tuple(sorted(statistic.quantile_targets.items())),
+            confidence=statistic.confidence,
+            min_accepted=statistic.min_accepted,
+        )
+
+    @property
+    def quantile_dict(self) -> Dict[float, float]:
+        """Targets as the mapping form the convergence functions expect."""
+        return dict(self.quantile_targets)
+
+
+@dataclass
+class SlaveReport:
+    """One measurement-round report from a slave: full local state."""
+
+    slave_id: int
+    histograms: Dict[str, dict]  # name -> Histogram.to_payload()
+    events_processed: int
+    sim_time: float
+    total_accepted: int
+    lags: Dict[str, Optional[int]] = field(default_factory=dict)
+
+    def histogram(self, name: str) -> Histogram:
+        """Materialize one reported histogram."""
+        return Histogram.from_payload(self.histograms[name])
+
+
+def scheme_payload(scheme: BinScheme) -> Tuple[float, float, int]:
+    """BinScheme -> plain tuple for broadcast."""
+    return (scheme.low, scheme.high, scheme.bins)
+
+
+def scheme_from_payload(payload: Tuple[float, float, int]) -> BinScheme:
+    """Inverse of :func:`scheme_payload`."""
+    low, high, bins = payload
+    return BinScheme(low=low, high=high, bins=bins)

@@ -1,0 +1,14 @@
+"""Scheduling policies layered on the server model.
+
+:class:`DreamWeaver` reproduces the Section-3.2 case study: a scheduler
+that coalesces idle periods across the cores of a many-core server so the
+whole system can enter a deep sleep mode (PowerNap), trading bounded
+per-request delay for full-system idleness.  With ``delay_threshold=0``
+it degenerates to plain PowerNap (sleep only when totally idle, wake on
+first arrival), which serves as the baseline.
+"""
+
+from repro.policies.dreamweaver import DreamWeaver, DreamWeaverError, PolicyState
+from repro.policies.governor import OndemandGovernor
+
+__all__ = ["DreamWeaver", "DreamWeaverError", "PolicyState", "OndemandGovernor"]

@@ -1,0 +1,99 @@
+"""DVFS performance model (Eq. 6) and the server/DVFS coupling.
+
+Eq. 6 of the paper: under DVFS at frequency ``f``, the service rate is
+
+    mu' = mu * alpha * (f / f_max) + mu * (1 - alpha)
+
+for an application that is ``alpha`` CPU-bound; the paper assumes
+alpha = 0.9, "typical of a CPU-intense application (e.g., LINPACK)".
+The server's ``speed`` multiplier is therefore
+``alpha * f/f_max + (1 - alpha)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.datacenter.server import Server
+from repro.power.models import PowerModel, PowerModelError
+
+
+class DVFSPerformanceModel:
+    """Frequency -> service-speed mapping of Eq. 6."""
+
+    def __init__(self, alpha: float = 0.9, f_max: float = 1.0, f_min: float = 0.5):
+        if not 0.0 <= alpha <= 1.0:
+            raise PowerModelError(f"alpha must be in [0, 1], got {alpha}")
+        if f_max <= 0:
+            raise PowerModelError(f"f_max must be > 0, got {f_max}")
+        if not 0.0 < f_min <= f_max:
+            raise PowerModelError(
+                f"f_min must be in (0, f_max={f_max}], got {f_min}"
+            )
+        self.alpha = float(alpha)
+        self.f_max = float(f_max)
+        self.f_min = float(f_min)
+
+    def speed(self, frequency: float) -> float:
+        """Service-rate multiplier at ``frequency`` (1.0 at f_max)."""
+        if not self.f_min <= frequency <= self.f_max:
+            raise PowerModelError(
+                f"frequency must be in [{self.f_min}, {self.f_max}], "
+                f"got {frequency}"
+            )
+        return self.alpha * frequency / self.f_max + (1.0 - self.alpha)
+
+    def clamp(self, frequency: float) -> float:
+        """Clamp a requested frequency into the platform's DVFS range."""
+        return min(self.f_max, max(self.f_min, frequency))
+
+
+class ServerDVFS:
+    """Couples a server to power and performance models.
+
+    Setting :attr:`frequency` re-scales the server's service speed via
+    Eq. 6; :meth:`power_now` evaluates the power model at the server's
+    instantaneous utilization.  Frequency-change listeners let energy
+    meters re-integrate at each setting change.
+    """
+
+    def __init__(
+        self,
+        server: Server,
+        power_model: PowerModel,
+        perf_model: Optional[DVFSPerformanceModel] = None,
+    ):
+        self.server = server
+        self.power_model = power_model
+        self.perf_model = perf_model if perf_model is not None else DVFSPerformanceModel()
+        self._frequency = self.perf_model.f_max
+        self._listeners: list[Callable[["ServerDVFS"], None]] = []
+
+    @property
+    def frequency(self) -> float:
+        """Current DVFS setting."""
+        return self._frequency
+
+    def set_frequency(self, frequency: float) -> None:
+        """Apply a DVFS setting (clamped to the platform range)."""
+        frequency = self.perf_model.clamp(frequency)
+        if frequency == self._frequency:
+            return
+        self._frequency = frequency
+        self.server.set_speed(self.perf_model.speed(frequency))
+        for listener in self._listeners:
+            listener(self)
+
+    def on_frequency_change(self, listener: Callable[["ServerDVFS"], None]) -> None:
+        """Call ``listener(self)`` after each frequency change."""
+        self._listeners.append(listener)
+
+    def power_now(self) -> float:
+        """Power at the instantaneous utilization and current frequency."""
+        return self.power_model.power(self.server.utilization_now(), self._frequency)
+
+    def power_at(self, utilization: float, frequency: Optional[float] = None) -> float:
+        """Power at an explicit utilization (epoch-averaged) and frequency."""
+        if frequency is None:
+            frequency = self._frequency
+        return self.power_model.power(utilization, frequency)

@@ -1,0 +1,70 @@
+"""Event-driven energy accounting.
+
+Integrates a server's power piecewise between state changes (occupancy or
+DVFS frequency), so the integral is exact for piecewise-constant power —
+no sampling error, no periodic events on the queue.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datacenter.server import Server
+from repro.power.dvfs import ServerDVFS
+from repro.power.models import PowerModel
+
+
+class EnergyMeter:
+    """Exact energy integral for one server.
+
+    Attach either to a bare server with a :class:`PowerModel` (frequency
+    pinned at 1.0) or to a :class:`ServerDVFS` coupling, in which case
+    frequency changes also trigger re-integration.
+    """
+
+    def __init__(
+        self,
+        server: Server,
+        power_model: Optional[PowerModel] = None,
+        dvfs: Optional[ServerDVFS] = None,
+    ):
+        if (power_model is None) == (dvfs is None):
+            raise ValueError("provide exactly one of power_model or dvfs")
+        if server.sim is None:
+            raise ValueError("bind the server to a simulation before metering")
+        self.server = server
+        self.dvfs = dvfs
+        self.power_model = dvfs.power_model if dvfs is not None else power_model
+        self._energy = 0.0
+        self._last_time = server.sim.now
+        self._last_power = self._power_now()
+        server.on_occupancy_change(lambda _server: self._integrate())
+        if dvfs is not None:
+            dvfs.on_frequency_change(lambda _dvfs: self._integrate())
+
+    def _power_now(self) -> float:
+        if self.dvfs is not None:
+            return self.dvfs.power_now()
+        return self.power_model.power(self.server.utilization_now())
+
+    def _integrate(self) -> None:
+        now = self.server.sim.now
+        dt = now - self._last_time
+        if dt > 0:
+            self._energy += self._last_power * dt
+        self._last_time = now
+        self._last_power = self._power_now()
+
+    @property
+    def energy_joules(self) -> float:
+        """Energy consumed up to the current simulation time."""
+        self._integrate()
+        return self._energy
+
+    def average_power(self) -> float:
+        """Mean power since the start of metering."""
+        self._integrate()
+        elapsed = self.server.sim.now
+        if elapsed <= 0:
+            return self._last_power
+        return self._energy / elapsed

@@ -1,0 +1,150 @@
+"""Server power models (Eqs. 4-5 of the paper).
+
+The paper's power capping example uses "the linear model validated by
+[15] and [31]": total power is idle power plus a dynamic range scaled by
+utilization, and under DVFS the CPU's dynamic contribution scales with
+the cube of frequency ("we assume the classic cubic scaling").  Typical
+parameter values come from industry server specs [5]; we default to a
+300 W peak / 150 W idle envelope representative of the Barroso & Hölzle
+numbers the paper cites.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class PowerModelError(ValueError):
+    """Raised for invalid power-model parameters or inputs."""
+
+
+def _check_utilization(utilization: float) -> float:
+    if not 0.0 <= utilization <= 1.0:
+        raise PowerModelError(f"utilization must be in [0, 1], got {utilization}")
+    return float(utilization)
+
+
+class PowerModel(abc.ABC):
+    """Maps (utilization, frequency) to instantaneous power in watts."""
+
+    @abc.abstractmethod
+    def power(self, utilization: float, frequency: float = 1.0) -> float:
+        """Instantaneous power draw."""
+
+    @abc.abstractmethod
+    def peak_power(self) -> float:
+        """Power at full utilization and full frequency."""
+
+
+class LinearPowerModel(PowerModel):
+    """Eq. 4: ``P = P_dynamic * U + P_idle`` (frequency-insensitive)."""
+
+    def __init__(self, idle_power: float = 150.0, peak_power: float = 300.0):
+        if idle_power < 0:
+            raise PowerModelError(f"idle_power must be >= 0, got {idle_power}")
+        if peak_power < idle_power:
+            raise PowerModelError(
+                f"peak_power ({peak_power}) must be >= idle_power ({idle_power})"
+            )
+        self.idle_power = float(idle_power)
+        self.dynamic_power = float(peak_power) - float(idle_power)
+
+    def power(self, utilization: float, frequency: float = 1.0) -> float:
+        utilization = _check_utilization(utilization)
+        return self.idle_power + self.dynamic_power * utilization
+
+    def peak_power(self) -> float:
+        return self.idle_power + self.dynamic_power
+
+
+class CubicDVFSPowerModel(PowerModel):
+    """Eqs. 4+5: linear in utilization, cubic in DVFS frequency.
+
+    ``P(U, f) = P_idle + P_dynamic * U * (f / f_max)^3`` — the paper's
+    simplifying assumption that the CPU is the only component with a
+    dynamic range, scaled cubically by idealized continuous DVFS.
+    """
+
+    def __init__(
+        self,
+        idle_power: float = 150.0,
+        peak_power: float = 300.0,
+        f_max: float = 1.0,
+    ):
+        if idle_power < 0:
+            raise PowerModelError(f"idle_power must be >= 0, got {idle_power}")
+        if peak_power < idle_power:
+            raise PowerModelError(
+                f"peak_power ({peak_power}) must be >= idle_power ({idle_power})"
+            )
+        if f_max <= 0:
+            raise PowerModelError(f"f_max must be > 0, got {f_max}")
+        self.idle_power = float(idle_power)
+        self.dynamic_power = float(peak_power) - float(idle_power)
+        self.f_max = float(f_max)
+
+    def power(self, utilization: float, frequency: float = 1.0) -> float:
+        utilization = _check_utilization(utilization)
+        if frequency <= 0 or frequency > self.f_max:
+            raise PowerModelError(
+                f"frequency must be in (0, {self.f_max}], got {frequency}"
+            )
+        ratio = frequency / self.f_max
+        return self.idle_power + self.dynamic_power * utilization * ratio**3
+
+    def peak_power(self) -> float:
+        return self.idle_power + self.dynamic_power
+
+    def frequency_for_budget(self, utilization: float, budget: float) -> float:
+        """Largest frequency keeping power within ``budget`` at ``utilization``.
+
+        Inverts Eq. 4+5.  Returns ``f_max`` when the budget is not
+        binding; never returns below zero — the caller clamps to the
+        platform's ``f_min`` (the paper scales f continuously in
+        [0.5, 1.0]).
+        """
+        utilization = _check_utilization(utilization)
+        if budget < 0:
+            raise PowerModelError(f"budget must be >= 0, got {budget}")
+        headroom = budget - self.idle_power
+        demand = self.dynamic_power * utilization
+        if demand <= 0 or headroom >= demand:
+            return self.f_max
+        if headroom <= 0:
+            return 0.0
+        return self.f_max * (headroom / demand) ** (1.0 / 3.0)
+
+
+class NapPowerModel(PowerModel):
+    """Two-state power: active (linear in U) vs nap (deep sleep).
+
+    Models PowerNap-style full-system idle low-power modes used by the
+    DreamWeaver study (Section 3.2): while napping the server draws
+    ``nap_power`` regardless of queued work.
+    """
+
+    def __init__(
+        self,
+        idle_power: float = 150.0,
+        peak_power: float = 300.0,
+        nap_power: float = 10.0,
+    ):
+        if nap_power < 0:
+            raise PowerModelError(f"nap_power must be >= 0, got {nap_power}")
+        if nap_power > idle_power:
+            raise PowerModelError(
+                f"nap_power ({nap_power}) should not exceed idle power "
+                f"({idle_power}) — napping must save energy"
+            )
+        self.active = LinearPowerModel(idle_power, peak_power)
+        self.nap_power = float(nap_power)
+
+    def power(
+        self, utilization: float, frequency: float = 1.0, napping: bool = False
+    ) -> float:
+        if napping:
+            return self.nap_power
+        return self.active.power(utilization, frequency)
+
+    def peak_power(self) -> float:
+        return self.active.peak_power()

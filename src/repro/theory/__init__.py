@@ -1,0 +1,39 @@
+"""Closed-form queuing theory — the pen-and-paper baseline.
+
+The paper motivates simulation by the *failure* of analytic models:
+M/M/1-style formulas assume exponential inter-arrivals and services,
+G/G/k has no closed form, and few-moment approximations are often
+inadequate (Gupta et al. [18]).  This package provides the standard
+closed forms and approximations so that
+
+- the test suite can pin the simulator against exact results
+  (M/M/1, M/M/k, M/G/1), and
+- users can quantify, for their own workloads, how far the convenient
+  analytic answer sits from the simulated one (the Fig. 5 exercise).
+"""
+
+from repro.theory.queues import (
+    TheoryError,
+    erlang_c,
+    mg1_mean_response,
+    mg1_mean_waiting,
+    mm1_mean_response,
+    mm1_mean_waiting,
+    mm1_quantile_response,
+    mmk_mean_response,
+    mmk_mean_waiting,
+    gg1_mean_waiting_approx,
+)
+
+__all__ = [
+    "TheoryError",
+    "mm1_mean_response",
+    "mm1_mean_waiting",
+    "mm1_quantile_response",
+    "erlang_c",
+    "mmk_mean_waiting",
+    "mmk_mean_response",
+    "mg1_mean_waiting",
+    "mg1_mean_response",
+    "gg1_mean_waiting_approx",
+]

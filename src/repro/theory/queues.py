@@ -1,0 +1,120 @@
+"""Closed-form results for the classic queueing models.
+
+Notation: arrival rate ``lam``, per-server service rate ``mu``,
+``k`` servers, utilization ``rho = lam / (k mu)``.  All formulas assume
+stability (``rho < 1``) and raise :class:`TheoryError` otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.distributions.base import Distribution
+
+
+class TheoryError(ValueError):
+    """Raised for unstable or invalid queueing parameters."""
+
+
+def _check_rates(lam: float, mu: float, k: int = 1) -> float:
+    if lam <= 0 or mu <= 0:
+        raise TheoryError(f"rates must be > 0: lam={lam}, mu={mu}")
+    if k < 1:
+        raise TheoryError(f"need k >= 1 servers, got {k}")
+    rho = lam / (k * mu)
+    if rho >= 1.0:
+        raise TheoryError(f"unstable queue: rho = {rho:.3f} >= 1")
+    return rho
+
+
+# -- M/M/1 -----------------------------------------------------------------
+
+
+def mm1_mean_response(lam: float, mu: float) -> float:
+    """E[T] = 1 / (mu - lam)."""
+    _check_rates(lam, mu)
+    return 1.0 / (mu - lam)
+
+
+def mm1_mean_waiting(lam: float, mu: float) -> float:
+    """E[W] = rho / (mu - lam)."""
+    rho = _check_rates(lam, mu)
+    return rho / (mu - lam)
+
+
+def mm1_quantile_response(lam: float, mu: float, q: float) -> float:
+    """Response time is exponential: x_q = E[T] * -ln(1 - q)."""
+    if not 0.0 < q < 1.0:
+        raise TheoryError(f"quantile must be in (0, 1), got {q}")
+    return mm1_mean_response(lam, mu) * -math.log(1.0 - q)
+
+
+# -- M/M/k -----------------------------------------------------------------
+
+
+def erlang_c(lam: float, mu: float, k: int) -> float:
+    """Probability an arrival must queue (Erlang-C formula)."""
+    rho = _check_rates(lam, mu, k)
+    offered = lam / mu  # in Erlangs
+    # Sum_{n<k} offered^n / n!  computed stably in log space is overkill
+    # for the k's used here; direct evaluation with running terms.
+    term = 1.0
+    total = 1.0
+    for n in range(1, k):
+        term *= offered / n
+        total += term
+    term *= offered / k
+    tail = term / (1.0 - rho)
+    return tail / (total + tail)
+
+
+def mmk_mean_waiting(lam: float, mu: float, k: int) -> float:
+    """E[W] = C(k, offered) / (k mu - lam)."""
+    _check_rates(lam, mu, k)
+    return erlang_c(lam, mu, k) / (k * mu - lam)
+
+
+def mmk_mean_response(lam: float, mu: float, k: int) -> float:
+    """E[T] = E[W] + 1/mu."""
+    return mmk_mean_waiting(lam, mu, k) + 1.0 / mu
+
+
+# -- M/G/1 -----------------------------------------------------------------
+
+
+def mg1_mean_waiting(lam: float, service: Distribution) -> float:
+    """Pollaczek-Khinchine: E[W] = lam E[S^2] / (2 (1 - rho))."""
+    mean = service.mean()
+    rho = _check_rates(lam, 1.0 / mean)
+    second_moment = service.variance() + mean * mean
+    return lam * second_moment / (2.0 * (1.0 - rho))
+
+
+def mg1_mean_response(lam: float, service: Distribution) -> float:
+    """E[T] = E[W] + E[S]."""
+    return mg1_mean_waiting(lam, service) + service.mean()
+
+
+# -- G/G/1 (approximation) ---------------------------------------------------
+
+
+def gg1_mean_waiting_approx(
+    lam: float,
+    service: Distribution,
+    interarrival_cv: float,
+) -> float:
+    """Kingman's heavy-traffic approximation for G/G/1 waiting time.
+
+    E[W] ~ (rho / (1 - rho)) * ((Ca^2 + Cs^2) / 2) * E[S]
+
+    This is exactly the kind of few-moment approximation the paper (citing
+    Gupta et al.) warns is "often inadequate" — it is provided so its
+    error against simulation can be measured, not as a substitute.
+    """
+    if interarrival_cv < 0:
+        raise TheoryError(f"Cv must be >= 0, got {interarrival_cv}")
+    mean = service.mean()
+    rho = _check_rates(lam, 1.0 / mean)
+    cs2 = service.cv() ** 2
+    ca2 = interarrival_cv**2
+    return (rho / (1.0 - rho)) * ((ca2 + cs2) / 2.0) * mean

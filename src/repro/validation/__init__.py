@@ -1,0 +1,30 @@
+"""Self-validation harness: simulation vs closed-form theory.
+
+The paper's credibility argument is validation (Section 3: "case studies
+that have been validated against real hardware").  Without the authors'
+hardware we validate against mathematics instead: for every queueing
+model with a known closed form, run the full BigHouse pipeline and
+compare its converged estimate to the exact answer.
+
+:func:`run_validation_suite` returns a list of :class:`ValidationCase`
+rows; ``python -m repro.validation`` prints them as a report.  The test
+suite asserts every case passes within its tolerance.
+"""
+
+from repro.validation.suite import (
+    ValidationCase,
+    run_validation_suite,
+    validate_mg1,
+    validate_mm1,
+    validate_mmk,
+    validate_ps,
+)
+
+__all__ = [
+    "ValidationCase",
+    "run_validation_suite",
+    "validate_mm1",
+    "validate_mmk",
+    "validate_mg1",
+    "validate_ps",
+]

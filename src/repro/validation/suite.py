@@ -1,0 +1,188 @@
+"""The sim-vs-theory validation cases."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.datacenter.processor_sharing import ProcessorSharingServer
+from repro.datacenter.server import Server
+from repro.distributions import Deterministic, Exponential, HyperExponential
+from repro.engine.experiment import Experiment
+from repro.theory import (
+    mg1_mean_waiting,
+    mm1_mean_response,
+    mm1_quantile_response,
+    mmk_mean_waiting,
+)
+from repro.workloads.workload import Workload
+
+
+@dataclass(frozen=True)
+class ValidationCase:
+    """One sim-vs-theory comparison."""
+
+    name: str
+    simulated: float
+    theoretical: float
+    tolerance: float
+    converged: bool
+
+    @property
+    def relative_error(self) -> float:
+        """|sim - theory| / |theory|."""
+        if self.theoretical == 0:
+            return abs(self.simulated)
+        return abs(self.simulated - self.theoretical) / abs(self.theoretical)
+
+    @property
+    def passed(self) -> bool:
+        """True when the simulated estimate is within tolerance."""
+        return self.converged and self.relative_error <= self.tolerance
+
+
+def _run_metric(
+    workload: Workload,
+    station,
+    metric: str,
+    seed: int,
+    accuracy: float,
+    quantile: Optional[float] = None,
+    max_events: int = 30_000_000,
+):
+    experiment = Experiment(seed=seed, warmup_samples=500,
+                            calibration_samples=3000)
+    experiment.add_source(workload, target=station)
+    quantiles = {quantile: accuracy} if quantile is not None else None
+    if metric == "response":
+        experiment.track_response_time(
+            station, mean_accuracy=accuracy, quantiles=quantiles
+        )
+        name = "response_time"
+    else:
+        experiment.track_waiting_time(
+            station, mean_accuracy=accuracy, quantiles=quantiles
+        )
+        name = "waiting_time"
+    result = experiment.run(max_events=max_events)
+    return result[name], result.converged
+
+
+def validate_mm1(seed: int = 201, accuracy: float = 0.02) -> List[ValidationCase]:
+    """M/M/1 at rho = 0.5: mean and 90th-percentile response."""
+    lam, mu = 10.0, 20.0
+    workload = Workload("mm1", Exponential(rate=lam), Exponential(rate=mu))
+    estimate, converged = _run_metric(
+        workload, Server(), "response", seed, accuracy, quantile=0.9
+    )
+    return [
+        ValidationCase(
+            "M/M/1 mean response",
+            estimate.mean,
+            mm1_mean_response(lam, mu),
+            tolerance=3 * accuracy,
+            converged=converged,
+        ),
+        ValidationCase(
+            "M/M/1 p90 response",
+            estimate.quantiles[0.9],
+            mm1_quantile_response(lam, mu, 0.9),
+            tolerance=4 * accuracy,
+            converged=converged,
+        ),
+    ]
+
+
+def validate_mmk(seed: int = 202, accuracy: float = 0.03) -> List[ValidationCase]:
+    """M/M/4 at rho = 0.75: Erlang-C mean waiting."""
+    lam, mu, k = 30.0, 10.0, 4
+    workload = Workload("mmk", Exponential(rate=lam), Exponential(rate=mu))
+    estimate, converged = _run_metric(
+        workload, Server(cores=k), "waiting", seed, accuracy
+    )
+    return [
+        ValidationCase(
+            "M/M/4 mean waiting (Erlang-C)",
+            estimate.mean,
+            mmk_mean_waiting(lam, mu, k),
+            tolerance=5 * accuracy,
+            converged=converged,
+        )
+    ]
+
+
+def validate_mg1(seed: int = 203, accuracy: float = 0.02) -> List[ValidationCase]:
+    """M/G/1 Pollaczek-Khinchine for heavy-tailed and deterministic service."""
+    lam = 10.0
+    cases = []
+    for label, service in (
+        ("H2 Cv=2", HyperExponential.from_mean_cv(0.05, 2.0)),
+        ("deterministic", Deterministic(0.05)),
+    ):
+        workload = Workload("mg1", Exponential(rate=lam), service)
+        estimate, converged = _run_metric(
+            workload, Server(), "waiting", seed, accuracy
+        )
+        cases.append(
+            ValidationCase(
+                f"M/G/1 mean waiting ({label})",
+                estimate.mean,
+                mg1_mean_waiting(lam, service),
+                tolerance=6 * accuracy,
+                converged=converged,
+            )
+        )
+        seed += 1
+    return cases
+
+
+def validate_ps(seed: int = 205, accuracy: float = 0.03) -> List[ValidationCase]:
+    """M/G/1-PS: mean response E[S]/(1-rho), insensitive to Cv."""
+    lam = 10.0
+    service = HyperExponential.from_mean_cv(0.05, 3.0)
+    workload = Workload("ps", Exponential(rate=lam), service)
+    estimate, converged = _run_metric(
+        workload, ProcessorSharingServer(), "response", seed, accuracy
+    )
+    return [
+        ValidationCase(
+            "M/G/1-PS mean response (Cv=3)",
+            estimate.mean,
+            0.05 / (1.0 - 0.5),
+            tolerance=6 * accuracy,
+            converged=converged,
+        )
+    ]
+
+
+def run_validation_suite(accuracy: float = 0.02) -> List[ValidationCase]:
+    """All validation cases, converged at the given accuracy target."""
+    cases: List[ValidationCase] = []
+    cases.extend(validate_mm1(accuracy=accuracy))
+    cases.extend(validate_mmk(accuracy=max(accuracy, 0.03)))
+    cases.extend(validate_mg1(accuracy=accuracy))
+    cases.extend(validate_ps(accuracy=max(accuracy, 0.03)))
+    return cases
+
+
+def main() -> int:  # pragma: no cover - thin report wrapper
+    """Print the sim-vs-theory table; exit 1 if any case fails."""
+    cases = run_validation_suite()
+    width = max(len(case.name) for case in cases) + 2
+    print(f"{'case'.ljust(width)}{'simulated':>12} {'theory':>12} "
+          f"{'error':>8}  verdict")
+    failures = 0
+    for case in cases:
+        verdict = "PASS" if case.passed else "FAIL"
+        failures += not case.passed
+        print(
+            f"{case.name.ljust(width)}{case.simulated:>12.6g} "
+            f"{case.theoretical:>12.6g} {case.relative_error:>7.2%}  {verdict}"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

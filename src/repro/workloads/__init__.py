@@ -1,0 +1,46 @@
+"""Workload models: empirically-characterized task populations.
+
+A :class:`Workload` pairs an inter-arrival distribution with a service
+distribution (Section 2.2).  :mod:`repro.workloads.models` ships the five
+Table-1 workloads (DNS, Mail, Shell, Google, Web) synthesized from their
+published moments; :mod:`repro.workloads.generator` turns workloads into
+explicit traces and back.
+"""
+
+from repro.workloads.workload import Workload, WorkloadError
+from repro.workloads.models import (
+    TABLE1_SPECS,
+    WorkloadSpec,
+    dns,
+    google,
+    mail,
+    shell,
+    web,
+    by_name,
+    all_names,
+)
+from repro.workloads.generator import generate_trace, workload_from_trace
+from repro.workloads.timevarying import (
+    RateProfile,
+    VariableRateSource,
+    diurnal_profile,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadError",
+    "WorkloadSpec",
+    "TABLE1_SPECS",
+    "dns",
+    "mail",
+    "shell",
+    "google",
+    "web",
+    "by_name",
+    "all_names",
+    "generate_trace",
+    "workload_from_trace",
+    "RateProfile",
+    "VariableRateSource",
+    "diurnal_profile",
+]

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro import Experiment, Server, Workload
+from repro.distributions import Exponential
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for sampling tests."""
+    return np.random.default_rng(0xDECAF)
+
+
+@pytest.fixture
+def mm1_experiment():
+    """A small, fast M/M/1 experiment at rho = 0.5 (known closed forms)."""
+    experiment = Experiment(
+        seed=42, warmup_samples=200, calibration_samples=2000
+    )
+    server = Server(cores=1, name="mm1")
+    workload = Workload(
+        name="mm1",
+        interarrival=Exponential(rate=10.0),
+        service=Exponential(rate=20.0),
+    )
+    experiment.add_source(workload, target=server)
+    return experiment, server
+
+
+def make_simulation(seed=0):
+    """Bare simulation helper importable from tests."""
+    from repro.engine.simulation import Simulation
+
+    return Simulation(seed)

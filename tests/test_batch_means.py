@@ -1,0 +1,102 @@
+"""Unit tests for the batch-means estimator (lag-spacing alternative)."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch_means import BatchMeansEstimator, calibrate_batch_size
+
+
+def ar1(rng, n, rho=0.9):
+    noise = rng.normal(loc=5.0, scale=1.0, size=n)
+    x = np.zeros(n)
+    x[0] = 5.0
+    for i in range(1, n):
+        x[i] = rho * x[i - 1] + (1 - rho) * noise[i]
+    return x
+
+
+class TestEstimator:
+    def test_batches_fill(self):
+        estimator = BatchMeansEstimator(batch_size=10)
+        for value in range(25):
+            estimator.observe(float(value))
+        assert estimator.batches == 2
+        assert estimator.observations == 25
+        assert estimator.batch_means[0] == pytest.approx(4.5)
+        assert estimator.batch_means[1] == pytest.approx(14.5)
+
+    def test_mean_matches_sample(self, rng):
+        values = rng.exponential(size=10_000)
+        estimator = BatchMeansEstimator(batch_size=100)
+        for value in values:
+            estimator.observe(value)
+        assert estimator.mean() == pytest.approx(
+            float(np.mean(values[:10_000 // 100 * 100])), rel=1e-9
+        )
+
+    def test_ci_shrinks_with_data(self, rng):
+        estimator = BatchMeansEstimator(batch_size=50)
+        for value in rng.exponential(size=5_000):
+            estimator.observe(value)
+        early = estimator.confidence_halfwidth()
+        for value in rng.exponential(size=45_000):
+            estimator.observe(value)
+        late = estimator.confidence_halfwidth()
+        assert late < early
+
+    def test_ci_coverage_on_iid(self, rng):
+        hits = 0
+        for _ in range(100):
+            estimator = BatchMeansEstimator(batch_size=20)
+            for value in rng.exponential(size=2_000):
+                estimator.observe(value)
+            half = estimator.confidence_halfwidth()
+            hits += abs(estimator.mean() - 1.0) <= half
+        assert hits > 85
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchMeansEstimator(batch_size=0)
+        estimator = BatchMeansEstimator(batch_size=10)
+        with pytest.raises(ValueError):
+            estimator.mean()
+        estimator.observe(1.0)
+        with pytest.raises(ValueError):
+            estimator.std_of_batch_means()
+
+    def test_relative_accuracy(self, rng):
+        estimator = BatchMeansEstimator(batch_size=20)
+        for value in rng.exponential(size=10_000):
+            estimator.observe(value)
+        assert estimator.relative_accuracy() == pytest.approx(
+            estimator.confidence_halfwidth() / estimator.mean()
+        )
+
+    def test_independence_probe(self, rng):
+        estimator = BatchMeansEstimator(batch_size=10)
+        assert estimator.batch_means_look_independent() is None
+        for value in rng.exponential(size=20_000):
+            estimator.observe(value)
+        assert estimator.batch_means_look_independent() is True
+
+
+class TestCalibrateBatchSize:
+    def test_iid_needs_tiny_batches(self, rng):
+        size = calibrate_batch_size(rng.exponential(size=20_000))
+        assert size <= 2
+
+    def test_autocorrelated_needs_bigger_batches(self, rng):
+        size = calibrate_batch_size(ar1(rng, 50_000, rho=0.95))
+        assert size > 2
+
+    def test_batched_means_actually_decorrelate(self, rng):
+        sample = ar1(rng, 50_000, rho=0.9)
+        size = calibrate_batch_size(sample)
+        estimator = BatchMeansEstimator(batch_size=size)
+        for value in sample:
+            estimator.observe(value)
+        assert estimator.batch_means_look_independent() in (True, None)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_batch_size([1.0, 2.0], initial=0)

@@ -1,0 +1,147 @@
+"""Unit tests for the power-capping controller (Section 4.1)."""
+
+import pytest
+
+from repro.datacenter.job import Job
+from repro.datacenter.server import Server
+from repro.engine.simulation import Simulation
+from repro.power.capping import PowerCappingController
+from repro.power.dvfs import DVFSPerformanceModel, ServerDVFS
+from repro.power.models import CubicDVFSPowerModel, LinearPowerModel, PowerModelError
+
+
+def make_cluster(n=3, cap=600.0, epoch=1.0, **controller_kwargs):
+    sim = Simulation(seed=1)
+    couplings = []
+    servers = []
+    for index in range(n):
+        server = Server(cores=1, name=f"s{index}")
+        server.bind(sim)
+        couplings.append(
+            ServerDVFS(
+                server,
+                CubicDVFSPowerModel(100.0, 300.0),
+                DVFSPerformanceModel(alpha=0.9, f_min=0.5),
+            )
+        )
+        servers.append(server)
+    controller = PowerCappingController(
+        couplings, cluster_cap=cap, epoch=epoch, **controller_kwargs
+    )
+    controller.bind(sim)
+    return sim, servers, couplings, controller
+
+
+def keep_busy(sim, server, until=10.0):
+    """Saturate one server with back-to-back unit jobs."""
+    job = Job(id(server) % 100000, size=until)
+    sim.schedule_at(0.0, lambda: server.arrive(job))
+
+
+class TestBudgets:
+    def test_proportional_to_utilization(self):
+        _, _, _, controller = make_cluster(n=2, cap=400.0)
+        budgets = controller.compute_budgets([0.75, 0.25])
+        assert budgets == [pytest.approx(300.0), pytest.approx(100.0)]
+
+    def test_idle_cluster_splits_evenly(self):
+        _, _, _, controller = make_cluster(n=4, cap=400.0)
+        assert controller.compute_budgets([0.0] * 4) == [pytest.approx(100.0)] * 4
+
+    def test_budgets_sum_to_cap(self):
+        _, _, _, controller = make_cluster(n=3, cap=500.0)
+        budgets = controller.compute_budgets([0.2, 0.5, 0.9])
+        assert sum(budgets) == pytest.approx(500.0)
+
+
+class TestValidation:
+    def test_requires_cubic_model(self):
+        sim = Simulation(seed=1)
+        server = Server()
+        server.bind(sim)
+        coupling = ServerDVFS(server, LinearPowerModel())
+        with pytest.raises(PowerModelError):
+            PowerCappingController([coupling], cluster_cap=100.0)
+
+    def test_requires_servers(self):
+        with pytest.raises(PowerModelError):
+            PowerCappingController([], cluster_cap=100.0)
+
+    def test_requires_positive_cap_and_epoch(self):
+        sim = Simulation(seed=1)
+        server = Server()
+        server.bind(sim)
+        coupling = ServerDVFS(server, CubicDVFSPowerModel())
+        with pytest.raises(PowerModelError):
+            PowerCappingController([coupling], cluster_cap=0.0)
+        with pytest.raises(PowerModelError):
+            PowerCappingController([coupling], cluster_cap=10.0, epoch=0.0)
+
+    def test_double_bind_rejected(self):
+        sim, _, _, controller = make_cluster()
+        with pytest.raises(PowerModelError):
+            controller.bind(sim)
+
+
+class TestEnforcement:
+    def test_epochs_fire_periodically(self):
+        sim, _, _, controller = make_cluster(epoch=1.0)
+        sim.schedule_at(5.5, lambda: None)
+        sim.run(until=5.5)
+        assert controller.epochs_run == 5
+
+    def test_loose_cap_never_throttles(self):
+        # Cap = aggregate peak: nothing to enforce.
+        sim, servers, couplings, _ = make_cluster(n=2, cap=600.0)
+        for server in servers:
+            keep_busy(sim, server)
+        sim.run(until=5.0)
+        assert all(c.frequency == pytest.approx(1.0) for c in couplings)
+
+    def test_tight_cap_throttles_busy_servers(self):
+        # Two saturated servers against a cap well below 2x peak.
+        sim, servers, couplings, _ = make_cluster(n=2, cap=400.0)
+        for server in servers:
+            keep_busy(sim, server)
+        sim.run(until=5.0)
+        assert all(c.frequency < 1.0 for c in couplings)
+        # Equal utilization -> equal budgets -> equal frequencies.
+        assert couplings[0].frequency == pytest.approx(couplings[1].frequency)
+
+    def test_capping_level_reported(self):
+        levels = []
+        sim, servers, _, _ = make_cluster(
+            n=2, cap=400.0, on_capping_level=lambda w: levels.append(w)
+        )
+        for server in servers:
+            keep_busy(sim, server)
+        sim.run(until=3.0)
+        assert levels  # one per server per epoch
+        # Saturated servers want 300 W each but the budget is 200 W.
+        assert max(levels) == pytest.approx(100.0, rel=0.05)
+
+    def test_power_reported_within_budget(self):
+        powers = []
+        sim, servers, _, _ = make_cluster(
+            n=2, cap=400.0, on_power=lambda w: powers.append(w)
+        )
+        for server in servers:
+            keep_busy(sim, server)
+        sim.run(until=3.0)
+        # Enforced power never exceeds the per-server budget by more than
+        # the f_min floor allows.
+        assert all(p <= 200.0 + 1e-6 or p <= 300.0 for p in powers)
+
+    def test_fmin_floor_limits_throttling(self):
+        # A cap below what f_min can deliver: frequency pinned at f_min.
+        sim, servers, couplings, _ = make_cluster(n=1, cap=110.0)
+        keep_busy(sim, servers[0])
+        sim.run(until=3.0)
+        assert couplings[0].frequency == pytest.approx(0.5)
+
+    def test_idle_servers_release_budget_to_busy_ones(self):
+        sim, servers, couplings, _ = make_cluster(n=2, cap=400.0)
+        keep_busy(sim, servers[0])  # server 1 stays idle
+        sim.run(until=5.0)
+        # The busy server can take (almost) the whole cap: no throttling.
+        assert couplings[0].frequency == pytest.approx(1.0)

@@ -1,0 +1,140 @@
+"""Tests for the prebuilt case-study experiments (Sections 3-4)."""
+
+import pytest
+
+from repro.casestudies import (
+    build_capped_cluster,
+    build_search_experiment,
+    dreamweaver_point,
+    latency_vs_qps,
+)
+from repro.casestudies.google_search import combined_slowdown, search_workload
+from repro.workloads import WorkloadError
+
+
+class TestGoogleSearch:
+    def test_workload_targets_fraction(self):
+        workload = search_workload(0.5)
+        assert workload.offered_load() == pytest.approx(0.5)
+
+    def test_slowdown_raises_utilization(self):
+        workload = search_workload(0.4, s_cpu=2.0)
+        assert workload.offered_load() == pytest.approx(0.8)
+
+    def test_unstable_point_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_search_experiment(0.6, s_cpu=2.0)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(WorkloadError):
+            search_workload(0.0)
+        with pytest.raises(WorkloadError):
+            search_workload(1.2)
+
+    def test_speedup_not_allowed(self):
+        with pytest.raises(WorkloadError):
+            search_workload(0.5, s_cpu=0.8)
+
+    def test_unknown_interarrival_kind_rejected(self):
+        with pytest.raises(WorkloadError):
+            search_workload(0.5, interarrival_kind="weird")
+
+    def test_combined_slowdown_model(self):
+        # No slowdown anywhere -> 1.0.
+        assert combined_slowdown() == pytest.approx(1.0)
+        # Slowing only memory stretches only the memory share.
+        assert combined_slowdown(memory_component=2.0) == pytest.approx(
+            0.6 + 0.4 * 2.0
+        )
+        # Slowing both components by 2x doubles the whole query.
+        assert combined_slowdown(2.0, 2.0) == pytest.approx(2.0)
+        with pytest.raises(WorkloadError):
+            combined_slowdown(cpu_component=0.5)
+
+    def test_interarrival_kinds_have_same_mean(self):
+        means = [
+            search_workload(0.5, interarrival_kind=kind).interarrival.mean()
+            for kind in ("empirical", "exponential", "lowcv")
+        ]
+        assert means[0] == pytest.approx(means[1]) == pytest.approx(means[2])
+
+    def test_latency_grows_with_load(self):
+        rows = latency_vs_qps([0.3, 0.7], accuracy=0.1, seed=5)
+        assert rows[0]["latency"] < rows[1]["latency"]
+        assert all(row["converged"] for row in rows)
+
+    def test_slowdown_increases_latency(self):
+        base = latency_vs_qps([0.3], s_cpu=1.0, accuracy=0.1, seed=5)
+        slow = latency_vs_qps([0.3], s_cpu=2.0, accuracy=0.1, seed=5)
+        assert slow[0]["latency"] > base[0]["latency"]
+
+    def test_lowcv_underestimates_empirical(self):
+        lowcv = latency_vs_qps(
+            [0.75], interarrival_kind="lowcv", accuracy=0.1, seed=5
+        )
+        empirical = latency_vs_qps(
+            [0.75], interarrival_kind="empirical", accuracy=0.1, seed=5
+        )
+        assert lowcv[0]["latency"] < empirical[0]["latency"]
+
+    def test_normalization(self):
+        raw = latency_vs_qps([0.5], accuracy=0.1, seed=5)[0]
+        normalized = latency_vs_qps(
+            [0.5], accuracy=0.1, seed=5, normalize_by_service_mean=True
+        )[0]
+        assert normalized["latency"] == pytest.approx(
+            raw["latency"] / 4.2e-3, rel=0.01
+        )
+
+
+class TestDreamWeaverStudy:
+    def test_point_reports_all_fields(self):
+        row = dreamweaver_point(0.005, load=0.3, cores=8, seed=3,
+                                max_events=1_500_000)
+        for key in ("idle_fraction", "latency", "naps", "delay_threshold"):
+            assert key in row
+        assert 0.0 <= row["idle_fraction"] <= 1.0
+        assert row["latency"] > 0
+
+
+class TestCappedCluster:
+    def test_build_validates(self):
+        with pytest.raises(ValueError):
+            build_capped_cluster(n_servers=0)
+        with pytest.raises(ValueError):
+            build_capped_cluster(metrics=("nope",))
+        with pytest.raises(ValueError):
+            build_capped_cluster(metrics=())
+        with pytest.raises(ValueError):
+            build_capped_cluster(n_servers=2, observe_server=5)
+
+    def test_metric_wiring(self):
+        cluster = build_capped_cluster(
+            n_servers=3,
+            metrics=("response_time", "waiting_time", "capping_level"),
+        )
+        for name in ("response_time", "waiting_time", "capping_level"):
+            assert name in cluster.experiment.stats
+
+    def test_runs_to_convergence(self):
+        cluster = build_capped_cluster(
+            n_servers=4, accuracy=0.1, seed=9, cap_fraction=0.75
+        )
+        result = cluster.run(max_events=6_000_000)
+        assert result.converged
+        assert result["response_time"].mean > 0
+
+    def test_tight_cap_increases_latency(self):
+        def mean_latency(cap_fraction):
+            cluster = build_capped_cluster(
+                n_servers=4, load=0.6, accuracy=0.1, seed=9,
+                cap_fraction=cap_fraction,
+            )
+            return cluster.run(max_events=8_000_000)["response_time"].mean
+
+        assert mean_latency(0.65) > mean_latency(1.0)
+
+    def test_controller_attached(self):
+        cluster = build_capped_cluster(n_servers=2)
+        assert cluster.controller.cluster_cap == pytest.approx(2 * 0.8 * 300.0)
+        assert len(cluster.couplings) == 2

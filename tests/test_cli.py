@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestWorkloads:
+    def test_lists_table1(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dns", "mail", "shell", "google", "web"):
+            assert name in out
+
+
+class TestTheory:
+    def test_mm1(self, capsys):
+        assert main(["theory", "mm1", "--lam", "10", "--mu", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "mean_response  0.1" in out
+
+    def test_mmk(self, capsys):
+        assert main(
+            ["theory", "mmk", "--lam", "30", "--mu", "10", "--k", "4"]
+        ) == 0
+        assert "erlang_c" in capsys.readouterr().out
+
+    def test_mg1(self, capsys):
+        assert main(
+            ["theory", "mg1", "--lam", "10", "--mu", "20", "--cv", "2.0"]
+        ) == 0
+        assert "mean_waiting" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_runs_config_and_emits_json(self, tmp_path, capsys):
+        config = {
+            "seed": 4,
+            "warmup_samples": 200,
+            "calibration_samples": 1500,
+            "workload": {"name": "dns", "load": 0.5},
+            "servers": {"count": 1, "cores": 1},
+            "metrics": [{"kind": "response_time", "mean_accuracy": 0.1}],
+        }
+        path = tmp_path / "exp.json"
+        path.write_text(json.dumps(config))
+        assert main(["run", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["converged"] is True
+        assert payload["metrics"]["response_time"]["mean"] > 0
+
+    def test_unconverged_exit_code(self, tmp_path, capsys):
+        config = {
+            "seed": 4,
+            "warmup_samples": 200,
+            "calibration_samples": 1500,
+            "workload": {"name": "dns", "load": 0.5},
+            "servers": {"count": 1, "cores": 1},
+            "metrics": [{"kind": "response_time", "mean_accuracy": 0.001}],
+        }
+        path = tmp_path / "exp.json"
+        path.write_text(json.dumps(config))
+        assert main(["run", str(path), "--max-events", "10000"]) == 3
+
+
+class TestCharacterize:
+    def test_distills_trace(self, tmp_path, capsys):
+        trace = tmp_path / "mytrace.txt"
+        trace.write_text(
+            "# arrival size\n"
+            + "".join(f"{i * 0.1:.3f} 0.05\n" for i in range(100))
+        )
+        out_dir = tmp_path / "out"
+        assert main(
+            ["characterize", str(trace), "--output-dir", str(out_dir)]
+        ) == 0
+        assert (out_dir / "mytrace.arr").exists()
+        assert (out_dir / "mytrace.svc").exists()
+        out = capsys.readouterr().out
+        assert "inter-arrival" in out
+
+        # The written files round-trip through the loader.
+        from repro.distributions import EmpiricalDistribution
+
+        arr = EmpiricalDistribution.load(out_dir / "mytrace.arr")
+        assert arr.mean() == pytest.approx(0.1, rel=0.01)
+
+    def test_malformed_trace_rejected(self, tmp_path):
+        trace = tmp_path / "bad.txt"
+        trace.write_text("1.0 2.0 3.0\n")
+        assert main(["characterize", str(trace)]) == 2

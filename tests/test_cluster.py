@@ -1,0 +1,69 @@
+"""Unit tests for racks and clusters."""
+
+import pytest
+
+from repro.datacenter.cluster import Cluster, Rack
+from repro.datacenter.job import Job
+from repro.datacenter.server import Server
+from repro.engine.simulation import Simulation
+
+
+class TestRack:
+    def test_requires_servers(self):
+        with pytest.raises(ValueError):
+            Rack([])
+
+    def test_aggregates(self):
+        rack = Rack([Server(cores=2), Server(cores=4)])
+        assert len(rack) == 2
+        assert rack.total_cores() == 6
+
+    def test_bind_all(self):
+        sim = Simulation(seed=1)
+        rack = Rack([Server(), Server()])
+        rack.bind(sim)
+        assert all(server.sim is sim for server in rack)
+
+    def test_utilization(self):
+        sim = Simulation(seed=1)
+        servers = [Server(cores=1), Server(cores=1)]
+        rack = Rack(servers)
+        rack.bind(sim)
+        job = Job(1, size=10.0)
+        sim.schedule_at(0.0, lambda: servers[0].arrive(job))
+        sim.run(until=1.0)
+        assert rack.utilization_now() == pytest.approx(0.5)
+
+
+class TestCluster:
+    def test_homogeneous_layout(self):
+        cluster = Cluster.homogeneous(100, cores=4, rack_size=40)
+        assert len(cluster) == 100
+        assert len(cluster.racks) == 3
+        assert [len(rack) for rack in cluster.racks] == [40, 40, 20]
+        assert cluster.total_cores() == 400
+
+    def test_server_factory(self):
+        cluster = Cluster.homogeneous(
+            4, server_factory=lambda i: Server(cores=8, name=f"custom-{i}")
+        )
+        assert all(server.cores == 8 for server in cluster)
+        assert cluster.servers[2].name == "custom-2"
+
+    def test_bind_all(self):
+        sim = Simulation(seed=1)
+        cluster = Cluster.homogeneous(10, rack_size=4)
+        cluster.bind(sim)
+        assert all(server.sim is sim for server in cluster)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Cluster.homogeneous(0)
+        with pytest.raises(ValueError):
+            Cluster.homogeneous(5, rack_size=0)
+        with pytest.raises(ValueError):
+            Cluster([])
+
+    def test_iteration_matches_servers(self):
+        cluster = Cluster.homogeneous(7, rack_size=3)
+        assert list(cluster) == cluster.servers

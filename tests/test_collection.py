@@ -1,0 +1,118 @@
+"""Unit tests for multi-metric coordination (warm-up barrier, convergence)."""
+
+import pytest
+
+from repro.core.collection import StatisticsCollection
+from repro.core.statistic import Phase, Statistic, StatisticError
+
+
+def make_collection(names=("a", "b"), warmup=20, calibration=100):
+    collection = StatisticsCollection()
+    for name in names:
+        collection.add(
+            Statistic(
+                name,
+                mean_accuracy=0.1,
+                warmup_samples=warmup,
+                calibration_samples=calibration,
+                min_accepted=20,
+            )
+        )
+    return collection
+
+
+class TestRegistration:
+    def test_duplicate_rejected(self):
+        collection = make_collection(names=("a",))
+        with pytest.raises(StatisticError):
+            collection.add(Statistic("a", mean_accuracy=0.1))
+
+    def test_add_after_recording_rejected(self):
+        collection = make_collection(names=("a",))
+        collection.record("a", 1.0)
+        with pytest.raises(StatisticError):
+            collection.add(Statistic("b", mean_accuracy=0.1))
+
+    def test_unknown_metric_rejected(self):
+        collection = make_collection()
+        with pytest.raises(StatisticError):
+            collection.record("nope", 1.0)
+
+    def test_container_protocol(self):
+        collection = make_collection(names=("x", "y"))
+        assert "x" in collection
+        assert "z" not in collection
+        assert len(collection) == 2
+        assert collection.names == ["x", "y"]
+        assert {stat.name for stat in collection} == {"x", "y"}
+
+
+class TestWarmupBarrier:
+    def test_no_metric_advances_until_all_warm(self, rng):
+        collection = make_collection()
+        # Fill only 'a' far beyond its warm-up quota.
+        for _ in range(500):
+            collection.record("a", rng.exponential())
+        assert collection["a"].phase is Phase.WARMUP
+        assert not collection.warmup_barrier_lifted
+
+    def test_barrier_lifts_when_all_warm(self, rng):
+        collection = make_collection(warmup=20)
+        for _ in range(25):
+            collection.record("a", rng.exponential())
+        for _ in range(25):
+            collection.record("b", rng.exponential())
+        assert collection.warmup_barrier_lifted
+        assert collection["a"].phase is Phase.CALIBRATION
+        assert collection["b"].phase is Phase.CALIBRATION
+
+    def test_slow_metric_gates_fast_one(self, rng):
+        collection = make_collection(warmup=20)
+        for _ in range(1000):
+            collection.record("a", rng.exponential())
+        for _ in range(19):
+            collection.record("b", rng.exponential())
+        assert not collection.warmup_barrier_lifted
+        collection.record("b", rng.exponential())
+        assert collection.warmup_barrier_lifted
+
+
+class TestConvergenceSemantics:
+    def test_empty_collection_never_converged(self):
+        assert not StatisticsCollection().all_converged
+
+    def test_all_must_converge(self, rng):
+        collection = make_collection(warmup=20, calibration=100)
+        # Converge 'a' fully; leave 'b' starved after warm-up.
+        for _ in range(25):
+            collection.record("b", rng.exponential())
+        for _ in range(100_000):
+            collection.record("a", rng.exponential())
+        assert collection["a"].converged
+        assert not collection.all_converged
+
+    def test_total_accepted_sums(self, rng):
+        collection = make_collection(warmup=20, calibration=100)
+        for _ in range(5000):
+            collection.record("a", rng.exponential())
+            collection.record("b", rng.exponential())
+        total = collection["a"].accepted + collection["b"].accepted
+        assert collection.total_accepted == total
+        assert total > 0
+
+    def test_report_covers_all_metrics(self, rng):
+        collection = make_collection()
+        for _ in range(500):
+            collection.record("a", rng.exponential())
+            collection.record("b", rng.exponential())
+        report = collection.report()
+        assert set(report) == {"a", "b"}
+        assert report["a"].name == "a"
+
+    def test_all_measuring(self, rng):
+        collection = make_collection(warmup=20, calibration=100)
+        assert not collection.all_measuring
+        for _ in range(200):
+            collection.record("a", rng.exponential())
+            collection.record("b", rng.exponential())
+        assert collection.all_measuring

@@ -1,0 +1,200 @@
+"""Unit tests for the JSON experiment configuration loader."""
+
+import json
+
+import pytest
+
+from repro.config import (
+    ConfigError,
+    build_distribution,
+    build_experiment,
+    build_workload,
+    load_config,
+)
+from repro.distributions import (
+    Deterministic,
+    Exponential,
+    Gamma,
+    HyperExponential,
+    LogNormal,
+)
+
+
+class TestBuildDistribution:
+    def test_exponential_forms(self):
+        assert build_distribution(
+            {"type": "exponential", "mean": 0.5}
+        ).mean() == pytest.approx(0.5)
+        assert build_distribution(
+            {"type": "exponential", "rate": 4.0}
+        ).mean() == pytest.approx(0.25)
+
+    @pytest.mark.parametrize(
+        "spec, expected_type",
+        [
+            ({"type": "deterministic", "value": 1.0}, Deterministic),
+            ({"type": "gamma", "mean": 1.0, "cv": 0.5}, Gamma),
+            ({"type": "lognormal", "mean": 1.0, "cv": 2.0}, LogNormal),
+            ({"type": "hyperexponential", "mean": 1.0, "cv": 3.0},
+             HyperExponential),
+            ({"type": "fit", "mean": 1.0, "cv": 1.0}, Exponential),
+        ],
+    )
+    def test_types(self, spec, expected_type):
+        assert isinstance(build_distribution(spec), expected_type)
+
+    def test_bounded_pareto_and_weibull_cv(self):
+        dist = build_distribution(
+            {"type": "bounded_pareto", "alpha": 1.2, "low": 0.01, "high": 10.0}
+        )
+        assert 0.01 <= dist.mean() <= 10.0
+        weibull = build_distribution(
+            {"type": "weibull", "mean": 0.5, "cv": 2.0}
+        )
+        assert weibull.mean() == pytest.approx(0.5, rel=1e-6)
+
+    def test_uniform_weibull_pareto_erlang(self):
+        assert build_distribution(
+            {"type": "uniform", "low": 0.0, "high": 2.0}
+        ).mean() == pytest.approx(1.0)
+        assert build_distribution(
+            {"type": "erlang", "k": 2, "rate": 4.0}
+        ).mean() == pytest.approx(0.5)
+        build_distribution({"type": "weibull", "shape": 2.0, "scale": 1.0})
+        build_distribution({"type": "pareto", "alpha": 3.0, "xm": 1.0})
+
+    def test_empirical_from_file(self, tmp_path):
+        path = tmp_path / "dist.txt"
+        path.write_text("1.0\n2.0\n3.0\n")
+        dist = build_distribution({"type": "empirical", "path": str(path)})
+        assert dist.mean() == pytest.approx(2.0)
+
+    def test_errors(self):
+        with pytest.raises(ConfigError):
+            build_distribution({"mean": 1.0})
+        with pytest.raises(ConfigError):
+            build_distribution({"type": "nope"})
+        with pytest.raises(ConfigError):
+            build_distribution({"type": "gamma", "mean": 1.0})  # missing cv
+
+
+class TestBuildWorkload:
+    def test_named(self):
+        workload = build_workload({"name": "web"})
+        assert workload.name == "web"
+
+    def test_named_with_load(self):
+        workload = build_workload({"name": "web", "load": 0.7})
+        assert workload.offered_load() == pytest.approx(0.7)
+
+    def test_explicit_distributions(self):
+        workload = build_workload(
+            {
+                "interarrival": {"type": "exponential", "mean": 0.1},
+                "service": {"type": "exponential", "mean": 0.05},
+            }
+        )
+        assert workload.offered_load() == pytest.approx(0.5)
+
+    def test_service_scale(self):
+        base = build_workload({"name": "google"})
+        scaled = build_workload({"name": "google", "service_scale": 2.0})
+        assert scaled.service.mean() == pytest.approx(2 * base.service.mean())
+
+    def test_errors(self):
+        with pytest.raises(ConfigError):
+            build_workload({"label": "incomplete"})
+        with pytest.raises(ConfigError):
+            build_workload("not-a-dict")
+
+
+class TestBuildExperiment:
+    def base_config(self, **overrides):
+        config = {
+            "seed": 3,
+            "warmup_samples": 200,
+            "calibration_samples": 1500,
+            "workload": {"name": "dns", "load": 0.5},
+            "servers": {"count": 1, "cores": 1},
+            "metrics": [{"kind": "response_time", "mean_accuracy": 0.1}],
+        }
+        config.update(overrides)
+        return config
+
+    def test_single_server_runs(self):
+        result = build_experiment(self.base_config()).run()
+        assert result.converged
+        assert result["response_time"].mean > 0
+
+    def test_multi_server_with_balancer(self):
+        config = self.base_config(
+            servers={"count": 3, "cores": 1}, balancer="round_robin"
+        )
+        result = build_experiment(config).run()
+        assert result.converged
+
+    def test_load_scales_by_total_cores(self):
+        # With count*cores = 4, load 0.5 must mean rho = 0.5 on the pool.
+        config = self.base_config(servers={"count": 2, "cores": 2})
+        experiment = build_experiment(config)
+        workload = experiment.sources[0].workload
+        assert workload.offered_load(cores=4) == pytest.approx(0.5)
+
+    def test_waiting_time_metric(self):
+        config = self.base_config(
+            metrics=[
+                {"kind": "response_time", "mean_accuracy": 0.1},
+                {"kind": "waiting_time", "mean_accuracy": 0.2,
+                 "name": "queue_wait"},
+            ]
+        )
+        experiment = build_experiment(config)
+        assert "queue_wait" in experiment.stats
+
+    def test_quantile_spec_parsed(self):
+        config = self.base_config(
+            metrics=[{"kind": "response_time", "quantiles": {"0.9": 0.1}}]
+        )
+        experiment = build_experiment(config)
+        assert experiment.stats["response_time"].quantile_targets == {0.9: 0.1}
+
+    def test_config_from_file(self, tmp_path):
+        path = tmp_path / "exp.json"
+        path.write_text(json.dumps(self.base_config()))
+        experiment = build_experiment(path)
+        assert experiment.seed == 3
+
+    def test_errors(self):
+        with pytest.raises(ConfigError):
+            build_experiment({"metrics": [{"kind": "response_time"}]})
+        with pytest.raises(ConfigError):
+            build_experiment({"workload": {"name": "web"}})
+        with pytest.raises(ConfigError):
+            build_experiment(self.base_config(balancer="nope",
+                                              servers={"count": 2}))
+        with pytest.raises(ConfigError):
+            build_experiment(
+                self.base_config(metrics=[{"kind": "unknown_metric"}])
+            )
+        with pytest.raises(ConfigError):
+            build_experiment(
+                self.base_config(servers={"count": 1, "discipline": "nope"})
+            )
+
+    def test_disciplines_selectable(self):
+        config = self.base_config(
+            servers={"count": 1, "cores": 1, "discipline": "sjf"}
+        )
+        experiment = build_experiment(config)
+        from repro.datacenter.disciplines import SJFQueue
+
+        server = experiment.sources[0].target
+        assert isinstance(server.queue, SJFQueue)
+
+
+class TestLoadConfig:
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError):
+            load_config(path)

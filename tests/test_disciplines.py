@@ -1,0 +1,65 @@
+"""Unit tests for queueing disciplines."""
+
+import pytest
+
+from repro.datacenter.disciplines import FCFSQueue, LIFOQueue, SJFQueue
+from repro.datacenter.job import Job
+
+
+def jobs(*sizes):
+    return [Job(i, size=s) for i, s in enumerate(sizes)]
+
+
+class TestFCFS:
+    def test_order(self):
+        queue = FCFSQueue()
+        a, b, c = jobs(3.0, 1.0, 2.0)
+        for job in (a, b, c):
+            queue.push(job)
+        assert [queue.pop() for _ in range(3)] == [a, b, c]
+
+    def test_empty_pop(self):
+        assert FCFSQueue().pop() is None
+
+    def test_len(self):
+        queue = FCFSQueue()
+        assert len(queue) == 0
+        queue.push(Job(1, size=1.0))
+        assert len(queue) == 1
+        queue.pop()
+        assert len(queue) == 0
+
+
+class TestLIFO:
+    def test_order(self):
+        queue = LIFOQueue()
+        a, b, c = jobs(1.0, 2.0, 3.0)
+        for job in (a, b, c):
+            queue.push(job)
+        assert [queue.pop() for _ in range(3)] == [c, b, a]
+
+    def test_empty_pop(self):
+        assert LIFOQueue().pop() is None
+
+
+class TestSJF:
+    def test_order_by_size(self):
+        queue = SJFQueue()
+        a, b, c = jobs(3.0, 1.0, 2.0)
+        for job in (a, b, c):
+            queue.push(job)
+        assert [queue.pop() for _ in range(3)] == [b, c, a]
+
+    def test_ties_by_arrival_order(self):
+        queue = SJFQueue()
+        a, b = jobs(1.0, 1.0)
+        queue.push(a)
+        queue.push(b)
+        assert queue.pop() is a
+
+    def test_sizeless_rejected(self):
+        with pytest.raises(ValueError):
+            SJFQueue().push(Job(1))
+
+    def test_empty_pop(self):
+        assert SJFQueue().pop() is None

@@ -1,0 +1,273 @@
+"""Unit tests for the analytic distribution substrate."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    BoundedPareto,
+    Deterministic,
+    DistributionError,
+    Erlang,
+    Exponential,
+    Gamma,
+    HyperExponential,
+    LogNormal,
+    Pareto,
+    Uniform,
+    Weibull,
+    fit_mean_cv,
+)
+
+N_MC = 60_000
+MC_RTOL = 0.08  # Monte-Carlo tolerance on moments
+
+
+def check_moments(dist, rng, rtol=MC_RTOL):
+    mean, std = dist.empirical_moments(rng, N_MC)
+    assert mean == pytest.approx(dist.mean(), rel=rtol)
+    if dist.variance() > 0:
+        assert std == pytest.approx(dist.std(), rel=max(rtol, 0.12))
+
+
+class TestExponential:
+    def test_moments(self):
+        dist = Exponential(rate=4.0)
+        assert dist.mean() == pytest.approx(0.25)
+        assert dist.variance() == pytest.approx(0.0625)
+        assert dist.cv() == pytest.approx(1.0)
+
+    def test_from_mean(self):
+        assert Exponential.from_mean(0.5).rate == pytest.approx(2.0)
+
+    def test_sampling_matches_moments(self, rng):
+        check_moments(Exponential(rate=3.0), rng)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(DistributionError):
+            Exponential(rate=0.0)
+        with pytest.raises(DistributionError):
+            Exponential(rate=-1.0)
+
+    def test_sample_many_matches_scalar_distribution(self, rng):
+        dist = Exponential(rate=2.0)
+        batch = dist.sample_many(rng, 1000)
+        assert batch.shape == (1000,)
+        assert np.all(batch >= 0)
+
+
+class TestDeterministic:
+    def test_constant(self, rng):
+        dist = Deterministic(3.5)
+        assert dist.sample(rng) == 3.5
+        assert np.all(dist.sample_many(rng, 10) == 3.5)
+        assert dist.variance() == 0.0
+
+    def test_zero_allowed(self, rng):
+        assert Deterministic(0.0).sample(rng) == 0.0
+
+    def test_cv_of_zero_mean_raises(self):
+        with pytest.raises(DistributionError):
+            Deterministic(0.0).cv()
+
+    def test_negative_rejected(self):
+        with pytest.raises(DistributionError):
+            Deterministic(-1.0)
+
+
+class TestUniform:
+    def test_moments(self):
+        dist = Uniform(1.0, 3.0)
+        assert dist.mean() == pytest.approx(2.0)
+        assert dist.variance() == pytest.approx(4.0 / 12.0)
+
+    def test_sampling_in_range(self, rng):
+        draws = Uniform(2.0, 5.0).sample_many(rng, 1000)
+        assert np.all((draws >= 2.0) & (draws <= 5.0))
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(DistributionError):
+            Uniform(5.0, 2.0)
+
+
+class TestGamma:
+    def test_from_mean_cv_exact(self):
+        dist = Gamma.from_mean_cv(2.0, 0.5)
+        assert dist.mean() == pytest.approx(2.0)
+        assert dist.cv() == pytest.approx(0.5)
+
+    def test_sampling(self, rng):
+        check_moments(Gamma.from_mean_cv(1.5, 0.7), rng)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DistributionError):
+            Gamma(shape=0, scale=1)
+        with pytest.raises(DistributionError):
+            Gamma(shape=1, scale=0)
+
+
+class TestErlang:
+    def test_is_gamma_with_integer_shape(self):
+        dist = Erlang(k=4, rate=2.0)
+        assert dist.mean() == pytest.approx(2.0)
+        assert dist.cv() == pytest.approx(0.5)
+
+    def test_rejects_fractional_k(self):
+        with pytest.raises(DistributionError):
+            Erlang(k=2.5, rate=1.0)
+
+    def test_rejects_zero_k(self):
+        with pytest.raises(DistributionError):
+            Erlang(k=0, rate=1.0)
+
+
+class TestLogNormal:
+    def test_from_mean_cv_exact(self):
+        dist = LogNormal.from_mean_cv(0.1, 3.0)
+        assert dist.mean() == pytest.approx(0.1)
+        assert dist.cv() == pytest.approx(3.0)
+
+    def test_sampling(self, rng):
+        check_moments(LogNormal.from_mean_cv(1.0, 0.8), rng)
+
+
+class TestWeibull:
+    def test_exponential_special_case(self):
+        # shape=1 Weibull is exponential with mean = scale
+        dist = Weibull(shape=1.0, scale=2.0)
+        assert dist.mean() == pytest.approx(2.0)
+        assert dist.cv() == pytest.approx(1.0)
+
+    def test_sampling(self, rng):
+        check_moments(Weibull(shape=2.0, scale=1.0), rng)
+
+    def test_from_mean_cv(self):
+        for cv in (0.3, 1.0, 2.5):
+            dist = Weibull.from_mean_cv(0.5, cv)
+            assert dist.mean() == pytest.approx(0.5, rel=1e-6)
+            assert dist.cv() == pytest.approx(cv, rel=1e-6)
+
+    def test_from_mean_cv_out_of_range(self):
+        with pytest.raises(DistributionError):
+            Weibull.from_mean_cv(1.0, 1e6)
+
+
+class TestBoundedPareto:
+    def test_samples_within_bounds(self, rng):
+        dist = BoundedPareto(alpha=1.2, low=0.01, high=10.0)
+        draws = dist.sample_many(rng, 5000)
+        assert draws.min() >= 0.01
+        assert draws.max() <= 10.0
+
+    def test_moments_match_sampling(self, rng):
+        dist = BoundedPareto(alpha=1.5, low=0.1, high=100.0)
+        mean, std = dist.empirical_moments(rng, 300_000)
+        assert mean == pytest.approx(dist.mean(), rel=0.05)
+        # The tail makes the sample-std estimator itself heavy-tailed;
+        # only a loose agreement is statistically meaningful here.
+        assert std == pytest.approx(dist.std(), rel=0.25)
+
+    def test_alpha_equals_one_log_case(self, rng):
+        dist = BoundedPareto(alpha=1.0, low=1.0, high=10.0)
+        mean, _ = dist.empirical_moments(rng, 100_000)
+        assert dist.mean() == pytest.approx(mean, rel=0.05)
+
+    def test_heavy_tail_cv(self):
+        # A wide bounded Pareto has Cv well above 1.
+        dist = BoundedPareto(alpha=1.1, low=0.001, high=100.0)
+        assert dist.cv() > 2.0
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            BoundedPareto(alpha=0.0, low=1.0, high=2.0)
+        with pytest.raises(DistributionError):
+            BoundedPareto(alpha=1.0, low=2.0, high=1.0)
+
+
+class TestPareto:
+    def test_moments(self):
+        dist = Pareto(alpha=3.0, xm=1.0)
+        assert dist.mean() == pytest.approx(1.5)
+        assert dist.variance() == pytest.approx(3.0 / (4.0 * 1.0))
+
+    def test_undefined_moments_raise(self):
+        with pytest.raises(DistributionError):
+            Pareto(alpha=0.9, xm=1.0).mean()
+        with pytest.raises(DistributionError):
+            Pareto(alpha=1.5, xm=1.0).variance()
+
+    def test_samples_above_xm(self, rng):
+        draws = Pareto(alpha=2.5, xm=2.0).sample_many(rng, 1000)
+        assert np.all(draws >= 2.0)
+
+
+class TestHyperExponential:
+    def test_from_mean_cv_exact(self):
+        dist = HyperExponential.from_mean_cv(0.05, 3.4)
+        assert dist.mean() == pytest.approx(0.05)
+        assert dist.cv() == pytest.approx(3.4)
+
+    def test_balanced_means(self):
+        dist = HyperExponential.from_mean_cv(1.0, 2.0)
+        p2 = 1.0 - dist.p1
+        assert dist.p1 / dist.rate1 == pytest.approx(p2 / dist.rate2)
+
+    def test_requires_cv_above_one(self):
+        with pytest.raises(DistributionError):
+            HyperExponential.from_mean_cv(1.0, 0.9)
+
+    def test_sampling(self, rng):
+        check_moments(HyperExponential.from_mean_cv(1.0, 2.5), rng, rtol=0.1)
+
+    def test_rejects_bad_p1(self):
+        with pytest.raises(DistributionError):
+            HyperExponential(p1=0.0, rate1=1.0, rate2=2.0)
+        with pytest.raises(DistributionError):
+            HyperExponential(p1=1.0, rate1=1.0, rate2=2.0)
+
+
+class TestFitMeanCv:
+    @pytest.mark.parametrize("cv", [0.0, 0.3, 0.7, 1.0, 1.2, 3.6, 15.0])
+    def test_moments_match_exactly(self, cv):
+        dist = fit_mean_cv(0.2, cv)
+        assert dist.mean() == pytest.approx(0.2)
+        assert dist.cv() == pytest.approx(cv, abs=1e-9)
+
+    def test_shapes_by_cv_regime(self):
+        assert isinstance(fit_mean_cv(1.0, 0.0), Deterministic)
+        assert isinstance(fit_mean_cv(1.0, 0.5), Gamma)
+        assert isinstance(fit_mean_cv(1.0, 1.0), Exponential)
+        assert isinstance(fit_mean_cv(1.0, 2.0), HyperExponential)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(DistributionError):
+            fit_mean_cv(0.0, 1.0)
+        with pytest.raises(DistributionError):
+            fit_mean_cv(1.0, -0.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        mean=st.floats(min_value=1e-4, max_value=1e3),
+        cv=st.floats(min_value=0.0, max_value=20.0),
+    )
+    def test_property_fit_always_matches(self, mean, cv):
+        dist = fit_mean_cv(mean, cv)
+        assert math.isclose(dist.mean(), mean, rel_tol=1e-9)
+        # Sub-1e-8 Cv collapses to Deterministic (std exactly 0), hence
+        # the mean-proportional absolute tolerance.
+        assert math.isclose(
+            dist.std(), cv * mean, rel_tol=1e-6, abs_tol=mean * 1e-7
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        mean=st.floats(min_value=1e-3, max_value=10.0),
+        cv=st.floats(min_value=0.1, max_value=8.0),
+    )
+    def test_property_samples_nonnegative(self, mean, cv):
+        dist = fit_mean_cv(mean, cv)
+        rng = np.random.default_rng(1)
+        assert np.all(dist.sample_many(rng, 200) >= 0)

@@ -1,0 +1,146 @@
+"""Unit tests for the DreamWeaver idleness-coalescing scheduler."""
+
+import pytest
+
+from repro import Experiment, Server
+from repro.datacenter.job import Job
+from repro.engine.simulation import Simulation
+from repro.policies.dreamweaver import DreamWeaver, DreamWeaverError, PolicyState
+from repro.workloads import google
+
+
+def make_policy(cores=2, threshold=1.0, wake=0.0, nap=0.0, **kwargs):
+    sim = Simulation(seed=1)
+    server = Server(cores=cores)
+    policy = DreamWeaver(
+        server,
+        delay_threshold=threshold,
+        wake_transition=wake,
+        nap_transition=nap,
+        **kwargs,
+    )
+    policy.bind(sim)
+    return sim, server, policy
+
+
+class TestConfiguration:
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(DreamWeaverError):
+            DreamWeaver(Server(), delay_threshold=-1.0)
+
+    def test_rejects_negative_transitions(self):
+        with pytest.raises(DreamWeaverError):
+            DreamWeaver(Server(), delay_threshold=1.0, wake_transition=-1.0)
+
+    def test_rejects_negative_benefit_factor(self):
+        with pytest.raises(DreamWeaverError):
+            DreamWeaver(Server(), delay_threshold=1.0, min_benefit_factor=-1.0)
+
+
+class TestNapWakeMechanics:
+    def test_starts_napping_when_empty(self):
+        _, server, policy = make_policy()
+        assert policy.state is PolicyState.NAPPING
+        assert server.paused
+
+    def test_wakes_when_cores_fill(self):
+        sim, server, policy = make_policy(cores=2, threshold=100.0)
+        for i in range(2):
+            job = Job(i + 1, size=1.0)
+            sim.schedule_at(1.0, lambda j=job: server.arrive(j))
+        sim.run(until=1.5)
+        assert policy.state is PolicyState.AWAKE
+        assert policy.wakes_by_load == 1
+
+    def test_single_job_delayed_until_threshold(self):
+        sim, server, policy = make_policy(cores=2, threshold=5.0)
+        job = Job(1, size=1.0)
+        sim.schedule_at(1.0, lambda: server.arrive(job))
+        sim.run()
+        # Arrived at 1.0, napped until its delay hit 5.0, then served 1.0.
+        assert job.start_time == pytest.approx(6.0)
+        assert job.finish_time == pytest.approx(7.0)
+        assert policy.wakes_by_timeout == 1
+
+    def test_zero_threshold_is_powernap(self):
+        sim, server, policy = make_policy(cores=2, threshold=0.0)
+        job = Job(1, size=1.0)
+        sim.schedule_at(1.0, lambda: server.arrive(job))
+        sim.run()
+        # Wakes immediately on arrival: no added delay.
+        assert job.start_time == pytest.approx(1.0)
+        assert job.finish_time == pytest.approx(2.0)
+
+    def test_wake_transition_adds_latency(self):
+        sim, server, policy = make_policy(cores=2, threshold=0.0, wake=0.5)
+        job = Job(1, size=1.0)
+        sim.schedule_at(1.0, lambda: server.arrive(job))
+        sim.run()
+        assert job.start_time == pytest.approx(1.5)
+
+    def test_renap_after_drain(self):
+        sim, server, policy = make_policy(cores=2, threshold=0.0)
+        job = Job(1, size=1.0)
+        sim.schedule_at(1.0, lambda: server.arrive(job))
+        sim.run()
+        assert policy.state is PolicyState.NAPPING
+        assert policy.naps_taken == 2
+
+    def test_preempts_running_jobs(self):
+        # One running job on a 4-core server: outstanding < cores, so the
+        # policy preempts it and naps until its delay budget expires.
+        sim, server, policy = make_policy(cores=4, threshold=2.0)
+        job = Job(1, size=1.0)
+        sim.schedule_at(0.0, lambda: server.arrive(job))
+        sim.run()
+        # Woken at delay=2.0, then runs 1.0 of work.
+        assert job.finish_time == pytest.approx(3.0)
+
+
+class TestIdleAccounting:
+    def test_idle_fraction_counts_nap_time(self):
+        sim, server, policy = make_policy(cores=2, threshold=4.0)
+        job = Job(1, size=1.0)
+        sim.schedule_at(0.0, lambda: server.arrive(job))
+        sim.run()
+        # Napped [0, 4], awake [4, 5]: idle fraction 0.8.
+        assert sim.now == pytest.approx(5.0)
+        assert policy.idle_fraction() == pytest.approx(0.8, abs=0.05)
+
+    def test_nap_transition_discounted(self):
+        sim, server, policy = make_policy(cores=2, threshold=4.0, nap=1.0)
+        job = Job(1, size=1.0)
+        sim.schedule_at(0.0, lambda: server.arrive(job))
+        sim.run()
+        # Of the 4 s nap, the first 1 s is transition (not useful sleep).
+        assert policy.nap_seconds == pytest.approx(3.0)
+
+    def test_idle_fraction_zero_before_time_passes(self):
+        _, _, policy = make_policy()
+        assert policy.idle_fraction() == 0.0
+
+
+class TestTradeoffShape:
+    def test_threshold_buys_idleness_and_costs_latency(self):
+        results = []
+        for threshold in (0.0, 0.005, 0.02):
+            experiment = Experiment(
+                seed=31, warmup_samples=300, calibration_samples=2000
+            )
+            server = Server(cores=16)
+            policy = DreamWeaver(server, delay_threshold=threshold)
+            policy.bind(experiment.simulation)
+            experiment.add_source(
+                google().at_load(0.3, cores=16), target=server
+            )
+            experiment.track_response_time(
+                server, mean_accuracy=0.1, quantiles={0.99: 0.15}
+            )
+            result = experiment.run(max_events=2_000_000)
+            results.append(
+                (policy.idle_fraction(), result["response_time"].quantiles[0.99])
+            )
+        idles = [entry[0] for entry in results]
+        latencies = [entry[1] for entry in results]
+        assert idles[0] <= idles[1] <= idles[2]
+        assert latencies[0] <= latencies[1] <= latencies[2]

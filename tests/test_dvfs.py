@@ -1,0 +1,105 @@
+"""Unit tests for the DVFS performance model (Eq. 6) and server coupling."""
+
+import pytest
+
+from repro.datacenter.job import Job
+from repro.datacenter.server import Server
+from repro.engine.simulation import Simulation
+from repro.power.dvfs import DVFSPerformanceModel, ServerDVFS
+from repro.power.models import CubicDVFSPowerModel, PowerModelError
+
+
+class TestPerformanceModel:
+    def test_eq6_endpoints(self):
+        model = DVFSPerformanceModel(alpha=0.9)
+        assert model.speed(1.0) == pytest.approx(1.0)
+        assert model.speed(0.5) == pytest.approx(0.9 * 0.5 + 0.1)
+
+    def test_alpha_zero_means_no_slowdown(self):
+        model = DVFSPerformanceModel(alpha=0.0)
+        assert model.speed(0.5) == pytest.approx(1.0)
+
+    def test_alpha_one_fully_cpu_bound(self):
+        model = DVFSPerformanceModel(alpha=1.0)
+        assert model.speed(0.5) == pytest.approx(0.5)
+
+    def test_clamp(self):
+        model = DVFSPerformanceModel(f_min=0.5, f_max=1.0)
+        assert model.clamp(0.2) == pytest.approx(0.5)
+        assert model.clamp(1.5) == pytest.approx(1.0)
+        assert model.clamp(0.7) == pytest.approx(0.7)
+
+    def test_out_of_range_frequency_rejected(self):
+        model = DVFSPerformanceModel(f_min=0.5)
+        with pytest.raises(PowerModelError):
+            model.speed(0.4)
+        with pytest.raises(PowerModelError):
+            model.speed(1.1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PowerModelError):
+            DVFSPerformanceModel(alpha=1.5)
+        with pytest.raises(PowerModelError):
+            DVFSPerformanceModel(f_min=0.0)
+        with pytest.raises(PowerModelError):
+            DVFSPerformanceModel(f_min=1.2, f_max=1.0)
+
+
+class TestServerDVFS:
+    def make(self):
+        sim = Simulation(seed=1)
+        server = Server()
+        server.bind(sim)
+        coupling = ServerDVFS(
+            server,
+            CubicDVFSPowerModel(100.0, 300.0),
+            DVFSPerformanceModel(alpha=0.9, f_min=0.5),
+        )
+        return sim, server, coupling
+
+    def test_starts_at_fmax(self):
+        _, server, coupling = self.make()
+        assert coupling.frequency == pytest.approx(1.0)
+        assert server.speed == pytest.approx(1.0)
+
+    def test_set_frequency_scales_speed(self):
+        _, server, coupling = self.make()
+        coupling.set_frequency(0.5)
+        assert server.speed == pytest.approx(0.55)
+
+    def test_set_frequency_clamps(self):
+        _, server, coupling = self.make()
+        coupling.set_frequency(0.1)
+        assert coupling.frequency == pytest.approx(0.5)
+
+    def test_frequency_affects_job_completion(self):
+        sim, server, coupling = self.make()
+        job = Job(1, size=1.0)
+        sim.schedule_at(0.0, lambda: server.arrive(job))
+        sim.schedule_at(0.0, lambda: coupling.set_frequency(0.5))
+        sim.run()
+        assert job.finish_time == pytest.approx(1.0 / 0.55)
+
+    def test_listener_fires_on_change_only(self):
+        _, _, coupling = self.make()
+        changes = []
+        coupling.on_frequency_change(lambda c: changes.append(c.frequency))
+        coupling.set_frequency(0.8)
+        coupling.set_frequency(0.8)  # no-op
+        coupling.set_frequency(0.6)
+        assert changes == [pytest.approx(0.8), pytest.approx(0.6)]
+
+    def test_power_now_tracks_utilization(self):
+        sim, server, coupling = self.make()
+        assert coupling.power_now() == pytest.approx(100.0)
+        job = Job(1, size=10.0)
+        sim.schedule_at(0.0, lambda: server.arrive(job))
+        sim.run(until=1.0)
+        assert coupling.power_now() == pytest.approx(300.0)
+
+    def test_power_at_explicit_utilization(self):
+        _, _, coupling = self.make()
+        assert coupling.power_at(0.5) == pytest.approx(200.0)
+        assert coupling.power_at(0.5, frequency=0.5) == pytest.approx(
+            100.0 + 200.0 * 0.5 * 0.125
+        )

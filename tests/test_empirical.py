@@ -1,0 +1,184 @@
+"""Unit tests for the empirical (inverse-CDF) distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    DistributionError,
+    EmpiricalDistribution,
+    Exponential,
+)
+
+
+class TestConstruction:
+    def test_from_raw_samples_sorts(self):
+        dist = EmpiricalDistribution([3.0, 1.0, 2.0])
+        values, cdf = dist.table()
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_explicit_cdf(self):
+        dist = EmpiricalDistribution([1.0, 2.0, 4.0], [0.25, 0.5, 1.0])
+        assert dist.quantile(1.0) == pytest.approx(4.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution([])
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution([-1.0, 2.0])
+
+    def test_unsorted_with_cdf_rejected(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution([2.0, 1.0], [0.5, 1.0])
+
+    def test_cdf_not_ending_at_one_rejected(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution([1.0, 2.0], [0.3, 0.9])
+
+    def test_decreasing_cdf_rejected(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution([1.0, 2.0, 3.0], [0.5, 0.4, 1.0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution([1.0, 2.0], [1.0])
+
+
+class TestSampling:
+    def test_samples_within_support(self, rng):
+        dist = EmpiricalDistribution([1.0, 2.0, 5.0])
+        draws = dist.sample_many(rng, 2000)
+        low, high = dist.support()
+        assert np.all(draws >= low - 1e-12)
+        assert np.all(draws <= high + 1e-12)
+
+    def test_single_value_degenerate(self, rng):
+        dist = EmpiricalDistribution([2.0])
+        assert dist.sample(rng) == pytest.approx(2.0)
+        assert dist.variance() == pytest.approx(0.0)
+
+    def test_moments_match_sample(self, rng):
+        base = Exponential(rate=2.0)
+        raw = base.sample_many(rng, 50_000)
+        dist = EmpiricalDistribution.from_samples(raw)
+        assert dist.mean() == pytest.approx(np.mean(raw), rel=1e-9)
+        assert dist.std() == pytest.approx(np.std(raw), rel=1e-6)
+
+    def test_from_distribution_preserves_moments(self, rng):
+        base = Exponential(rate=5.0)
+        dist = EmpiricalDistribution.from_distribution(base, rng, n=80_000)
+        assert dist.mean() == pytest.approx(base.mean(), rel=0.05)
+        assert dist.std() == pytest.approx(base.std(), rel=0.1)
+
+    def test_resampling_reproduces_quantiles(self, rng):
+        base = Exponential(rate=1.0)
+        dist = EmpiricalDistribution.from_distribution(base, rng, n=100_000)
+        draws = dist.sample_many(rng, 100_000)
+        # Median of exp(1) is ln 2
+        assert np.median(draws) == pytest.approx(np.log(2.0), rel=0.05)
+
+
+class TestCompress:
+    def test_preserves_shape(self, rng):
+        full = EmpiricalDistribution(rng.exponential(size=50_000))
+        small = full.compress(1001)
+        assert len(small) == 1001
+        assert small.mean() == pytest.approx(full.mean(), rel=0.02)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert small.quantile(q) == pytest.approx(
+                full.quantile(q), rel=0.05
+            )
+
+    def test_from_distribution_compresses_by_default(self, rng):
+        dist = EmpiricalDistribution.from_distribution(
+            Exponential(rate=1.0), rng, n=50_000
+        )
+        assert len(dist) == 10_001
+
+    def test_from_distribution_uncompressed(self, rng):
+        dist = EmpiricalDistribution.from_distribution(
+            Exponential(rate=1.0), rng, n=5_000, knots=None
+        )
+        assert len(dist) == 5_000
+
+    def test_footprint_under_a_megabyte(self, rng):
+        dist = EmpiricalDistribution.from_distribution(
+            Exponential(rate=1.0), rng, n=100_000
+        )
+        values, cdf = dist.table()
+        assert values.nbytes + cdf.nbytes < 1 << 20
+
+    def test_too_few_knots_rejected(self, rng):
+        full = EmpiricalDistribution([1.0, 2.0, 3.0])
+        with pytest.raises(DistributionError):
+            full.compress(1)
+
+
+class TestQuantile:
+    def test_bounds(self):
+        dist = EmpiricalDistribution([1.0, 2.0, 3.0, 4.0])
+        assert dist.quantile(0.0) <= dist.quantile(0.5) <= dist.quantile(1.0)
+        assert dist.quantile(1.0) == pytest.approx(4.0)
+
+    def test_out_of_range_rejected(self):
+        dist = EmpiricalDistribution([1.0])
+        with pytest.raises(DistributionError):
+            dist.quantile(1.5)
+        with pytest.raises(DistributionError):
+            dist.quantile(-0.1)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path, rng):
+        dist = EmpiricalDistribution(rng.exponential(size=500))
+        path = tmp_path / "svc.dist"
+        dist.save(path)
+        loaded = EmpiricalDistribution.load(path)
+        assert loaded.mean() == pytest.approx(dist.mean(), rel=1e-6)
+        assert loaded.quantile(0.9) == pytest.approx(dist.quantile(0.9), rel=1e-6)
+
+    def test_load_one_column_raw_samples(self, tmp_path):
+        path = tmp_path / "raw.dist"
+        path.write_text("# comment\n1.0\n3.0\n2.0\n")
+        dist = EmpiricalDistribution.load(path)
+        assert dist.mean() == pytest.approx(2.0)
+
+    def test_load_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.dist"
+        path.write_text("# nothing\n")
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution.load(path)
+
+    def test_load_inconsistent_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.dist"
+        path.write_text("1.0 0.5\n2.0\n")
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution.load(path)
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=0.0, max_value=1e6), min_size=2, max_size=200
+        )
+    )
+    def test_property_quantiles_monotone(self, samples):
+        dist = EmpiricalDistribution(samples)
+        qs = [dist.quantile(q) for q in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert all(a <= b + 1e-9 for a, b in zip(qs, qs[1:]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=0.0, max_value=1e3), min_size=2, max_size=100
+        )
+    )
+    def test_property_mean_within_support(self, samples):
+        dist = EmpiricalDistribution(samples)
+        low, high = dist.support()
+        assert low - 1e-9 <= dist.mean() <= high + 1e-9

@@ -1,0 +1,176 @@
+"""Unit tests for the event queue and simulation clock."""
+
+import pytest
+
+from repro.engine.events import EventQueue, SimulationError
+from repro.engine.simulation import Simulation
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(3.0, lambda: fired.append("c"))
+        queue.schedule(1.0, lambda: fired.append("a"))
+        queue.schedule(2.0, lambda: fired.append("b"))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self):
+        queue = EventQueue()
+        first = queue.schedule(1.0, lambda: None, "first")
+        second = queue.schedule(1.0, lambda: None, "second")
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        victim = queue.schedule(1.0, lambda: None, "victim")
+        survivor = queue.schedule(2.0, lambda: None, "survivor")
+        queue.cancel(victim)
+        assert len(queue) == 1
+        assert queue.pop() is survivor
+        assert queue.pop() is None
+
+    def test_double_cancel_rejected(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        queue.cancel(event)
+        with pytest.raises(SimulationError):
+            queue.cancel(event)
+
+    def test_len_counts_live_only(self):
+        queue = EventQueue()
+        events = [queue.schedule(float(i), lambda: None) for i in range(5)]
+        assert len(queue) == 5
+        queue.cancel(events[2])
+        assert len(queue) == 4
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        early = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        queue.cancel(early)
+        assert queue.peek_time() == pytest.approx(2.0)
+
+    def test_empty_pop_returns_none(self):
+        assert EventQueue().pop() is None
+        assert EventQueue().peek_time() is None
+
+
+class TestSimulation:
+    def test_clock_advances_with_events(self):
+        sim = Simulation()
+        times = []
+        sim.schedule_at(1.5, lambda: times.append(sim.now))
+        sim.schedule_at(0.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5, 1.5]
+
+    def test_schedule_in_relative(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule_in(1.0, lambda: sim.schedule_in(2.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [3.0]
+
+    def test_cannot_schedule_into_past(self):
+        sim = Simulation()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulation().schedule_in(-1.0, lambda: None)
+
+    def test_run_until_bound(self):
+        sim = Simulation()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, lambda t=t: fired.append(t))
+        sim.run(until=2.5)
+        assert fired == [1.0, 2.0]
+        # Remaining event still live.
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_max_events_bound(self):
+        sim = Simulation()
+        count = [0]
+
+        def reschedule():
+            count[0] += 1
+            sim.schedule_in(1.0, reschedule)
+
+        sim.schedule_in(1.0, reschedule)
+        sim.run(max_events=10)
+        assert count[0] == 10
+
+    def test_stop_when_predicate(self):
+        sim = Simulation()
+        count = [0]
+
+        def reschedule():
+            count[0] += 1
+            sim.schedule_in(1.0, reschedule)
+
+        sim.schedule_in(1.0, reschedule)
+        sim.run(stop_when=lambda: count[0] >= 50, stop_check_interval=1)
+        assert count[0] == 50
+
+    def test_periodic_fires_repeatedly(self):
+        sim = Simulation()
+        ticks = []
+        sim.schedule_periodic(1.0, lambda: ticks.append(sim.now))
+        sim.run(max_events=5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_periodic_rejects_nonpositive_period(self):
+        with pytest.raises(SimulationError):
+            Simulation().schedule_periodic(0.0, lambda: None)
+
+    def test_spawn_rng_streams_independent(self):
+        sim = Simulation(seed=1)
+        a = sim.spawn_rng()
+        b = sim.spawn_rng()
+        assert a.random() != b.random()
+
+    def test_same_seed_reproducible(self):
+        def draws(seed):
+            sim = Simulation(seed=seed)
+            return sim.spawn_rng().random(5).tolist()
+
+        assert draws(7) == draws(7)
+        assert draws(7) != draws(8)
+
+    def test_events_processed_counter(self):
+        sim = Simulation()
+        for t in (1.0, 2.0):
+            sim.schedule_at(t, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+    def test_tracing_records_labels(self):
+        sim = Simulation()
+        sim.enable_tracing(capacity=10)
+        sim.schedule_at(1.0, lambda: None, "first")
+        sim.schedule_at(2.0, lambda: None, "second")
+        sim.run()
+        assert sim.trace() == [(1.0, "first"), (2.0, "second")]
+
+    def test_tracing_capacity_bounded(self):
+        sim = Simulation()
+        sim.enable_tracing(capacity=3)
+        for t in range(1, 8):
+            sim.schedule_at(float(t), lambda: None, f"e{t}")
+        sim.run()
+        assert [label for _, label in sim.trace()] == ["e5", "e6", "e7"]
+
+    def test_trace_requires_enable(self):
+        with pytest.raises(SimulationError):
+            Simulation().trace()
+        with pytest.raises(SimulationError):
+            Simulation().enable_tracing(capacity=0)

@@ -1,0 +1,220 @@
+"""Integration tests for the Experiment layer against queuing theory."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Experiment, Server, Workload
+from repro.distributions import Exponential, HyperExponential
+from repro.workloads import web
+
+
+class TestBasicRun:
+    def test_requires_metrics(self, mm1_experiment):
+        experiment, _server = mm1_experiment
+        with pytest.raises(RuntimeError):
+            experiment.run()
+
+    def test_converges_and_reports(self, mm1_experiment):
+        experiment, server = mm1_experiment
+        experiment.track_response_time(server, mean_accuracy=0.05)
+        result = experiment.run()
+        assert result.converged
+        assert result.events_processed > 0
+        assert result.sim_time > 0
+        assert "response_time" in result
+        assert result.jobs_generated > 0
+
+    def test_unconverged_flagged_at_event_cap(self, mm1_experiment):
+        experiment, server = mm1_experiment
+        experiment.track_response_time(server, mean_accuracy=0.001)
+        result = experiment.run(max_events=5000)
+        assert not result.converged
+
+    def test_reproducible_with_seed(self):
+        def run(seed):
+            experiment = Experiment(
+                seed=seed, warmup_samples=100, calibration_samples=1000
+            )
+            server = Server()
+            workload = Workload(
+                "x", Exponential(rate=10.0), Exponential(rate=20.0)
+            )
+            experiment.add_source(workload, target=server)
+            experiment.track_response_time(server, mean_accuracy=0.1)
+            return experiment.run()["response_time"].mean
+
+        assert run(9) == run(9)
+        assert run(9) != run(10)
+
+    def test_duplicate_metric_names_rejected(self, mm1_experiment):
+        experiment, server = mm1_experiment
+        experiment.track_response_time(server)
+        from repro.core.statistic import StatisticError
+
+        with pytest.raises(StatisticError):
+            experiment.track_response_time(server)
+
+
+class TestTheoryValidation:
+    """The simulator must reproduce closed-form queuing results."""
+
+    def test_mm1_mean_response(self):
+        # E[T] = 1 / (mu - lambda)
+        experiment = Experiment(seed=11, warmup_samples=500,
+                                calibration_samples=3000)
+        server = Server()
+        experiment.add_source(
+            Workload("mm1", Exponential(rate=14.0), Exponential(rate=20.0)),
+            target=server,
+        )
+        experiment.track_response_time(server, mean_accuracy=0.02)
+        estimate = experiment.run()["response_time"]
+        assert estimate.mean == pytest.approx(1.0 / 6.0, rel=0.08)
+
+    def test_mm1_quantile(self):
+        # T is exponential: q-quantile = E[T] * -ln(1-q)
+        experiment = Experiment(seed=12, warmup_samples=500,
+                                calibration_samples=3000)
+        server = Server()
+        experiment.add_source(
+            Workload("mm1", Exponential(rate=10.0), Exponential(rate=20.0)),
+            target=server,
+        )
+        experiment.track_response_time(
+            server, mean_accuracy=0.02, quantiles={0.9: 0.05}
+        )
+        estimate = experiment.run()["response_time"]
+        assert estimate.quantiles[0.9] == pytest.approx(
+            0.1 * math.log(10.0), rel=0.08
+        )
+
+    def test_mg1_pollaczek_khinchine(self):
+        # E[W] = lambda E[S^2] / (2 (1 - rho)) for M/G/1.
+        service = HyperExponential.from_mean_cv(0.05, 2.0)
+        arrival_rate = 10.0  # rho = 0.5
+        second_moment = service.variance() + service.mean() ** 2
+        theory_wait = arrival_rate * second_moment / (2 * (1 - 0.5))
+        experiment = Experiment(seed=13, warmup_samples=500,
+                                calibration_samples=3000)
+        server = Server()
+        experiment.add_source(
+            Workload("mg1", Exponential(rate=arrival_rate), service),
+            target=server,
+        )
+        experiment.track_waiting_time(server, mean_accuracy=0.02)
+        estimate = experiment.run()["waiting_time"]
+        assert estimate.mean == pytest.approx(theory_wait, rel=0.1)
+
+    def test_md1_pollaczek_khinchine(self):
+        # Deterministic-ish service: Cv -> 0 halves M/M/1 waiting.
+        from repro.distributions import Deterministic
+
+        arrival_rate = 10.0
+        service_time = 0.05  # rho = 0.5
+        theory_wait = arrival_rate * service_time**2 / (2 * (1 - 0.5))
+        experiment = Experiment(seed=14, warmup_samples=500,
+                                calibration_samples=3000)
+        server = Server()
+        experiment.add_source(
+            Workload(
+                "md1",
+                Exponential(rate=arrival_rate),
+                Deterministic(service_time),
+            ),
+            target=server,
+        )
+        experiment.track_waiting_time(server, mean_accuracy=0.03)
+        estimate = experiment.run()["waiting_time"]
+        assert estimate.mean == pytest.approx(theory_wait, rel=0.12)
+
+    def test_mmk_stays_stable_and_ordered(self):
+        # More cores at equal total load -> shorter waits.
+        def mean_response(cores):
+            experiment = Experiment(seed=15, warmup_samples=300,
+                                    calibration_samples=2000)
+            server = Server(cores=cores)
+            workload = Workload(
+                "mmk", Exponential(rate=cores * 10.0), Exponential(rate=20.0)
+            )
+            experiment.add_source(workload, target=server)
+            experiment.track_response_time(server, mean_accuracy=0.05)
+            return experiment.run()["response_time"].mean
+
+        assert mean_response(4) < mean_response(1)
+
+
+class TestMultiMetric:
+    def test_both_metrics_converge(self):
+        experiment = Experiment(seed=21, warmup_samples=300,
+                                calibration_samples=2000)
+        server = Server()
+        experiment.add_source(web().at_load(0.6), target=server)
+        experiment.track_response_time(server, mean_accuracy=0.05)
+        experiment.track_waiting_time(server, mean_accuracy=0.1)
+        result = experiment.run()
+        assert result.converged
+        assert result["waiting_time"].mean < result["response_time"].mean
+
+    def test_run_until_calibrated_stops_early(self):
+        experiment = Experiment(seed=22, warmup_samples=300,
+                                calibration_samples=2000)
+        server = Server()
+        experiment.add_source(web().at_load(0.5), target=server)
+        experiment.track_response_time(server, mean_accuracy=0.01)
+        result = experiment.run_until_calibrated()
+        assert not result.converged
+        statistic = experiment.stats["response_time"]
+        assert statistic.histogram is not None
+        assert statistic.lag is not None
+
+    def test_run_until_accepted(self):
+        experiment = Experiment(seed=23, warmup_samples=300,
+                                calibration_samples=2000)
+        server = Server()
+        experiment.add_source(web().at_load(0.5), target=server)
+        experiment.track_response_time(server, mean_accuracy=0.01)
+        experiment.run_until_calibrated()
+        before = experiment.stats.total_accepted
+        experiment.run_until_accepted(500)
+        assert experiment.stats.total_accepted >= before + 500
+
+    def test_run_until_accepted_validates(self):
+        experiment = Experiment(seed=24)
+        server = Server()
+        experiment.add_source(web().at_load(0.5), target=server)
+        experiment.track_response_time(server)
+        with pytest.raises(ValueError):
+            experiment.run_until_accepted(0)
+
+    def test_progress_snapshot(self):
+        experiment = Experiment(seed=26, warmup_samples=300,
+                                calibration_samples=2000)
+        server = Server()
+        experiment.add_source(web().at_load(0.5), target=server)
+        experiment.track_response_time(server, mean_accuracy=0.05)
+        snapshot = experiment.progress()
+        assert snapshot["response_time"]["phase"] == "warmup"
+        experiment.run_until_calibrated()
+        experiment.run_until_accepted(500)
+        snapshot = experiment.progress()
+        entry = snapshot["response_time"]
+        assert entry["phase"] in ("measurement", "converged")
+        assert entry["accepted"] >= 500
+        assert entry["lag"] >= 1
+        if "fraction_done" in entry:
+            assert 0.0 < entry["fraction_done"] <= 1.0
+
+    def test_custom_metric_via_record(self):
+        experiment = Experiment(seed=25, warmup_samples=100,
+                                calibration_samples=1000)
+        server = Server()
+        experiment.add_source(web().at_load(0.5), target=server)
+        experiment.track("queue_depth", mean_accuracy=None, quantiles={0.9: 0.2})
+        server.on_complete(
+            lambda job, srv: experiment.record("queue_depth", srv.queue_length + 1.0)
+        )
+        result = experiment.run(max_events=2_000_000)
+        estimate = result["queue_depth"]
+        assert estimate.quantiles[0.9] >= 1.0

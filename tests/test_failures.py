@@ -1,0 +1,104 @@
+"""Tests for failure injection and availability accounting."""
+
+import pytest
+
+from repro import Experiment, Server, Workload
+from repro.datacenter.failures import FailureInjector
+from repro.datacenter.job import Job
+from repro.distributions import Deterministic, Exponential
+from repro.engine.simulation import Simulation
+
+
+def deterministic_injector(up=10.0, down=2.0, **kwargs):
+    sim = Simulation(seed=1)
+    server = Server()
+    injector = FailureInjector(
+        server,
+        time_to_failure=Deterministic(up),
+        time_to_repair=Deterministic(down),
+        **kwargs,
+    )
+    injector.bind(sim)
+    return sim, server, injector
+
+
+class TestLifecycle:
+    def test_alternates_up_down(self):
+        sim, server, injector = deterministic_injector(up=10.0, down=2.0)
+        sim.run(until=23.0)
+        # Failures at 10 and 22; repairs at 12 (and later 24).
+        assert injector.failures == 2
+        assert injector.repairs == 1
+        assert injector.failed  # down since t=22
+        sim.run(until=24.5)
+        assert injector.repairs == 2
+        assert not injector.failed
+
+    def test_availability_fraction(self):
+        sim, _, injector = deterministic_injector(up=8.0, down=2.0)
+        sim.schedule_at(100.0, lambda: None)
+        sim.run(until=100.0)
+        # 10s cycle with 2s down -> 80% availability.
+        assert injector.availability() == pytest.approx(0.8, abs=0.03)
+
+    def test_mttr(self):
+        sim, _, injector = deterministic_injector(up=5.0, down=1.5)
+        sim.schedule_at(50.0, lambda: None)
+        sim.run(until=50.0)
+        assert injector.mttr() == pytest.approx(1.5)
+
+    def test_mttr_requires_repairs(self):
+        _, _, injector = deterministic_injector()
+        with pytest.raises(ValueError):
+            injector.mttr()
+
+    def test_double_bind_rejected(self):
+        sim, _, injector = deterministic_injector()
+        with pytest.raises(RuntimeError):
+            injector.bind(sim)
+
+
+class TestJobInteraction:
+    def test_inflight_job_freezes_and_resumes(self):
+        sim, server, injector = deterministic_injector(up=1.0, down=3.0)
+        job = Job(1, size=2.0)
+        sim.schedule_at(0.0, lambda: server.arrive(job))
+        sim.run(until=10.0)
+        # 1s of work, 3s outage, 1s of work: finishes at t=5.
+        assert job.finish_time == pytest.approx(5.0)
+
+    def test_drop_queued_discards_waiting_jobs(self):
+        sim, server, injector = deterministic_injector(
+            up=1.0, down=1.0, drop_queued=True
+        )
+        running = Job(1, size=5.0)
+        queued = Job(2, size=1.0)
+        sim.schedule_at(0.0, lambda: server.arrive(running))
+        sim.schedule_at(0.5, lambda: server.arrive(queued))
+        sim.run(until=3.0)
+        assert injector.dropped_jobs == 1
+        assert queued.finish_time is None
+
+    def test_latency_tail_feels_outages(self):
+        def p99(with_failures, seed=51):
+            experiment = Experiment(seed=seed, warmup_samples=300,
+                                    calibration_samples=2000)
+            server = Server()
+            if with_failures:
+                injector = FailureInjector(
+                    server,
+                    time_to_failure=Exponential.from_mean(20.0),
+                    time_to_repair=Exponential.from_mean(1.0),
+                )
+                injector.bind(experiment.simulation)
+            workload = Workload(
+                "w", Exponential(rate=10.0), Exponential(rate=25.0)
+            )
+            experiment.add_source(workload, target=server)
+            experiment.track_response_time(
+                server, mean_accuracy=0.1, quantiles={0.99: 0.2}
+            )
+            result = experiment.run(max_events=5_000_000)
+            return result["response_time"].quantiles[0.99]
+
+        assert p99(True) > 2.0 * p99(False)

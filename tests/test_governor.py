@@ -1,0 +1,108 @@
+"""Unit tests for the ondemand-style DVFS governor."""
+
+import pytest
+
+from repro import Experiment, Server
+from repro.datacenter.job import Job
+from repro.engine.simulation import Simulation
+from repro.policies import OndemandGovernor
+from repro.power import (
+    CubicDVFSPowerModel,
+    DVFSPerformanceModel,
+    EnergyMeter,
+    PowerModelError,
+    ServerDVFS,
+)
+from repro.workloads import google
+
+
+def make_governed(epoch=0.1, up_threshold=0.8, target=0.7, alpha=0.9):
+    sim = Simulation(seed=1)
+    server = Server(cores=1)
+    server.bind(sim)
+    coupling = ServerDVFS(
+        server,
+        CubicDVFSPowerModel(100.0, 300.0),
+        DVFSPerformanceModel(alpha=alpha, f_min=0.5),
+    )
+    governor = OndemandGovernor(
+        coupling, epoch=epoch, up_threshold=up_threshold,
+        target_utilization=target,
+    )
+    governor.bind(sim)
+    return sim, server, coupling, governor
+
+
+class TestValidation:
+    def test_parameters(self):
+        sim = Simulation(seed=1)
+        server = Server()
+        server.bind(sim)
+        coupling = ServerDVFS(server, CubicDVFSPowerModel())
+        with pytest.raises(PowerModelError):
+            OndemandGovernor(coupling, epoch=0.0)
+        with pytest.raises(PowerModelError):
+            OndemandGovernor(coupling, up_threshold=1.5)
+        with pytest.raises(PowerModelError):
+            OndemandGovernor(coupling, target_utilization=0.0)
+
+    def test_double_bind(self):
+        sim, _, _, governor = make_governed()
+        with pytest.raises(PowerModelError):
+            governor.bind(sim)
+
+
+class TestDecisions:
+    def test_idle_server_drops_to_fmin(self):
+        sim, _, coupling, governor = make_governed()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run(until=1.0)
+        assert governor.epochs_run >= 9
+        assert coupling.frequency == pytest.approx(0.5)
+
+    def test_saturated_server_boosts_to_fmax(self):
+        sim, server, coupling, governor = make_governed()
+        coupling.set_frequency(0.5)
+        job = Job(1, size=100.0)
+        sim.schedule_at(0.0, lambda: server.arrive(job))
+        sim.run(until=1.0)
+        assert coupling.frequency == pytest.approx(1.0)
+        assert governor.boosts > 0
+
+    def test_moderate_load_picks_intermediate_frequency(self):
+        # Deterministic 50% duty cycle: 0.05s of work every 0.1s epoch.
+        sim, server, coupling, governor = make_governed(target=0.99)
+        counter = [0]
+
+        def inject():
+            counter[0] += 1
+            server.arrive(Job(counter[0], size=0.05))
+
+        sim.schedule_periodic(0.1, inject)
+        sim.run(until=3.0)
+        assert 0.5 <= coupling.frequency < 1.0
+
+    def test_governor_saves_energy_at_low_load(self):
+        def run(with_governor, seed=111):
+            experiment = Experiment(seed=seed, warmup_samples=200,
+                                    calibration_samples=1500)
+            server = Server(cores=1)
+            experiment.bind(server)
+            coupling = ServerDVFS(
+                server,
+                CubicDVFSPowerModel(100.0, 300.0),
+                DVFSPerformanceModel(alpha=0.9, f_min=0.5),
+            )
+            meter = EnergyMeter(server, dvfs=coupling)
+            if with_governor:
+                governor = OndemandGovernor(coupling, epoch=0.05)
+                governor.bind(experiment.simulation)
+            experiment.add_source(google().at_load(0.2), target=server)
+            experiment.track_response_time(server, mean_accuracy=0.1)
+            result = experiment.run(max_events=1_500_000)
+            return meter.average_power(), result["response_time"].mean
+
+        governed_power, governed_latency = run(True)
+        fixed_power, fixed_latency = run(False)
+        assert governed_power < fixed_power
+        assert governed_latency > fixed_latency  # the price of saving

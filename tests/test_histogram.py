@@ -1,0 +1,191 @@
+"""Unit tests for the streaming histogram (Chen & Kelton quantiles)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.histogram import BinScheme, Histogram, HistogramError
+
+
+def filled(values, scheme=None, bins=100):
+    values = np.asarray(values, dtype=float)
+    if scheme is None:
+        scheme = BinScheme.from_sample(values, bins=bins)
+    histogram = Histogram(scheme)
+    histogram.insert_many(values)
+    return histogram
+
+
+class TestBinScheme:
+    def test_from_sample_covers_range(self):
+        scheme = BinScheme.from_sample([1.0, 2.0, 10.0], bins=50)
+        assert scheme.low == pytest.approx(1.0)
+        assert scheme.high > 10.0  # padded tail
+        assert scheme.bins == 50
+
+    def test_degenerate_sample_gets_token_width(self):
+        scheme = BinScheme.from_sample([5.0, 5.0], bins=10)
+        assert scheme.low < 5.0 < scheme.high
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(HistogramError):
+            BinScheme(low=1.0, high=1.0, bins=10)
+        with pytest.raises(HistogramError):
+            BinScheme(low=0.0, high=1.0, bins=0)
+        with pytest.raises(HistogramError):
+            BinScheme(low=float("nan"), high=1.0, bins=10)
+        with pytest.raises(HistogramError):
+            BinScheme.from_sample([1.0], bins=10)
+
+    def test_width(self):
+        scheme = BinScheme(low=0.0, high=10.0, bins=100)
+        assert scheme.width == pytest.approx(0.1)
+
+
+class TestMoments:
+    def test_exact_mean_std(self, rng):
+        values = rng.exponential(size=5000)
+        histogram = filled(values)
+        assert histogram.mean == pytest.approx(np.mean(values), rel=1e-9)
+        assert histogram.std == pytest.approx(np.std(values), rel=1e-6)
+
+    def test_min_max_tracked(self):
+        histogram = filled([1.0, 5.0, 3.0])
+        assert histogram.min_seen == 1.0
+        assert histogram.max_seen == 5.0
+
+    def test_empty_histogram_raises(self):
+        histogram = Histogram(BinScheme(0.0, 1.0, 10))
+        with pytest.raises(HistogramError):
+            _ = histogram.mean
+        with pytest.raises(HistogramError):
+            histogram.quantile(0.5)
+
+    def test_nonfinite_rejected(self):
+        histogram = Histogram(BinScheme(0.0, 1.0, 10))
+        with pytest.raises(HistogramError):
+            histogram.insert(float("inf"))
+        with pytest.raises(HistogramError):
+            histogram.insert(float("nan"))
+
+
+class TestQuantiles:
+    def test_matches_numpy_on_uniform(self, rng):
+        values = rng.uniform(0.0, 10.0, size=20_000)
+        histogram = filled(values, bins=1000)
+        for q in (0.1, 0.5, 0.9, 0.95, 0.99):
+            assert histogram.quantile(q) == pytest.approx(
+                np.quantile(values, q), rel=0.02, abs=0.05
+            )
+
+    def test_matches_numpy_on_exponential(self, rng):
+        values = rng.exponential(scale=2.0, size=30_000)
+        histogram = filled(values, bins=1000)
+        for q in (0.5, 0.9, 0.95):
+            assert histogram.quantile(q) == pytest.approx(
+                np.quantile(values, q), rel=0.03
+            )
+
+    def test_overflow_region_interpolates(self):
+        scheme = BinScheme(low=0.0, high=1.0, bins=10)
+        histogram = Histogram(scheme)
+        histogram.insert_many([0.5] * 90 + [5.0] * 10)
+        q99 = histogram.quantile(0.99)
+        assert 1.0 <= q99 <= 5.0
+
+    def test_underflow_region_interpolates(self):
+        scheme = BinScheme(low=1.0, high=2.0, bins=10)
+        histogram = Histogram(scheme)
+        histogram.insert_many([0.2] * 10 + [1.5] * 90)
+        q05 = histogram.quantile(0.05)
+        assert 0.2 <= q05 <= 1.0
+
+    def test_invalid_q_rejected(self):
+        histogram = filled([1.0, 2.0])
+        with pytest.raises(HistogramError):
+            histogram.quantile(1.2)
+
+    def test_density_positive_at_median(self, rng):
+        histogram = filled(rng.exponential(size=5000))
+        assert histogram.density_at_quantile(0.5) > 0
+
+
+class TestMerge:
+    def test_merge_equals_union(self, rng):
+        a_values = rng.exponential(size=4000)
+        b_values = rng.exponential(size=6000)
+        scheme = BinScheme.from_sample(
+            np.concatenate([a_values, b_values]), bins=500
+        )
+        merged = filled(a_values, scheme)
+        merged.merge(filled(b_values, scheme))
+        union = filled(np.concatenate([a_values, b_values]), scheme)
+        assert merged.count == union.count
+        assert merged.mean == pytest.approx(union.mean)
+        assert merged.std == pytest.approx(union.std)
+        assert merged.quantile(0.95) == pytest.approx(union.quantile(0.95))
+        assert np.array_equal(merged.counts, union.counts)
+
+    def test_merge_rejects_different_schemes(self):
+        a = Histogram(BinScheme(0.0, 1.0, 10))
+        b = Histogram(BinScheme(0.0, 2.0, 10))
+        with pytest.raises(HistogramError):
+            a.merge(b)
+
+    def test_merge_is_commutative(self, rng):
+        scheme = BinScheme(0.0, 10.0, 100)
+        a_values = rng.uniform(0, 8, size=1000)
+        b_values = rng.uniform(2, 10, size=1000)
+        ab = filled(a_values, scheme)
+        ab.merge(filled(b_values, scheme))
+        ba = filled(b_values, scheme)
+        ba.merge(filled(a_values, scheme))
+        assert ab.mean == pytest.approx(ba.mean)
+        assert np.array_equal(ab.counts, ba.counts)
+
+
+class TestPayload:
+    def test_roundtrip(self, rng):
+        histogram = filled(rng.exponential(size=2000))
+        clone = Histogram.from_payload(histogram.to_payload())
+        assert clone.count == histogram.count
+        assert clone.mean == pytest.approx(histogram.mean)
+        assert clone.quantile(0.9) == pytest.approx(histogram.quantile(0.9))
+        assert np.array_equal(clone.counts, histogram.counts)
+
+    def test_payload_is_plain_data(self, rng):
+        import json
+
+        payload = filled(rng.exponential(size=100)).to_payload()
+        json.dumps(payload)  # must be JSON-serializable plain data
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e4), min_size=2, max_size=300
+        )
+    )
+    def test_property_quantile_within_min_max(self, values):
+        histogram = filled(values, bins=64)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            estimate = histogram.quantile(q)
+            assert min(values) - 1e-6 <= estimate <= max(values) + 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=200
+        ),
+        split=st.integers(min_value=1, max_value=199),
+    )
+    def test_property_merge_count_conserved(self, values, split):
+        split = min(split, len(values) - 1)
+        scheme = BinScheme.from_sample(values, bins=32)
+        left = filled(values[:split], scheme)
+        right = filled(values[split:], scheme)
+        left.merge(right)
+        assert left.count == len(values)
+        assert left.mean == pytest.approx(float(np.mean(values)), rel=1e-9, abs=1e-9)

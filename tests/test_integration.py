@@ -1,0 +1,156 @@
+"""Cross-module integration scenarios exercising the full stack."""
+
+import numpy as np
+import pytest
+
+from repro import Experiment, Server, Workload
+from repro.datacenter.balancers import JoinShortestQueue, RandomBalancer
+from repro.datacenter.server import Server as ServerClass
+from repro.distributions import Deterministic, EmpiricalDistribution, Exponential
+from repro.power.dvfs import DVFSPerformanceModel, ServerDVFS
+from repro.power.meter import EnergyMeter
+from repro.power.models import CubicDVFSPowerModel, LinearPowerModel
+from repro.workloads import generate_trace, google, web
+
+
+class TestLoadBalancedCluster:
+    def test_jsq_beats_random_on_tail(self):
+        def tail(balancer_cls, seed):
+            experiment = Experiment(seed=seed, warmup_samples=300,
+                                    calibration_samples=2000)
+            servers = [Server(cores=1, name=f"s{i}") for i in range(4)]
+            balancer = balancer_cls(servers)
+            experiment.add_source(web().at_load(0.7, cores=4), target=balancer)
+            experiment.track_response_time(
+                balancer, mean_accuracy=0.05, quantiles={0.95: 0.1}
+            )
+            return experiment.run()["response_time"].quantiles[0.95]
+
+        assert tail(JoinShortestQueue, 41) < tail(RandomBalancer, 41)
+
+
+class TestTraceReplayVsSynthetic:
+    def test_same_distributions_similar_latency(self, rng):
+        workload = web().at_load(0.5)
+        trace = generate_trace(workload, 30_000, rng)
+
+        # Synthetic-draw run.
+        synthetic = Experiment(seed=51, warmup_samples=300,
+                               calibration_samples=2000)
+        server_a = Server()
+        synthetic.add_source(workload, target=server_a)
+        synthetic.track_response_time(server_a, mean_accuracy=0.05)
+        mean_synthetic = synthetic.run()["response_time"].mean
+
+        # Trace-replay run over the same marginals.
+        replay = Experiment(seed=52, warmup_samples=300,
+                            calibration_samples=2000)
+        server_b = Server()
+        replay.add_trace_source(trace, target=server_b)
+        replay.track_response_time(server_b, mean_accuracy=0.05)
+        result = replay.run(max_events=200_000)
+        mean_replay = result["response_time"].mean
+
+        assert mean_replay == pytest.approx(mean_synthetic, rel=0.3)
+
+
+class TestEmpiricalWorkloadPath:
+    def test_empirical_matches_analytic_behaviour(self):
+        analytic = web().at_load(0.6)
+        empirical = web(empirical=True).at_load(0.6)
+
+        def run(workload, seed):
+            experiment = Experiment(seed=seed, warmup_samples=300,
+                                    calibration_samples=2000)
+            server = Server()
+            experiment.add_source(workload, target=server)
+            experiment.track_response_time(server, mean_accuracy=0.05)
+            return experiment.run()["response_time"].mean
+
+        assert run(empirical, 61) == pytest.approx(run(analytic, 61), rel=0.25)
+
+    def test_empirical_file_roundtrip_through_simulation(self, tmp_path, rng):
+        # Save a measured service distribution, reload it, simulate.
+        service = EmpiricalDistribution.from_distribution(
+            Exponential(rate=20.0), rng, n=50_000
+        )
+        path = tmp_path / "service.dist"
+        service.save(path)
+        loaded = EmpiricalDistribution.load(path)
+        experiment = Experiment(seed=62, warmup_samples=300,
+                                calibration_samples=2000)
+        server = Server()
+        workload = Workload("file", Exponential(rate=10.0), loaded)
+        experiment.add_source(workload, target=server)
+        experiment.track_response_time(server, mean_accuracy=0.05)
+        estimate = experiment.run()["response_time"]
+        # M/M/1-ish: mean response near 1/(mu-lambda) = 0.1
+        assert estimate.mean == pytest.approx(0.1, rel=0.15)
+
+
+class TestEnergyProportionality:
+    def test_energy_scales_with_load(self):
+        def average_power(load, seed=71):
+            experiment = Experiment(seed=seed, warmup_samples=200,
+                                    calibration_samples=1500)
+            server = Server(cores=1)
+            experiment.bind(server)
+            meter = EnergyMeter(
+                server, power_model=LinearPowerModel(100.0, 300.0)
+            )
+            experiment.add_source(google().at_load(load), target=server)
+            experiment.track_response_time(server, mean_accuracy=0.1)
+            experiment.run(max_events=1_000_000)
+            return meter.average_power()
+
+        low = average_power(0.2)
+        high = average_power(0.8)
+        assert low < high
+        # Linear model: P(U) = 100 + 200 U
+        assert low == pytest.approx(140.0, rel=0.1)
+        assert high == pytest.approx(260.0, rel=0.1)
+
+
+class TestDVFSLatencyEnergyTradeoff:
+    def test_throttling_saves_power_costs_latency(self):
+        def run(frequency, seed=81):
+            experiment = Experiment(seed=seed, warmup_samples=200,
+                                    calibration_samples=1500)
+            server = Server(cores=1)
+            experiment.bind(server)
+            coupling = ServerDVFS(
+                server,
+                CubicDVFSPowerModel(100.0, 300.0),
+                DVFSPerformanceModel(alpha=0.9, f_min=0.5),
+            )
+            meter = EnergyMeter(server, dvfs=coupling)
+            coupling.set_frequency(frequency)
+            experiment.add_source(google().at_load(0.4), target=server)
+            experiment.track_response_time(server, mean_accuracy=0.05)
+            result = experiment.run(max_events=1_500_000)
+            return result["response_time"].mean, meter.average_power()
+
+        fast_latency, fast_power = run(1.0)
+        slow_latency, slow_power = run(0.5)
+        assert slow_latency > fast_latency
+        assert slow_power < fast_power
+
+
+class TestThreeTierPipeline:
+    def test_end_to_end_latency_sums_stages(self):
+        experiment = Experiment(seed=91, warmup_samples=200,
+                                calibration_samples=1500)
+        tier3 = ServerClass(service_distribution=Deterministic(0.01), name="db")
+        tier2 = ServerClass(service_distribution=Deterministic(0.02),
+                            forward_to=tier3, name="app")
+        tier1 = ServerClass(service_distribution=Deterministic(0.03),
+                            forward_to=tier2, name="fe")
+        workload = Workload(
+            "three-tier", Exponential(rate=5.0), Deterministic(0.03)
+        )
+        experiment.add_source(workload, target=tier1)
+        experiment.track_response_time(tier3, name="end_to_end",
+                                       mean_accuracy=0.05)
+        estimate = experiment.run(max_events=1_000_000)["end_to_end"]
+        # Low load: response ~ sum of stage services = 60 ms.
+        assert estimate.mean == pytest.approx(0.06, rel=0.1)

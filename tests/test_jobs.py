@@ -1,0 +1,46 @@
+"""Unit tests for the Job task abstraction."""
+
+import pytest
+
+from repro.datacenter.job import Job
+
+
+class TestJob:
+    def test_construction_defaults(self):
+        job = Job(1, size=2.0)
+        assert job.size == 2.0
+        assert job.remaining == 2.0
+        assert job.arrival_time is None
+        assert job.delay_used == 0.0
+
+    def test_sizeless_job(self):
+        job = Job(2)
+        assert job.size is None
+        assert job.remaining is None
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Job(3, size=-1.0)
+
+    def test_response_time(self):
+        job = Job(4, size=1.0)
+        job.arrival_time = 10.0
+        job.finish_time = 13.0
+        assert job.response_time == pytest.approx(3.0)
+
+    def test_waiting_time(self):
+        job = Job(5, size=1.0)
+        job.arrival_time = 10.0
+        job.start_time = 11.5
+        assert job.waiting_time == pytest.approx(1.5)
+
+    def test_unfinished_job_raises(self):
+        job = Job(6, size=1.0)
+        job.arrival_time = 0.0
+        with pytest.raises(ValueError):
+            _ = job.response_time
+        with pytest.raises(ValueError):
+            _ = job.waiting_time
+
+    def test_zero_size_allowed(self):
+        assert Job(7, size=0.0).size == 0.0

@@ -1,0 +1,80 @@
+"""Unit tests for event-driven energy metering."""
+
+import pytest
+
+from repro.datacenter.job import Job
+from repro.datacenter.server import Server
+from repro.engine.simulation import Simulation
+from repro.power.dvfs import DVFSPerformanceModel, ServerDVFS
+from repro.power.meter import EnergyMeter
+from repro.power.models import CubicDVFSPowerModel, LinearPowerModel
+
+
+def make_metered(cores=1):
+    sim = Simulation(seed=1)
+    server = Server(cores=cores)
+    server.bind(sim)
+    meter = EnergyMeter(server, power_model=LinearPowerModel(100.0, 300.0))
+    return sim, server, meter
+
+
+class TestEnergyMeter:
+    def test_requires_exactly_one_model_source(self):
+        sim = Simulation(seed=1)
+        server = Server()
+        server.bind(sim)
+        with pytest.raises(ValueError):
+            EnergyMeter(server)
+        coupling = ServerDVFS(server, CubicDVFSPowerModel())
+        with pytest.raises(ValueError):
+            EnergyMeter(server, power_model=LinearPowerModel(), dvfs=coupling)
+
+    def test_requires_bound_server(self):
+        with pytest.raises(ValueError):
+            EnergyMeter(Server(), power_model=LinearPowerModel())
+
+    def test_idle_energy(self):
+        sim, _, meter = make_metered()
+        sim.schedule_at(10.0, lambda: None)
+        sim.run()
+        assert meter.energy_joules == pytest.approx(1000.0)
+        assert meter.average_power() == pytest.approx(100.0)
+
+    def test_busy_interval_integrates_peak(self):
+        sim, server, meter = make_metered()
+        job = Job(1, size=2.0)
+        sim.schedule_at(1.0, lambda: server.arrive(job))
+        sim.schedule_at(4.0, lambda: None)
+        sim.run()
+        # 1s idle (100 W) + 2s busy (300 W) + 1s idle (100 W)
+        assert meter.energy_joules == pytest.approx(100 + 600 + 100)
+
+    def test_partial_utilization(self):
+        sim = Simulation(seed=1)
+        server = Server(cores=2)
+        server.bind(sim)
+        meter = EnergyMeter(server, power_model=LinearPowerModel(100.0, 300.0))
+        job = Job(1, size=4.0)
+        sim.schedule_at(0.0, lambda: server.arrive(job))
+        sim.run()
+        # One of two cores busy for 4 s: 200 W * 4.
+        assert meter.energy_joules == pytest.approx(800.0)
+
+    def test_dvfs_coupling_integrates_frequency_changes(self):
+        sim = Simulation(seed=1)
+        server = Server()
+        server.bind(sim)
+        coupling = ServerDVFS(
+            server,
+            CubicDVFSPowerModel(100.0, 300.0),
+            DVFSPerformanceModel(alpha=1.0, f_min=0.5),
+        )
+        meter = EnergyMeter(server, dvfs=coupling)
+        job = Job(1, size=2.0)
+        sim.schedule_at(0.0, lambda: server.arrive(job))
+        sim.schedule_at(1.0, lambda: coupling.set_frequency(0.5))
+        sim.run()
+        # 1 s at full speed/power (300 W); 1 unit of work left at half
+        # speed (alpha=1 -> speed 0.5) takes 2 s at 100 + 200*0.125 = 125 W.
+        assert job.finish_time == pytest.approx(3.0)
+        assert meter.energy_joules == pytest.approx(300.0 + 2 * 125.0)

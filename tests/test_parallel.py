@@ -1,0 +1,177 @@
+"""Tests for the master/slave parallel simulation (Fig. 3)."""
+
+import pytest
+
+from repro.core.histogram import BinScheme
+from repro.parallel import MetricTargets, ParallelError, ParallelSimulation
+from repro.parallel.master import build_slave_experiment, slave_seed
+from repro.parallel.protocol import scheme_from_payload, scheme_payload
+
+
+def factory(seed, load=0.6, accuracy=0.05):
+    """Module-level factory (picklable for the process backend)."""
+    from repro import Experiment, Server
+    from repro.workloads import web
+
+    experiment = Experiment(seed=seed, warmup_samples=300,
+                            calibration_samples=2000)
+    server = Server(cores=1)
+    experiment.add_source(web().at_load(load), target=server)
+    experiment.track_response_time(
+        server, mean_accuracy=accuracy, quantiles={0.95: 0.1}
+    )
+    return experiment
+
+
+def two_metric_factory(seed):
+    """Factory with two metrics of very different convergence speeds."""
+    from repro import Experiment, Server
+    from repro.workloads import web
+
+    experiment = Experiment(seed=seed, warmup_samples=300,
+                            calibration_samples=2000)
+    server = Server(cores=1)
+    experiment.add_source(web().at_load(0.6), target=server)
+    experiment.track_response_time(server, mean_accuracy=0.05)
+    experiment.track_waiting_time(server, mean_accuracy=0.1)
+    return experiment
+
+
+class TestProtocolPieces:
+    def test_scheme_payload_roundtrip(self):
+        scheme = BinScheme(low=0.5, high=9.5, bins=128)
+        assert scheme_from_payload(scheme_payload(scheme)) == scheme
+
+    def test_slave_seeds_unique(self):
+        seeds = [slave_seed(42, i) for i in range(64)]
+        assert len(set(seeds)) == 64
+        assert 42 not in seeds
+
+    def test_metric_targets_snapshot(self):
+        experiment = factory(seed=1)
+        statistic = experiment.stats["response_time"]
+        targets = MetricTargets.from_statistic(statistic)
+        assert targets.name == "response_time"
+        assert targets.mean_accuracy == 0.05
+        assert targets.quantile_dict == {0.95: 0.1}
+
+    def test_build_slave_applies_schemes(self):
+        scheme = BinScheme(low=0.0, high=50.0, bins=64)
+        slave = build_slave_experiment(
+            factory, {}, seed=3,
+            schemes={"response_time": scheme_payload(scheme)},
+        )
+        assert slave.stats["response_time"].fixed_scheme == scheme
+
+    def test_build_slave_rejects_missing_metric(self):
+        scheme = BinScheme(low=0.0, high=50.0, bins=64)
+        with pytest.raises(ParallelError):
+            build_slave_experiment(
+                factory, {}, seed=3,
+                schemes={"unknown": scheme_payload(scheme)},
+            )
+
+
+class TestValidation:
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ParallelError):
+            ParallelSimulation(factory, n_slaves=0)
+        with pytest.raises(ParallelError):
+            ParallelSimulation(factory, chunk_size=0)
+        with pytest.raises(ParallelError):
+            ParallelSimulation(factory, backend="mpi")
+
+
+class TestSerialBackend:
+    def test_converges_and_estimates(self):
+        simulation = ParallelSimulation(
+            factory, n_slaves=3, master_seed=7, backend="serial",
+            chunk_size=1500,
+        )
+        result = simulation.run()
+        assert result.converged
+        assert result.n_slaves == 3
+        estimate = result["response_time"]
+        assert estimate.mean is not None
+        assert 0.95 in estimate.quantiles
+        assert result.total_accepted >= 100
+        assert len(result.slave_events) == 3
+        assert result.master_events > 0
+
+    def test_matches_serial_reference(self):
+        simulation = ParallelSimulation(
+            factory, n_slaves=4, master_seed=7, backend="serial",
+        )
+        parallel_estimate = simulation.run()["response_time"]
+        serial_estimate = factory(seed=123).run()["response_time"]
+        assert parallel_estimate.mean == pytest.approx(
+            serial_estimate.mean, rel=0.15
+        )
+
+    def test_deterministic(self):
+        def run():
+            return ParallelSimulation(
+                factory, n_slaves=2, master_seed=5, backend="serial"
+            ).run()["response_time"].mean
+
+        assert run() == run()
+
+    def test_more_slaves_fewer_rounds_each(self):
+        few = ParallelSimulation(
+            factory, n_slaves=1, master_seed=7, backend="serial",
+            chunk_size=1000,
+        ).run()
+        many = ParallelSimulation(
+            factory, n_slaves=4, master_seed=7, backend="serial",
+            chunk_size=1000,
+        ).run()
+        assert many.rounds <= few.rounds
+
+
+class TestMultiMetric:
+    def test_all_metrics_merge_and_converge(self):
+        simulation = ParallelSimulation(
+            two_metric_factory, n_slaves=3, master_seed=17,
+            backend="serial", chunk_size=1500,
+        )
+        result = simulation.run()
+        assert result.converged
+        assert result["response_time"].mean is not None
+        assert result["waiting_time"].mean is not None
+        # The waiting metric is a strict component of response time.
+        assert result["waiting_time"].mean < result["response_time"].mean
+
+    def test_matches_serial_per_metric(self):
+        parallel = ParallelSimulation(
+            two_metric_factory, n_slaves=2, master_seed=19,
+            backend="serial",
+        ).run()
+        serial = two_metric_factory(seed=456).run()
+        for name in ("response_time", "waiting_time"):
+            assert parallel[name].mean == pytest.approx(
+                serial[name].mean, rel=0.25
+            ), name
+
+
+class TestProcessBackend:
+    def test_process_backend_converges(self):
+        simulation = ParallelSimulation(
+            factory, n_slaves=2, master_seed=7, backend="process",
+            chunk_size=2000,
+        )
+        result = simulation.run()
+        assert result.converged
+        estimate = result["response_time"]
+        serial_estimate = factory(seed=123).run()["response_time"]
+        assert estimate.mean == pytest.approx(serial_estimate.mean, rel=0.15)
+
+    def test_process_matches_serial_backend(self):
+        kwargs = dict(factory_kwargs={"accuracy": 0.1}, n_slaves=2,
+                      master_seed=9, chunk_size=1500)
+        serial = ParallelSimulation(factory, backend="serial", **kwargs).run()
+        process = ParallelSimulation(factory, backend="process", **kwargs).run()
+        # Same seeds, same protocol: identical merged estimates.
+        assert process["response_time"].mean == pytest.approx(
+            serial["response_time"].mean
+        )
+        assert process.total_accepted == serial.total_accepted

@@ -1,0 +1,103 @@
+"""Unit tests for the power models (Eqs. 4-5)."""
+
+import pytest
+
+from repro.power.models import (
+    CubicDVFSPowerModel,
+    LinearPowerModel,
+    NapPowerModel,
+    PowerModelError,
+)
+
+
+class TestLinearPowerModel:
+    def test_eq4_endpoints(self):
+        model = LinearPowerModel(idle_power=150.0, peak_power=300.0)
+        assert model.power(0.0) == pytest.approx(150.0)
+        assert model.power(1.0) == pytest.approx(300.0)
+        assert model.power(0.5) == pytest.approx(225.0)
+        assert model.peak_power() == pytest.approx(300.0)
+
+    def test_linear_in_utilization(self):
+        model = LinearPowerModel(100.0, 200.0)
+        deltas = [
+            model.power(u + 0.1) - model.power(u) for u in (0.0, 0.4, 0.8)
+        ]
+        assert all(d == pytest.approx(10.0) for d in deltas)
+
+    def test_frequency_ignored(self):
+        model = LinearPowerModel(100.0, 200.0)
+        assert model.power(0.5, frequency=0.5) == model.power(0.5, frequency=1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PowerModelError):
+            LinearPowerModel(idle_power=-1.0, peak_power=100.0)
+        with pytest.raises(PowerModelError):
+            LinearPowerModel(idle_power=200.0, peak_power=100.0)
+
+    def test_invalid_utilization(self):
+        model = LinearPowerModel()
+        with pytest.raises(PowerModelError):
+            model.power(1.5)
+        with pytest.raises(PowerModelError):
+            model.power(-0.1)
+
+
+class TestCubicDVFSPowerModel:
+    def test_cubic_frequency_scaling(self):
+        model = CubicDVFSPowerModel(idle_power=100.0, peak_power=300.0)
+        # At full utilization, dynamic power scales as f^3.
+        assert model.power(1.0, 1.0) == pytest.approx(300.0)
+        assert model.power(1.0, 0.5) == pytest.approx(100.0 + 200.0 * 0.125)
+
+    def test_idle_floor_unaffected_by_frequency(self):
+        model = CubicDVFSPowerModel(100.0, 300.0)
+        assert model.power(0.0, 0.5) == pytest.approx(100.0)
+
+    def test_frequency_bounds(self):
+        model = CubicDVFSPowerModel(100.0, 300.0)
+        with pytest.raises(PowerModelError):
+            model.power(0.5, 0.0)
+        with pytest.raises(PowerModelError):
+            model.power(0.5, 1.5)
+
+    def test_frequency_for_budget_inverts_power(self):
+        model = CubicDVFSPowerModel(100.0, 300.0)
+        utilization = 0.8
+        budget = 200.0
+        frequency = model.frequency_for_budget(utilization, budget)
+        assert model.power(utilization, frequency) == pytest.approx(budget)
+
+    def test_budget_not_binding_gives_fmax(self):
+        model = CubicDVFSPowerModel(100.0, 300.0)
+        assert model.frequency_for_budget(0.1, 1000.0) == pytest.approx(1.0)
+
+    def test_budget_below_idle_gives_zero(self):
+        model = CubicDVFSPowerModel(100.0, 300.0)
+        assert model.frequency_for_budget(0.5, 50.0) == 0.0
+
+    def test_zero_utilization_cannot_be_throttled(self):
+        model = CubicDVFSPowerModel(100.0, 300.0)
+        assert model.frequency_for_budget(0.0, 120.0) == pytest.approx(1.0)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(PowerModelError):
+            CubicDVFSPowerModel().frequency_for_budget(0.5, -1.0)
+
+
+class TestNapPowerModel:
+    def test_two_states(self):
+        model = NapPowerModel(idle_power=150.0, peak_power=300.0, nap_power=10.0)
+        assert model.power(0.5, napping=True) == pytest.approx(10.0)
+        assert model.power(0.5, napping=False) == pytest.approx(225.0)
+
+    def test_nap_must_save_energy(self):
+        with pytest.raises(PowerModelError):
+            NapPowerModel(idle_power=100.0, peak_power=300.0, nap_power=150.0)
+
+    def test_negative_nap_rejected(self):
+        with pytest.raises(PowerModelError):
+            NapPowerModel(nap_power=-5.0)
+
+    def test_peak(self):
+        assert NapPowerModel(100.0, 250.0, 5.0).peak_power() == pytest.approx(250.0)

@@ -1,0 +1,142 @@
+"""Unit tests for the ACPI-style power-state machine."""
+
+import pytest
+
+from repro.datacenter.job import Job
+from repro.datacenter.server import Server
+from repro.engine.simulation import Simulation
+from repro.power.states import (
+    PowerState,
+    PowerStateError,
+    PowerStateMachine,
+    acpi_default_states,
+)
+
+
+def make_machine(initial="P0", states=None):
+    sim = Simulation(seed=1)
+    server = Server(cores=1)
+    machine = PowerStateMachine(
+        server, states or acpi_default_states(), initial=initial
+    )
+    machine.bind(sim)
+    return sim, server, machine
+
+
+class TestPowerState:
+    def test_validation(self):
+        with pytest.raises(PowerStateError):
+            PowerState("bad", power=-1.0, performance=1.0)
+        with pytest.raises(PowerStateError):
+            PowerState("bad", power=1.0, performance=-0.5)
+        with pytest.raises(PowerStateError):
+            PowerState("bad", power=1.0, performance=1.0, entry_latency=-1.0)
+
+    def test_default_table_shape(self):
+        states = acpi_default_states()
+        assert states["P0"].performance == 1.0
+        assert states["S3"].performance == 0.0
+        assert states["S3"].power < states["C1"].power < states["P0"].power
+
+
+class TestMachine:
+    def test_requires_known_initial(self):
+        with pytest.raises(PowerStateError):
+            PowerStateMachine(Server(), acpi_default_states(), initial="P9")
+
+    def test_requires_states(self):
+        with pytest.raises(PowerStateError):
+            PowerStateMachine(Server(), {})
+
+    def test_initial_state_applied(self):
+        _, server, machine = make_machine("P2")
+        assert machine.current.name == "P2"
+        assert server.speed == pytest.approx(0.6)
+
+    def test_p_state_changes_job_speed(self):
+        sim, server, machine = make_machine("P0")
+        job = Job(1, size=1.0)
+        sim.schedule_at(0.0, lambda: server.arrive(job))
+        sim.schedule_at(0.5, lambda: machine.request_state("P1"))
+        sim.run()
+        # 0.5 of work at speed 1, then 0.5 at speed 0.8.
+        assert job.finish_time == pytest.approx(0.5 + 0.5 / 0.8)
+
+    def test_sleep_state_pauses_server(self):
+        sim, server, machine = make_machine("P0")
+        sim.schedule_at(1.0, lambda: machine.request_state("S3"))
+        sim.run()
+        assert server.paused
+        assert machine.current.name == "S3"
+
+    def test_wake_pays_transition_latency(self):
+        states = {
+            "on": PowerState("on", power=200.0, performance=1.0),
+            "sleep": PowerState(
+                "sleep", power=10.0, performance=0.0,
+                entry_latency=0.0, exit_latency=0.25,
+            ),
+        }
+        sim, server, machine = make_machine("sleep", states)
+        job = Job(1, size=1.0)
+        sim.schedule_at(0.0, lambda: server.arrive(job))
+        sim.schedule_at(1.0, lambda: machine.request_state("on"))
+        sim.run()
+        # Wake requested at 1.0, exits sleep after 0.25, then 1.0 of work.
+        assert job.finish_time == pytest.approx(2.25)
+
+    def test_transition_during_transition_rejected(self):
+        states = {
+            "a": PowerState("a", power=10.0, performance=1.0,
+                            exit_latency=1.0),
+            "b": PowerState("b", power=20.0, performance=0.5),
+        }
+        sim, _, machine = make_machine("a", states)
+        machine.request_state("b")
+        with pytest.raises(PowerStateError):
+            machine.request_state("a")
+
+    def test_noop_request(self):
+        _, _, machine = make_machine("P0")
+        machine.request_state("P0")
+        assert machine.transitions == 0
+
+    def test_unknown_state_rejected(self):
+        _, _, machine = make_machine()
+        with pytest.raises(PowerStateError):
+            machine.request_state("P9")
+
+    def test_unbound_request_rejected(self):
+        machine = PowerStateMachine(Server(), acpi_default_states())
+        with pytest.raises(PowerStateError):
+            machine.request_state("P1")
+
+
+class TestAccounting:
+    def test_residency_and_energy(self):
+        states = {
+            "hi": PowerState("hi", power=100.0, performance=1.0),
+            "lo": PowerState("lo", power=20.0, performance=0.5),
+        }
+        sim, _, machine = make_machine("hi", states)
+        sim.schedule_at(2.0, lambda: machine.request_state("lo"))
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        fractions = machine.residency_fractions()
+        assert fractions["hi"] == pytest.approx(0.4)
+        assert fractions["lo"] == pytest.approx(0.6)
+        # 2s @ 100W + 3s @ 20W = 260 J over 5 s.
+        assert machine.energy_joules == pytest.approx(260.0)
+        assert machine.average_power() == pytest.approx(52.0)
+
+    def test_transition_listener(self):
+        _, _, machine = make_machine("P0")
+        seen = []
+        machine.on_transition(lambda old, new: seen.append((old.name, new.name)))
+        machine.request_state("P1")
+        assert seen == [("P0", "P1")]
+
+    def test_double_bind_rejected(self):
+        sim, _, machine = make_machine()
+        with pytest.raises(PowerStateError):
+            machine.bind(sim)

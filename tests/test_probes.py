@@ -1,0 +1,102 @@
+"""Tests for periodic and completion probes."""
+
+import pytest
+
+from repro import Experiment, Server
+from repro.datacenter.job import Job
+from repro.engine.probes import CompletionProbe, PeriodicProbe, slowdown
+from repro.engine.simulation import Simulation
+from repro.workloads import web
+
+
+class TestPeriodicProbe:
+    def test_samples_on_schedule(self):
+        sim = Simulation(seed=1)
+        seen = []
+        probe = PeriodicProbe(
+            reader=lambda: sim.now, record=seen.append, period=1.0
+        )
+        probe.bind(sim)
+        sim.run(max_events=4)
+        assert seen == [1.0, 2.0, 3.0, 4.0]
+        assert probe.samples_taken == 4
+
+    def test_none_readings_skipped(self):
+        sim = Simulation(seed=1)
+        seen = []
+        counter = [0]
+
+        def reader():
+            counter[0] += 1
+            return None if counter[0] % 2 else float(counter[0])
+
+        probe = PeriodicProbe(reader, seen.append, period=1.0)
+        probe.bind(sim)
+        sim.run(max_events=4)
+        assert seen == [2.0, 4.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicProbe(lambda: 1.0, lambda v: None, period=0.0)
+        probe = PeriodicProbe(lambda: 1.0, lambda v: None, period=1.0)
+        probe.bind(Simulation(seed=1))
+        with pytest.raises(RuntimeError):
+            probe.bind(Simulation(seed=2))
+
+    def test_feeds_experiment_metric(self):
+        experiment = Experiment(seed=5, warmup_samples=50,
+                                calibration_samples=500)
+        server = Server(cores=2)
+        experiment.add_source(web().at_load(0.5, cores=2), target=server)
+        experiment.track("queue_depth", mean_accuracy=None,
+                         quantiles={0.9: 0.3}, min_accepted=50)
+        probe = PeriodicProbe(
+            reader=lambda: float(server.outstanding + 1),
+            record=lambda v: experiment.record("queue_depth", v),
+            period=0.05,
+        )
+        probe.bind(experiment.simulation)
+        result = experiment.run(max_events=2_000_000)
+        assert result["queue_depth"].quantiles[0.9] >= 1.0
+
+
+class TestCompletionProbe:
+    def test_extracts_per_job(self):
+        sim = Simulation(seed=1)
+        server = Server()
+        server.bind(sim)
+        seen = []
+        CompletionProbe(server, lambda job, srv: job.response_time,
+                        seen.append)
+        job = Job(1, size=2.0)
+        sim.schedule_at(1.0, lambda: server.arrive(job))
+        sim.run()
+        assert seen == [pytest.approx(2.0)]
+
+    def test_none_skips_job(self):
+        sim = Simulation(seed=1)
+        server = Server()
+        server.bind(sim)
+        seen = []
+        probe = CompletionProbe(
+            server,
+            lambda job, srv: job.waiting_time if job.waiting_time > 0 else None,
+            seen.append,
+        )
+        job = Job(1, size=1.0)
+        sim.schedule_at(0.0, lambda: server.arrive(job))
+        sim.run()
+        assert seen == []
+        assert probe.samples_taken == 0
+
+    def test_slowdown_helper(self):
+        sim = Simulation(seed=1)
+        server = Server()
+        server.bind(sim)
+        first = Job(1, size=1.0)
+        second = Job(2, size=1.0)
+        sim.schedule_at(0.0, lambda: server.arrive(first))
+        sim.schedule_at(0.0, lambda: server.arrive(second))
+        sim.run()
+        assert slowdown(first, server) == pytest.approx(1.0)
+        assert slowdown(second, server) == pytest.approx(2.0)  # waited 1s

@@ -1,0 +1,123 @@
+"""Unit tests for the processor-sharing station."""
+
+import pytest
+
+from repro import Experiment, Workload
+from repro.datacenter.job import Job
+from repro.datacenter.processor_sharing import ProcessorSharingServer
+from repro.datacenter.server import ServerError
+from repro.distributions import Deterministic, Exponential, HyperExponential
+from repro.engine.simulation import Simulation
+
+
+def bound_ps(**kwargs):
+    sim = Simulation(seed=1)
+    server = ProcessorSharingServer(**kwargs)
+    server.bind(sim)
+    return sim, server
+
+
+class TestMechanics:
+    def test_single_job_runs_at_full_speed(self):
+        sim, server = bound_ps()
+        job = Job(1, size=2.0)
+        sim.schedule_at(0.0, lambda: server.arrive(job))
+        sim.run()
+        assert job.finish_time == pytest.approx(2.0)
+
+    def test_two_jobs_share_equally(self):
+        sim, server = bound_ps()
+        a = Job(1, size=1.0)
+        b = Job(2, size=1.0)
+        sim.schedule_at(0.0, lambda: server.arrive(a))
+        sim.schedule_at(0.0, lambda: server.arrive(b))
+        sim.run()
+        # Two unit jobs sharing one processor: both finish at t=2.
+        assert a.finish_time == pytest.approx(2.0)
+        assert b.finish_time == pytest.approx(2.0)
+
+    def test_short_job_overtakes_under_sharing(self):
+        sim, server = bound_ps()
+        long_job = Job(1, size=10.0)
+        short_job = Job(2, size=0.5)
+        sim.schedule_at(0.0, lambda: server.arrive(long_job))
+        sim.schedule_at(1.0, lambda: server.arrive(short_job))
+        sim.run()
+        # Short job shares from t=1: gets 0.5 rate, finishes at t=2.
+        assert short_job.finish_time == pytest.approx(2.0)
+        # Long job: 1 unit by t=1, then 0.5/s until short leaves (t=2:
+        # 1.5 done), then full speed for remaining 8.5 -> t=10.5.
+        assert long_job.finish_time == pytest.approx(10.5)
+
+    def test_speed_parameter(self):
+        sim, server = bound_ps(speed=2.0)
+        job = Job(1, size=2.0)
+        sim.schedule_at(0.0, lambda: server.arrive(job))
+        sim.run()
+        assert job.finish_time == pytest.approx(1.0)
+
+    def test_per_job_rate(self):
+        sim, server = bound_ps()
+        for i in range(4):
+            job = Job(i + 1, size=10.0)
+            sim.schedule_at(0.0, lambda j=job: server.arrive(j))
+        sim.run(until=0.5)
+        assert server.outstanding == 4
+        assert server.per_job_rate == pytest.approx(0.25)
+
+    def test_service_distribution_draw(self):
+        sim = Simulation(seed=1)
+        server = ProcessorSharingServer(service_distribution=Deterministic(0.5))
+        server.bind(sim)
+        job = Job(1)
+        sim.schedule_at(0.0, lambda: server.arrive(job))
+        sim.run()
+        assert job.finish_time == pytest.approx(0.5)
+
+    def test_sizeless_without_distribution_rejected(self):
+        sim, server = bound_ps()
+        job = Job(1)
+        sim.schedule_at(0.0, lambda: server.arrive(job))
+        with pytest.raises(ServerError):
+            sim.run()
+
+    def test_completion_listener(self):
+        sim, server = bound_ps()
+        done = []
+        server.on_complete(lambda job, srv: done.append(job.job_id))
+        job = Job(7, size=1.0)
+        sim.schedule_at(0.0, lambda: server.arrive(job))
+        sim.run()
+        assert done == [7]
+        assert server.completed_jobs == 1
+
+    def test_validation(self):
+        with pytest.raises(ServerError):
+            ProcessorSharingServer(speed=0.0)
+        server = ProcessorSharingServer()
+        with pytest.raises(ServerError):
+            server.arrive(Job(1, size=1.0))
+
+
+class TestInsensitivity:
+    """M/G/1-PS mean response depends only on the mean service time."""
+
+    def run_ps(self, service, seed):
+        experiment = Experiment(seed=seed, warmup_samples=300,
+                                calibration_samples=2000)
+        server = ProcessorSharingServer()
+        workload = Workload("ps", Exponential(rate=10.0), service)
+        experiment.add_source(workload, target=server)
+        experiment.track_response_time(server, mean_accuracy=0.03)
+        return experiment.run(max_events=20_000_000)["response_time"].mean
+
+    def test_matches_closed_form(self):
+        # E[T] = E[S] / (1 - rho) = 0.05 / 0.5 = 0.1
+        mean = self.run_ps(Exponential(rate=20.0), seed=101)
+        assert mean == pytest.approx(0.1, rel=0.1)
+
+    def test_insensitive_to_cv(self):
+        light = self.run_ps(Exponential(rate=20.0), seed=102)
+        heavy = self.run_ps(HyperExponential.from_mean_cv(0.05, 3.0), seed=103)
+        # Same mean service -> same mean response, despite Cv 1 vs 3.
+        assert heavy == pytest.approx(light, rel=0.15)

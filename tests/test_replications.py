@@ -1,0 +1,78 @@
+"""Tests for the independent-replications utility."""
+
+import pytest
+
+from repro.parallel import run_replications
+from repro.parallel.replications import ReplicatedEstimate
+
+
+def factory(seed, load=0.5, accuracy=0.1):
+    from repro import Experiment, Server
+    from repro.workloads import web
+
+    experiment = Experiment(seed=seed, warmup_samples=300,
+                            calibration_samples=2000)
+    server = Server(cores=1)
+    experiment.add_source(web().at_load(load), target=server)
+    experiment.track_response_time(
+        server, mean_accuracy=accuracy, quantiles={0.95: 0.2}
+    )
+    return experiment
+
+
+class TestReplicatedEstimate:
+    def test_statistics(self):
+        estimate = ReplicatedEstimate("x", [1.0, 2.0, 3.0])
+        assert estimate.mean == pytest.approx(2.0)
+        assert estimate.std == pytest.approx(1.0)
+        assert estimate.replications == 3
+        lo, hi = estimate.confidence_interval
+        assert lo < 2.0 < hi
+
+    def test_needs_two_for_variance(self):
+        with pytest.raises(ValueError):
+            _ = ReplicatedEstimate("x", [1.0]).std
+
+
+class TestRunReplications:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_replications(factory, replications=1)
+        with pytest.raises(ValueError):
+            run_replications(factory, metric_value="median")
+        with pytest.raises(ValueError):
+            run_replications(factory, metric_value="quantile")
+
+    def test_combines_means(self):
+        result = run_replications(factory, replications=3, base_seed=5)
+        assert result.all_converged
+        assert len(result.seeds) == len(set(result.seeds)) == 3
+        estimate = result["response_time"]
+        assert estimate.replications == 3
+        lo, hi = estimate.confidence_interval
+        assert lo < estimate.mean < hi
+
+    def test_quantile_extraction(self):
+        result = run_replications(
+            factory, replications=2, base_seed=7,
+            metric_value="quantile", quantile=0.95,
+        )
+        estimate = result["response_time"]
+        # p95 exceeds the mean for any right-skewed response distribution.
+        means = run_replications(factory, replications=2, base_seed=7)
+        assert estimate.mean > means["response_time"].mean
+
+    def test_cross_checks_in_run_ci(self):
+        """The across-replication CI and the in-run (lag-spaced) CI must
+        agree on the mean's location — the model-free cross-check."""
+        result = run_replications(
+            factory, replications=4, base_seed=11,
+            factory_kwargs={"accuracy": 0.05},
+        )
+        combined = result["response_time"]
+        single = factory(seed=123, accuracy=0.05).run()["response_time"]
+        lo, hi = combined.confidence_interval
+        # Generous interval: the single run's estimate lies within the
+        # replication CI widened by its own accuracy target.
+        slack = 0.1 * combined.mean
+        assert lo - slack <= single.mean <= hi + slack

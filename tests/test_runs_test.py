@@ -1,0 +1,116 @@
+"""Unit tests for the runs-up independence test and lag search."""
+
+import numpy as np
+import pytest
+
+from repro.core.runs_test import (
+    KNUTH_B,
+    MIN_RUNS_SAMPLE,
+    find_lag,
+    runs_up_counts,
+    runs_up_passes,
+    runs_up_statistic,
+)
+
+
+def ar1(rng, n, rho=0.95):
+    """Strongly autocorrelated AR(1) sequence."""
+    noise = rng.normal(size=n)
+    x = np.zeros(n)
+    for i in range(1, n):
+        x[i] = rho * x[i - 1] + noise[i]
+    return x
+
+
+class TestRunCounts:
+    def test_known_sequence(self):
+        # Runs: [1,2,3] (len 3), [2] is start of [2,5] (len 2), [1] (len 1)
+        counts = runs_up_counts([1, 2, 3, 2, 5, 1])
+        assert counts[2] == 1  # one run of length 3
+        assert counts[1] == 1  # one run of length 2
+        assert counts[0] == 1  # one run of length 1
+
+    def test_monotone_sequence_one_long_run(self):
+        counts = runs_up_counts(list(range(100)))
+        assert counts[5] == 1  # capped at >= 6
+        assert counts[:5].sum() == 0
+
+    def test_ties_break_runs(self):
+        counts = runs_up_counts([1, 1, 1])
+        assert counts[0] == 3
+
+    def test_empty_and_singleton(self):
+        assert runs_up_counts([]).sum() == 0
+        assert runs_up_counts([7]).sum() == 1
+
+    def test_total_runs_conserved(self, rng):
+        values = rng.random(1000)
+        counts = runs_up_counts(values)
+        # Number of runs = number of descents + 1
+        descents = np.sum(values[1:] <= values[:-1])
+        assert counts.sum() == descents + 1
+
+    def test_knuth_b_expected_runs_per_observation(self):
+        # Under independence the expected number of runs per observation
+        # is 1/2 (mean ascending-run length is 2): the b_i must sum to it.
+        assert KNUTH_B.sum() == pytest.approx(0.5)
+        assert np.all(KNUTH_B > 0)
+
+
+class TestStatistic:
+    def test_iid_passes_most_of_the_time(self, rng):
+        passes = sum(
+            runs_up_passes(rng.exponential(size=5000)) for _ in range(40)
+        )
+        assert passes >= 32  # ~95% expected; allow slack
+
+    def test_iid_statistic_near_dof(self, rng):
+        values = [runs_up_statistic(rng.exponential(size=5000)) for _ in range(60)]
+        assert 4.0 < np.mean(values) < 9.0  # chi2(6) mean is 6
+
+    def test_autocorrelated_fails(self, rng):
+        assert not runs_up_passes(ar1(rng, 5000))
+
+    def test_monotone_fails_hard(self):
+        assert not runs_up_passes(np.arange(5000, dtype=float))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            runs_up_statistic(np.zeros(MIN_RUNS_SAMPLE - 1))
+
+    def test_bad_significance_rejected(self, rng):
+        with pytest.raises(ValueError):
+            runs_up_passes(rng.random(100), significance=0.0)
+
+
+class TestFindLag:
+    def test_iid_needs_no_lag(self, rng):
+        # The runs-up test has a 5% false-rejection rate by construction,
+        # so judge over several independent samples.
+        lags = [find_lag(rng.exponential(size=5000)) for _ in range(10)]
+        assert sum(lag == 1 for lag in lags) >= 7
+        assert max(lags) <= 5
+
+    def test_autocorrelated_needs_spacing(self, rng):
+        lag = find_lag(ar1(rng, 5000))
+        assert lag > 1
+
+    def test_spaced_subsequence_actually_passes(self, rng):
+        sample = ar1(rng, 5000)
+        lag = find_lag(sample)
+        if lag < len(sample) // MIN_RUNS_SAMPLE:  # a passing lag was found
+            assert runs_up_passes(sample[::lag])
+
+    def test_fallback_when_nothing_passes(self, rng):
+        # Pathologically correlated: a slow sine is never independent.
+        sample = np.sin(np.linspace(0, 20, 5000))
+        lag = find_lag(sample, max_lag=10)
+        assert 1 <= lag <= 10
+
+    def test_sample_too_small_rejected(self, rng):
+        with pytest.raises(ValueError):
+            find_lag(rng.random(10))
+
+    def test_bad_max_lag_rejected(self, rng):
+        with pytest.raises(ValueError):
+            find_lag(rng.random(5000), max_lag=0)

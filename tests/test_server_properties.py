@@ -1,0 +1,132 @@
+"""Property-based tests: server invariants under adversarial schedules.
+
+Hypothesis drives random interleavings of arrivals, speed changes,
+pauses, and resumes against the server, then checks conservation
+invariants that must hold regardless of the schedule:
+
+- every job eventually completes once the server runs unmolested;
+- completed work equals the sum of job sizes (no work lost or invented
+  across re-scheduling);
+- response time >= size / max_speed for every job;
+- busy + idle time accounts for the full timeline.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datacenter.job import Job
+from repro.datacenter.server import Server
+from repro.engine.simulation import Simulation
+
+# One scripted operation: (kind, when, value)
+operation = st.one_of(
+    st.tuples(
+        st.just("arrive"),
+        st.floats(min_value=0.0, max_value=10.0),
+        st.floats(min_value=0.01, max_value=2.0),  # job size
+    ),
+    st.tuples(
+        st.just("speed"),
+        st.floats(min_value=0.0, max_value=10.0),
+        st.floats(min_value=0.1, max_value=4.0),  # new speed
+    ),
+    st.tuples(
+        st.just("pause"),
+        st.floats(min_value=0.0, max_value=10.0),
+        st.just(0.0),
+    ),
+    st.tuples(
+        st.just("resume"),
+        st.floats(min_value=0.0, max_value=10.0),
+        st.just(0.0),
+    ),
+)
+
+
+def run_schedule(operations, cores):
+    sim = Simulation(seed=1)
+    server = Server(cores=cores)
+    server.bind(sim)
+    jobs = []
+    completions = []
+    server.on_complete(lambda job, srv: completions.append(job))
+
+    max_speed = [1.0]
+    job_counter = [0]
+    for kind, when, value in sorted(operations, key=lambda op: op[1]):
+        if kind == "arrive":
+            job_counter[0] += 1
+            job = Job(job_counter[0], size=value)
+            jobs.append(job)
+            sim.schedule_at(when, lambda j=job: server.arrive(j))
+        elif kind == "speed":
+            max_speed[0] = max(max_speed[0], value)
+            sim.schedule_at(when, lambda v=value: server.set_speed(v))
+        elif kind == "pause":
+            sim.schedule_at(when, server.pause)
+        else:
+            sim.schedule_at(when, server.resume)
+    # After the scripted chaos, guarantee the server can finish: resume
+    # at full speed and drain.
+    sim.schedule_at(11.0, lambda: server.set_speed(max_speed[0]))
+    sim.schedule_at(11.0, server.resume)
+    sim.run(max_events=100_000)
+    return sim, server, jobs, completions
+
+
+class TestServerInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        operations=st.lists(operation, min_size=1, max_size=25),
+        cores=st.integers(min_value=1, max_value=4),
+    )
+    def test_property_all_jobs_complete_exactly_once(self, operations, cores):
+        _, server, jobs, completions = run_schedule(operations, cores)
+        arrivals = [op for op in operations if op[0] == "arrive"]
+        assert len(completions) == len(arrivals)
+        assert len({job.job_id for job in completions}) == len(completions)
+        assert server.completed_jobs == len(arrivals)
+        assert server.is_idle
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        operations=st.lists(operation, min_size=1, max_size=25),
+        cores=st.integers(min_value=1, max_value=4),
+    )
+    def test_property_no_job_finishes_early(self, operations, cores):
+        _, _, jobs, completions = run_schedule(operations, cores)
+        # A job can never finish faster than its size at the fastest
+        # speed that ever existed (4.0 is the strategy's cap).
+        for job in completions:
+            assert job.response_time >= job.size / 4.0 - 1e-9
+            assert job.finish_time >= job.arrival_time
+            assert job.start_time >= job.arrival_time
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        operations=st.lists(operation, min_size=1, max_size=20),
+    )
+    def test_property_busy_time_bounded_by_elapsed(self, operations):
+        sim, server, _, _ = run_schedule(operations, cores=2)
+        busy = server.busy_core_seconds()
+        assert 0.0 <= busy <= 2 * sim.now + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        sizes=st.lists(
+            st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=15
+        ),
+    )
+    def test_property_work_conservation_at_unit_speed(self, sizes):
+        # Constant speed 1, no pauses: busy core-seconds == total size.
+        sim = Simulation(seed=1)
+        server = Server(cores=2)
+        server.bind(sim)
+        for index, size in enumerate(sizes):
+            job = Job(index + 1, size=size)
+            sim.schedule_at(0.1 * index, lambda j=job: server.arrive(j))
+        sim.run(max_events=100_000)
+        assert server.busy_core_seconds() == pytest.approx(
+            sum(sizes), rel=1e-9
+        )

@@ -1,0 +1,106 @@
+"""Unit tests for synthetic and trace-replay sources."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.server import Server
+from repro.datacenter.source import Source, TraceSource
+from repro.distributions import Deterministic, Exponential
+from repro.engine.simulation import Simulation
+from repro.workloads.workload import Workload
+
+
+def fixed_workload(gap=1.0, size=0.25):
+    return Workload(
+        name="fixed",
+        interarrival=Deterministic(gap),
+        service=Deterministic(size),
+    )
+
+
+class TestSource:
+    def test_generates_at_interarrival_gaps(self):
+        sim = Simulation(seed=1)
+        server = Server()
+        source = Source(fixed_workload(gap=2.0), server)
+        source.bind(sim)
+        arrivals = []
+        server.on_arrival(lambda job, srv: arrivals.append(job.arrival_time))
+        sim.run(until=7.0)
+        assert arrivals == [pytest.approx(2.0), pytest.approx(4.0), pytest.approx(6.0)]
+
+    def test_draws_sizes_from_service(self):
+        sim = Simulation(seed=1)
+        server = Server()
+        source = Source(fixed_workload(size=0.75), server)
+        source.bind(sim)
+        sizes = []
+        server.on_arrival(lambda job, srv: sizes.append(job.size))
+        sim.run(until=3.5)
+        assert all(size == pytest.approx(0.75) for size in sizes)
+
+    def test_max_jobs_cap(self):
+        sim = Simulation(seed=1)
+        server = Server()
+        source = Source(fixed_workload(), server, max_jobs=5)
+        source.bind(sim)
+        sim.run()
+        assert source.generated == 5
+
+    def test_draw_sizes_false_defers_to_server(self):
+        sim = Simulation(seed=1)
+        server = Server(service_distribution=Deterministic(0.1))
+        source = Source(fixed_workload(), server, draw_sizes=False)
+        source.bind(sim)
+        finished = []
+        server.on_complete(lambda job, srv: finished.append(job.size))
+        sim.run(until=2.5)
+        assert finished and all(size == pytest.approx(0.1) for size in finished)
+
+    def test_double_bind_rejected(self):
+        source = Source(fixed_workload(), Server())
+        source.bind(Simulation(seed=1))
+        with pytest.raises(RuntimeError):
+            source.bind(Simulation(seed=2))
+
+    def test_poisson_rate_statistical(self):
+        sim = Simulation(seed=3)
+        server = Server(cores=64)
+        workload = Workload(
+            "poisson", Exponential(rate=100.0), Deterministic(1e-6)
+        )
+        source = Source(workload, server)
+        source.bind(sim)
+        sim.run(until=50.0)
+        rate = source.generated / 50.0
+        assert rate == pytest.approx(100.0, rel=0.1)
+
+
+class TestTraceSource:
+    def test_replays_exact_trace(self):
+        sim = Simulation(seed=1)
+        server = Server(cores=10)
+        trace = [(1.0, 0.5), (2.5, 0.25), (2.5, 0.25)]
+        source = TraceSource(trace, server)
+        source.bind(sim)
+        arrivals = []
+        server.on_arrival(lambda job, srv: arrivals.append((job.arrival_time, job.size)))
+        sim.run()
+        assert arrivals == [(1.0, 0.5), (2.5, 0.25), (2.5, 0.25)]
+        assert source.generated == 3
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            TraceSource([(-1.0, 0.5)], Server())
+        with pytest.raises(ValueError):
+            TraceSource([(1.0, -0.5)], Server())
+
+    def test_rejects_unsorted_trace(self):
+        with pytest.raises(ValueError):
+            TraceSource([(2.0, 0.1), (1.0, 0.1)], Server())
+
+    def test_double_bind_rejected(self):
+        source = TraceSource([(1.0, 0.1)], Server())
+        source.bind(Simulation(seed=1))
+        with pytest.raises(RuntimeError):
+            source.bind(Simulation(seed=2))

@@ -1,0 +1,138 @@
+"""Unit tests for the closed-form queueing-theory module."""
+
+import math
+
+import pytest
+
+from repro.distributions import Deterministic, Exponential, HyperExponential
+from repro.theory import (
+    TheoryError,
+    erlang_c,
+    gg1_mean_waiting_approx,
+    mg1_mean_response,
+    mg1_mean_waiting,
+    mm1_mean_response,
+    mm1_mean_waiting,
+    mm1_quantile_response,
+    mmk_mean_response,
+    mmk_mean_waiting,
+)
+
+
+class TestMM1:
+    def test_known_values(self):
+        assert mm1_mean_response(10.0, 20.0) == pytest.approx(0.1)
+        assert mm1_mean_waiting(10.0, 20.0) == pytest.approx(0.05)
+
+    def test_quantile(self):
+        assert mm1_quantile_response(10.0, 20.0, 0.95) == pytest.approx(
+            0.1 * math.log(20.0)
+        )
+
+    def test_unstable_rejected(self):
+        with pytest.raises(TheoryError):
+            mm1_mean_response(20.0, 20.0)
+        with pytest.raises(TheoryError):
+            mm1_mean_response(25.0, 20.0)
+
+    def test_bad_quantile(self):
+        with pytest.raises(TheoryError):
+            mm1_quantile_response(1.0, 2.0, 1.0)
+
+
+class TestErlangC:
+    def test_k1_equals_rho(self):
+        # With one server, P(queue) = rho.
+        assert erlang_c(10.0, 20.0, 1) == pytest.approx(0.5)
+
+    def test_decreases_with_servers_at_fixed_rho(self):
+        # rho fixed at 0.5: queuing probability falls as k grows.
+        values = [erlang_c(0.5 * k * 2.0, 2.0, k) for k in (1, 2, 4, 8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_probability_bounds(self):
+        value = erlang_c(15.0, 2.0, 10)
+        assert 0.0 < value < 1.0
+
+
+class TestMMk:
+    def test_reduces_to_mm1(self):
+        assert mmk_mean_waiting(10.0, 20.0, 1) == pytest.approx(
+            mm1_mean_waiting(10.0, 20.0)
+        )
+        assert mmk_mean_response(10.0, 20.0, 1) == pytest.approx(
+            mm1_mean_response(10.0, 20.0)
+        )
+
+    def test_pooling_helps(self):
+        # Same per-server rho: 4 pooled servers wait less than 1.
+        one = mmk_mean_waiting(10.0, 20.0, 1)
+        four = mmk_mean_waiting(40.0, 20.0, 4)
+        assert four < one
+
+
+class TestMG1:
+    def test_reduces_to_mm1_for_exponential(self):
+        service = Exponential(rate=20.0)
+        assert mg1_mean_waiting(10.0, service) == pytest.approx(
+            mm1_mean_waiting(10.0, 20.0)
+        )
+
+    def test_deterministic_halves_waiting(self):
+        expo = mg1_mean_waiting(10.0, Exponential(rate=20.0))
+        det = mg1_mean_waiting(10.0, Deterministic(0.05))
+        assert det == pytest.approx(expo / 2.0)
+
+    def test_heavy_tail_inflates_waiting(self):
+        light = mg1_mean_waiting(10.0, Exponential(rate=20.0))
+        heavy = mg1_mean_waiting(
+            10.0, HyperExponential.from_mean_cv(0.05, 4.0)
+        )
+        assert heavy > 5 * light
+
+    def test_response_adds_service(self):
+        service = Exponential(rate=20.0)
+        assert mg1_mean_response(10.0, service) == pytest.approx(
+            mg1_mean_waiting(10.0, service) + 0.05
+        )
+
+    def test_unstable_rejected(self):
+        with pytest.raises(TheoryError):
+            mg1_mean_waiting(30.0, Exponential(rate=20.0))
+
+
+class TestKingman:
+    def test_exact_for_mm1(self):
+        # Kingman is exact for M/M/1 (Ca = Cs = 1).
+        approx = gg1_mean_waiting_approx(10.0, Exponential(rate=20.0), 1.0)
+        assert approx == pytest.approx(mm1_mean_waiting(10.0, 20.0))
+
+    def test_low_variance_arrivals_reduce_waiting(self):
+        smooth = gg1_mean_waiting_approx(10.0, Exponential(rate=20.0), 0.1)
+        bursty = gg1_mean_waiting_approx(10.0, Exponential(rate=20.0), 2.0)
+        assert smooth < bursty
+
+    def test_negative_cv_rejected(self):
+        with pytest.raises(TheoryError):
+            gg1_mean_waiting_approx(1.0, Exponential(rate=2.0), -1.0)
+
+
+class TestSimulationAgreement:
+    """The simulator and the closed forms must agree where both exist."""
+
+    def test_mmk_simulation_matches_erlang_c(self):
+        from repro import Experiment, Server, Workload
+
+        lam, mu, k = 30.0, 10.0, 4  # rho = 0.75
+        experiment = Experiment(seed=77, warmup_samples=500,
+                                calibration_samples=3000)
+        server = Server(cores=k)
+        experiment.add_source(
+            Workload("mmk", Exponential(rate=lam), Exponential(rate=mu)),
+            target=server,
+        )
+        experiment.track_waiting_time(server, mean_accuracy=0.03)
+        estimate = experiment.run()["waiting_time"]
+        assert estimate.mean == pytest.approx(
+            mmk_mean_waiting(lam, mu, k), rel=0.12
+        )

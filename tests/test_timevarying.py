@@ -1,0 +1,109 @@
+"""Tests for diurnal rate profiles and the variable-rate source."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.server import Server
+from repro.distributions import Deterministic, Exponential
+from repro.engine.simulation import Simulation
+from repro.workloads import (
+    RateProfile,
+    VariableRateSource,
+    WorkloadError,
+    diurnal_profile,
+)
+from repro.workloads.workload import Workload
+
+
+class TestRateProfile:
+    def test_interpolates_between_knots(self):
+        profile = RateProfile([(0.0, 1.0), (10.0, 3.0)], period=20.0)
+        assert profile.multiplier(0.0) == pytest.approx(1.0)
+        assert profile.multiplier(5.0) == pytest.approx(2.0)
+        assert profile.multiplier(10.0) == pytest.approx(3.0)
+
+    def test_wraps_periodically(self):
+        profile = RateProfile([(0.0, 1.0), (10.0, 3.0)], period=20.0)
+        assert profile.multiplier(25.0) == pytest.approx(
+            profile.multiplier(5.0)
+        )
+        # Wrap segment: from (10, 3) back to (20 -> 0, 1).
+        assert profile.multiplier(15.0) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            RateProfile([(0.0, 1.0)], period=0.0)
+        with pytest.raises(WorkloadError):
+            RateProfile([], period=10.0)
+        with pytest.raises(WorkloadError):
+            RateProfile([(5.0, 1.0), (1.0, 2.0)], period=10.0)
+        with pytest.raises(WorkloadError):
+            RateProfile([(0.0, 0.0)], period=10.0)
+        with pytest.raises(WorkloadError):
+            RateProfile([(11.0, 1.0)], period=10.0)
+
+    def test_mean_and_peak(self):
+        profile = RateProfile([(0.0, 1.0), (10.0, 3.0)], period=20.0)
+        assert profile.peak() == pytest.approx(3.0)
+        assert profile.mean_multiplier() == pytest.approx(2.0)
+
+
+class TestDiurnalProfile:
+    def test_swing_ratio(self):
+        profile = diurnal_profile(peak_to_trough=4.0, period=100.0, knots=48)
+        samples = [profile.multiplier(t) for t in np.linspace(0, 100, 500)]
+        assert max(samples) == pytest.approx(1.0, abs=0.02)
+        assert min(samples) == pytest.approx(0.25, abs=0.02)
+
+    def test_peak_position(self):
+        profile = diurnal_profile(period=100.0, peak_time_fraction=0.5)
+        assert profile.multiplier(50.0) >= profile.multiplier(0.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            diurnal_profile(peak_to_trough=0.5)
+        with pytest.raises(WorkloadError):
+            diurnal_profile(knots=1)
+
+
+class TestVariableRateSource:
+    def test_rate_tracks_profile(self):
+        # Base rate 100/s; multiplier plateaus at 2.0 over the first half
+        # of the period and at 0.5 over the second (the interpolation is
+        # piecewise linear, so plateaus need paired knots).
+        profile = RateProfile(
+            [(0.0, 2.0), (49.0, 2.0), (50.0, 0.5), (99.0, 0.5)],
+            period=100.0,
+        )
+        workload = Workload(
+            "var", Exponential(rate=100.0), Deterministic(1e-9)
+        )
+        sim = Simulation(seed=11)
+        server = Server(cores=1)
+        stamps = []
+        server.on_arrival(lambda job, srv: stamps.append(job.arrival_time))
+        source = VariableRateSource(workload, profile, server)
+        source.bind(sim)
+        sim.run(until=100.0)
+        stamps = np.asarray(stamps)
+        early = np.sum(stamps < 40.0) / 40.0
+        late = np.sum((stamps >= 60.0) & (stamps < 100.0)) / 40.0
+        assert early == pytest.approx(200.0, rel=0.15)
+        assert late < early / 2.0
+
+    def test_double_bind_rejected(self):
+        profile = diurnal_profile(period=10.0)
+        workload = Workload("x", Exponential(rate=10.0), Deterministic(0.01))
+        source = VariableRateSource(workload, profile, Server())
+        source.bind(Simulation(seed=1))
+        with pytest.raises(RuntimeError):
+            source.bind(Simulation(seed=2))
+
+    def test_max_jobs(self):
+        profile = diurnal_profile(period=10.0)
+        workload = Workload("x", Exponential(rate=100.0), Deterministic(1e-6))
+        sim = Simulation(seed=3)
+        source = VariableRateSource(workload, profile, Server(), max_jobs=7)
+        source.bind(sim)
+        sim.run()
+        assert source.generated == 7

@@ -1,0 +1,98 @@
+"""Unit tests for distribution wrappers (scale, shift, truncate, mixture)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Deterministic,
+    DistributionError,
+    Exponential,
+    Mixture,
+    Scaled,
+    Shifted,
+    Truncated,
+    Uniform,
+)
+
+
+class TestScaled:
+    def test_moments(self):
+        dist = Scaled(Exponential(rate=2.0), factor=3.0)
+        assert dist.mean() == pytest.approx(1.5)
+        assert dist.std() == pytest.approx(1.5)
+        assert dist.cv() == pytest.approx(1.0)  # scaling preserves Cv
+
+    def test_sampling(self, rng):
+        base = Deterministic(2.0)
+        assert Scaled(base, 0.5).sample(rng) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(DistributionError):
+            Scaled(Exponential(rate=1.0), factor=0.0)
+
+    def test_load_scaling_semantics(self, rng):
+        # Halving inter-arrival gaps doubles the offered rate.
+        base = Exponential(rate=10.0)
+        scaled = Scaled(base, 0.5)
+        assert 1.0 / scaled.mean() == pytest.approx(20.0)
+
+
+class TestShifted:
+    def test_moments(self):
+        dist = Shifted(Exponential(rate=1.0), offset=2.0)
+        assert dist.mean() == pytest.approx(3.0)
+        assert dist.variance() == pytest.approx(1.0)  # shift keeps variance
+
+    def test_sampling_floor(self, rng):
+        draws = Shifted(Exponential(rate=1.0), offset=5.0).sample_many(rng, 500)
+        assert np.all(draws >= 5.0)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(DistributionError):
+            Shifted(Exponential(rate=1.0), offset=-1.0)
+
+
+class TestTruncated:
+    def test_clamps_samples(self, rng):
+        dist = Truncated(Exponential(rate=0.5), low=0.5, high=3.0)
+        draws = dist.sample_many(rng, 2000)
+        assert np.all(draws >= 0.5)
+        assert np.all(draws <= 3.0)
+
+    def test_moments_within_bounds(self):
+        dist = Truncated(Exponential(rate=0.5), low=0.0, high=2.0)
+        assert 0.0 <= dist.mean() <= 2.0
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(DistributionError):
+            Truncated(Exponential(rate=1.0), low=2.0, high=1.0)
+
+
+class TestMixture:
+    def test_moments_two_point(self):
+        dist = Mixture([Deterministic(1.0), Deterministic(3.0)], [0.5, 0.5])
+        assert dist.mean() == pytest.approx(2.0)
+        assert dist.variance() == pytest.approx(1.0)
+
+    def test_weights_normalized(self):
+        dist = Mixture([Deterministic(1.0), Deterministic(3.0)], [2.0, 2.0])
+        assert dist.mean() == pytest.approx(2.0)
+
+    def test_sampling_fraction(self, rng):
+        dist = Mixture([Deterministic(0.0), Deterministic(1.0)], [0.3, 0.7])
+        draws = dist.sample_many(rng, 20_000)
+        assert np.mean(draws) == pytest.approx(0.7, abs=0.02)
+
+    def test_single_component(self, rng):
+        dist = Mixture([Uniform(0.0, 1.0)], [1.0])
+        assert 0.0 <= dist.sample(rng) <= 1.0
+
+    def test_errors(self):
+        with pytest.raises(DistributionError):
+            Mixture([], [])
+        with pytest.raises(DistributionError):
+            Mixture([Deterministic(1.0)], [1.0, 2.0])
+        with pytest.raises(DistributionError):
+            Mixture([Deterministic(1.0)], [-1.0])
+        with pytest.raises(DistributionError):
+            Mixture([Deterministic(1.0), Deterministic(2.0)], [0.0, 0.0])

@@ -1,0 +1,54 @@
+"""Tests for the sim-vs-theory validation harness."""
+
+import pytest
+
+from repro.validation import (
+    ValidationCase,
+    validate_mg1,
+    validate_mm1,
+    validate_mmk,
+    validate_ps,
+)
+
+
+class TestValidationCase:
+    def test_relative_error(self):
+        case = ValidationCase("x", simulated=1.05, theoretical=1.0,
+                              tolerance=0.1, converged=True)
+        assert case.relative_error == pytest.approx(0.05)
+        assert case.passed
+
+    def test_fails_outside_tolerance(self):
+        case = ValidationCase("x", simulated=1.5, theoretical=1.0,
+                              tolerance=0.1, converged=True)
+        assert not case.passed
+
+    def test_unconverged_never_passes(self):
+        case = ValidationCase("x", simulated=1.0, theoretical=1.0,
+                              tolerance=0.1, converged=False)
+        assert not case.passed
+
+    def test_zero_theory_edge(self):
+        case = ValidationCase("x", simulated=0.2, theoretical=0.0,
+                              tolerance=0.1, converged=True)
+        assert case.relative_error == pytest.approx(0.2)
+
+
+class TestSuiteCases:
+    """Each validator's cases must pass (the simulator is correct)."""
+
+    def test_mm1(self):
+        for case in validate_mm1(accuracy=0.03):
+            assert case.passed, f"{case.name}: {case.relative_error:.2%}"
+
+    def test_mmk(self):
+        for case in validate_mmk(accuracy=0.05):
+            assert case.passed, f"{case.name}: {case.relative_error:.2%}"
+
+    def test_mg1(self):
+        for case in validate_mg1(accuracy=0.03):
+            assert case.passed, f"{case.name}: {case.relative_error:.2%}"
+
+    def test_ps(self):
+        for case in validate_ps(accuracy=0.05):
+            assert case.passed, f"{case.name}: {case.relative_error:.2%}"

@@ -1,0 +1,84 @@
+"""Tests for MSER warm-up detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.warmup import mser, mser5, suggest_warmup
+
+
+def transient_then_steady(rng, transient=200, steady=2000, gap=5.0):
+    """A sequence that decays from a biased start into stationary noise."""
+    decay = gap * np.exp(-np.arange(transient) / (transient / 4.0))
+    head = decay + rng.normal(0, 0.5, transient)
+    tail = rng.normal(0, 0.5, steady)
+    return np.concatenate([head, tail])
+
+
+class TestMSER:
+    def test_detects_transient(self, rng):
+        sample = transient_then_steady(rng)
+        d, _ = mser(sample)
+        # The cut should land in the neighbourhood of the real transient.
+        assert 50 <= d <= 500
+
+    def test_stationary_sequence_needs_no_cut(self, rng):
+        d, _ = mser(rng.normal(0, 1, 2000))
+        assert d < 200  # essentially nothing to truncate
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            mser([1.0] * 5)
+        with pytest.raises(ValueError):
+            mser(rng.normal(size=100), max_fraction=0.0)
+
+    def test_score_is_marginal_standard_error(self, rng):
+        values = rng.normal(0, 1, 100)
+        _, score = mser(values, max_fraction=0.011)  # forces d = 0
+        expected = np.var(values) / values.size
+        assert score == pytest.approx(expected, rel=1e-9)
+
+
+class TestMSER5:
+    def test_truncation_in_raw_units(self, rng):
+        sample = transient_then_steady(rng)
+        d, _ = mser5(sample, batch=5)
+        assert d % 5 == 0
+        assert 25 <= d <= 600
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            mser5(rng.normal(size=20), batch=5)  # only 4 batches
+        with pytest.raises(ValueError):
+            mser5(rng.normal(size=100), batch=0)
+
+
+class TestSuggestWarmup:
+    def test_applies_safety_factor(self, rng):
+        sample = transient_then_steady(rng)
+        base, _ = mser5(sample)
+        suggestion = suggest_warmup(sample, safety_factor=2.0)
+        assert suggestion == int(np.ceil(base * 2.0))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            suggest_warmup(rng.normal(size=200), safety_factor=0.5)
+
+    def test_pilot_run_workflow(self):
+        """End to end: pilot-run a queue, suggest Nw, use it."""
+        from repro import Experiment, Server
+        from repro.workloads import web
+
+        pilot = Experiment(seed=61)
+        server = Server()
+        pilot.add_source(web().at_load(0.7), target=server)
+        observations = []
+        server.on_complete(
+            lambda job, srv: observations.append(job.response_time)
+        )
+        pilot.simulation.run(
+            max_events=200_000,
+            stop_when=lambda: len(observations) >= 3000,
+            stop_check_interval=64,
+        )
+        suggestion = suggest_warmup(observations)
+        assert 0 <= suggestion <= 3000

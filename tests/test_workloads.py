@@ -1,0 +1,157 @@
+"""Unit tests for workload models — including the Table-1 moments."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import EmpiricalDistribution, Exponential
+from repro.workloads import (
+    TABLE1_SPECS,
+    WorkloadError,
+    all_names,
+    by_name,
+    generate_trace,
+    google,
+    shell,
+    web,
+    workload_from_trace,
+)
+from repro.workloads.workload import Workload
+
+
+class TestTable1:
+    """The shipped workloads must reproduce the paper's Table 1 exactly."""
+
+    @pytest.mark.parametrize("name", ["dns", "mail", "shell", "google", "web"])
+    def test_interarrival_moments(self, name):
+        spec = TABLE1_SPECS[name]
+        workload = by_name(name)
+        assert workload.interarrival.mean() == pytest.approx(
+            spec.interarrival_mean
+        )
+        assert workload.interarrival.cv() == pytest.approx(
+            spec.interarrival_cv
+        )
+
+    @pytest.mark.parametrize("name", ["dns", "mail", "shell", "google", "web"])
+    def test_service_moments(self, name):
+        spec = TABLE1_SPECS[name]
+        workload = by_name(name)
+        assert workload.service.mean() == pytest.approx(spec.service_mean)
+        assert workload.service.cv() == pytest.approx(spec.service_cv)
+
+    def test_spec_std_derivation(self):
+        spec = TABLE1_SPECS["shell"]
+        assert spec.service_std == pytest.approx(0.046 * 15.0)
+        assert spec.interarrival_std == pytest.approx(0.186 * 4.2)
+
+    def test_all_names(self):
+        assert all_names() == ["dns", "mail", "shell", "google", "web"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            by_name("nope")
+
+    def test_case_insensitive(self):
+        assert by_name("GOOGLE").name == "google"
+
+    def test_empirical_build_close_moments(self):
+        workload = by_name("web", empirical=True)
+        assert isinstance(workload.service, EmpiricalDistribution)
+        assert workload.service.mean() == pytest.approx(0.075, rel=0.1)
+
+    def test_empirical_build_reproducible(self, rng):
+        a = by_name("dns", empirical=True, seed=5)
+        b = by_name("dns", empirical=True, seed=5)
+        assert a.service.quantile(0.9) == b.service.quantile(0.9)
+
+    def test_shell_has_extreme_service_tail(self):
+        assert shell().service.cv() == pytest.approx(15.0)
+
+
+class TestLoadScaling:
+    def test_offered_load(self):
+        workload = Workload("x", Exponential(rate=10.0), Exponential(rate=20.0))
+        assert workload.offered_load() == pytest.approx(0.5)
+        assert workload.offered_load(cores=2) == pytest.approx(0.25)
+
+    def test_at_load_hits_target(self):
+        workload = web().at_load(0.7)
+        assert workload.offered_load() == pytest.approx(0.7)
+
+    def test_at_load_multicore(self):
+        workload = web().at_load(0.5, cores=4)
+        assert workload.offered_load(cores=4) == pytest.approx(0.5)
+
+    def test_at_qps(self):
+        workload = google().at_qps(1000.0)
+        assert workload.arrival_rate == pytest.approx(1000.0)
+
+    def test_scaling_preserves_service(self):
+        base = web()
+        scaled = base.at_load(0.9)
+        assert scaled.service is base.service
+
+    def test_scale_service_slowdown(self):
+        base = google()
+        slowed = base.scale_service(2.0)
+        assert slowed.service.mean() == pytest.approx(2.0 * base.service.mean())
+        assert slowed.service.cv() == pytest.approx(base.service.cv())
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(WorkloadError):
+            web().at_load(0.0)
+        with pytest.raises(WorkloadError):
+            web().at_load(1.0)
+        with pytest.raises(WorkloadError):
+            web().at_qps(-1.0)
+
+    def test_peak_qps(self):
+        workload = Workload("x", Exponential(rate=1.0), Exponential(rate=20.0))
+        assert workload.peak_qps == pytest.approx(20.0)
+
+
+class TestTraceRoundtrip:
+    def test_generate_trace_shape(self, rng):
+        trace = generate_trace(web(), 100, rng)
+        assert len(trace) == 100
+        arrivals = [entry[0] for entry in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(size >= 0 for _, size in trace)
+
+    def test_workload_from_trace_moments(self, rng):
+        base = web()
+        trace = generate_trace(base, 50_000, rng)
+        distilled = workload_from_trace(trace)
+        assert distilled.interarrival.mean() == pytest.approx(
+            base.interarrival.mean(), rel=0.1
+        )
+        assert distilled.service.mean() == pytest.approx(
+            base.service.mean(), rel=0.1
+        )
+
+    def test_too_short_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            workload_from_trace([(1.0, 0.5)])
+
+    def test_unsorted_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            workload_from_trace([(2.0, 0.1), (1.0, 0.1)])
+
+    def test_generate_zero_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            generate_trace(web(), 0, rng)
+
+
+class TestAsEmpirical:
+    def test_preserves_moments(self, rng):
+        base = web()
+        empirical = base.as_empirical(rng, n=80_000)
+        assert empirical.interarrival.mean() == pytest.approx(
+            base.interarrival.mean(), rel=0.1
+        )
+        assert empirical.service.mean() == pytest.approx(
+            base.service.mean(), rel=0.1
+        )
+
+    def test_name_kept(self, rng):
+        assert web().as_empirical(rng, n=1000).name == "web"
