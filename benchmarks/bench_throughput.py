@@ -1,0 +1,177 @@
+"""Hot-path throughput benchmark: events/sec and accepted-samples/sec.
+
+Measures the single-core simulation rate on two canonical workloads:
+
+- **mm1** — M/M/1 at load 0.7 (exponential arrivals and service), the
+  cheapest possible per-event path and therefore the purest measure of
+  engine overhead;
+- **hyperexp** — M/H2/1 with service Cv = 10 (the paper's high-variance
+  regime, Table 1/Fig. 8), where sampling cost and queue depth both rise.
+
+Each workload runs a fixed event budget through a full ``Experiment``
+(source -> server -> response-time metric) so the number includes the
+entire per-event chain: sampling, event dispatch, server bookkeeping, and
+statistics recording.  Results are written as JSON (default:
+``BENCH_throughput.json`` at the repo root) so successive PRs can track
+the trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py
+    PYTHONPATH=src python benchmarks/bench_throughput.py --smoke
+    PYTHONPATH=src python benchmarks/bench_throughput.py \
+        --baseline /tmp/bench_before.json
+
+``--baseline`` embeds a previous run's results as ``before`` and reports
+the speedup per workload.  ``--no-prefetch`` disables block-prefetched
+sampling (where the tree supports the flag) for A/B comparisons.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import Experiment, Server  # noqa: E402
+from repro.distributions import Exponential, HyperExponential  # noqa: E402
+from repro.workloads.workload import Workload  # noqa: E402
+
+
+def _mm1_workload() -> Workload:
+    return Workload(
+        name="mm1",
+        interarrival=Exponential(rate=0.7),
+        service=Exponential(rate=1.0),
+    )
+
+
+def _hyperexp_workload() -> Workload:
+    return Workload(
+        name="hyperexp",
+        interarrival=Exponential(rate=0.5),
+        service=HyperExponential.from_mean_cv(mean=1.0, cv=10.0),
+    )
+
+
+WORKLOADS = {
+    "mm1": _mm1_workload,
+    "hyperexp": _hyperexp_workload,
+}
+
+
+def build_experiment(workload: Workload, seed: int, prefetch: bool) -> Experiment:
+    experiment = Experiment(
+        seed=seed, warmup_samples=500, calibration_samples=3000
+    )
+    server = Server(cores=1)
+    try:
+        experiment.add_source(workload, target=server, prefetch=prefetch)
+    except TypeError:
+        # Older tree without the prefetch flag: per-draw sampling only.
+        experiment.add_source(workload, target=server)
+    experiment.track_response_time(
+        server, mean_accuracy=0.01, quantiles={0.95: 0.02}
+    )
+    return experiment
+
+
+def run_one(name: str, max_events: int, seed: int, prefetch: bool,
+            repeats: int) -> dict:
+    """Best-of-``repeats`` throughput for one workload."""
+    best = None
+    for _ in range(repeats):
+        experiment = build_experiment(WORKLOADS[name](), seed, prefetch)
+        started = time.perf_counter()
+        experiment.run(max_events=max_events)
+        wall = time.perf_counter() - started
+        events = experiment.simulation.events_processed
+        accepted = experiment.stats.total_accepted
+        run = {
+            "events": events,
+            "accepted": accepted,
+            "wall_seconds": round(wall, 4),
+            "events_per_sec": round(events / wall, 1),
+            "accepted_per_sec": round(accepted / wall, 1),
+        }
+        if best is None or run["events_per_sec"] > best["events_per_sec"]:
+            best = run
+    return best
+
+
+def _git_commit() -> str:
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, text=True, stderr=subprocess.DEVNULL,
+        ).strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=400_000,
+                        help="event budget per workload (default 400k)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per workload; best is reported")
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick CI mode: small budget, single repeat")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--no-prefetch", action="store_true",
+                        help="disable block-prefetched sampling (A/B)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="earlier results JSON to embed as 'before'")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_throughput.json")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.events = min(args.events, 60_000)
+        args.repeats = 1
+
+    results = {}
+    for name in WORKLOADS:
+        results[name] = run_one(
+            name, args.events, args.seed,
+            prefetch=not args.no_prefetch, repeats=args.repeats,
+        )
+        print(f"{name:10s} {results[name]['events_per_sec']:>12,.0f} events/s  "
+              f"{results[name]['accepted_per_sec']:>10,.0f} accepted/s")
+
+    payload = {
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+        "events_budget": args.events,
+        "prefetch": not args.no_prefetch,
+        "workloads": results,
+    }
+
+    if args.baseline and args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+        before = baseline.get("workloads", baseline)
+        payload["before"] = before
+        payload["speedup"] = {
+            name: round(
+                results[name]["events_per_sec"]
+                / before[name]["events_per_sec"], 2
+            )
+            for name in results if name in before
+        }
+        for name, factor in payload["speedup"].items():
+            print(f"{name:10s} speedup vs baseline: {factor:.2f}x")
+
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

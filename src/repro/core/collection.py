@@ -30,13 +30,19 @@ class StatisticsCollection:
 
     def add(self, statistic: Statistic) -> Statistic:
         """Register a metric.  Must happen before any observation."""
-        if self._recording_started:
+        if self._recording_started or any(
+            stat.observed for stat in self._stats.values()
+        ):
             raise StatisticError(
                 f"cannot add {statistic.name!r}: observations already recorded"
             )
         if statistic.name in self._stats:
             raise StatisticError(f"duplicate statistic name: {statistic.name!r}")
         statistic.take_barrier_control()
+        # The statistic notifies us (exactly once) when it reaches its
+        # warm-up quota; barrier bookkeeping therefore costs nothing on
+        # the per-observation path.
+        statistic._warm_hook = self._maybe_lift_barrier
         self._stats[statistic.name] = statistic
         return statistic
 
@@ -60,15 +66,34 @@ class StatisticsCollection:
     # -- the observation stream --------------------------------------------
 
     def record(self, name: str, value: float) -> None:
-        """Route one observation to its metric, managing the barrier."""
+        """Route one observation to its metric.
+
+        The warm-up barrier needs no handling here: each statistic fires
+        the collection's all-warm check itself (via the hook installed in
+        :meth:`add`) the moment it reaches its quota.
+        """
         self._recording_started = True
         try:
             statistic = self._stats[name]
         except KeyError:
             raise StatisticError(f"unknown statistic: {name!r}") from None
         statistic.observe(value)
-        if not self._barrier_lifted and statistic.warm_ready:
-            self._maybe_lift_barrier()
+
+    def recorder(self, name: str):
+        """A bound fast-path feed for one metric: ``recorder(name)(value)``
+        is equivalent to ``record(name, value)`` without the per-call name
+        lookup.  Metric hooks that fire once per completion hold onto one
+        of these instead of routing through :meth:`record`.
+
+        Observations through a recorder bypass ``_recording_started``;
+        :meth:`add` additionally checks per-statistic observation counts
+        so the metric set still freezes once data flows.
+        """
+        try:
+            statistic = self._stats[name]
+        except KeyError:
+            raise StatisticError(f"unknown statistic: {name!r}") from None
+        return statistic.observe
 
     def _maybe_lift_barrier(self) -> None:
         if all(stat.warm_ready for stat in self._stats.values()):

@@ -23,15 +23,18 @@ histogram.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 from scipy import stats as _scipy_stats
 
 
+@lru_cache(maxsize=64)
 def z_value(confidence: float) -> float:
     """Two-sided standard-normal critical value ``z_{1-alpha/2}``.
 
     ``confidence`` is the level ``1 - alpha``; 0.95 gives the familiar
-    1.96.
+    1.96.  Cached: convergence checks ask for the same handful of levels
+    thousands of times per run, and scipy's ``ppf`` costs ~100 µs.
     """
     if not 0.0 < confidence < 1.0:
         raise ValueError(f"confidence must be in (0, 1), got {confidence}")

@@ -73,7 +73,12 @@ class BinScheme:
         if high == low:
             # Degenerate (deterministic metric): a token-width scheme.
             span = abs(high) if high != 0 else 1.0
-            return cls(low=low - 0.5 * span, high=high + 0.5 * span, bins=bins)
+            padded_low = low - 0.5 * span
+            padded_high = high + 0.5 * span
+            if not padded_low < padded_high:
+                # A subnormal span rounds away entirely; use unit width.
+                padded_low, padded_high = low - 0.5, high + 0.5
+            return cls(low=padded_low, high=padded_high, bins=bins)
         pad = tail_padding * (high - low)
         return cls(low=low, high=high + pad, bins=bins)
 
@@ -84,11 +89,16 @@ class Histogram:
     Moments (mean/variance via a numerically stable sum formulation, plus
     min/max) are tracked exactly from the raw stream; only the *quantiles*
     go through the binned approximation.
+
+    Bin counts live in a plain Python list: incrementing one numpy int64
+    element costs ~6x a list-element increment, and :meth:`insert` runs
+    for every accepted observation.  The :attr:`counts` property presents
+    the familiar numpy view for analysis, merging, and tests.
     """
 
     def __init__(self, scheme: BinScheme):
         self.scheme = scheme
-        self.counts = np.zeros(scheme.bins, dtype=np.int64)
+        self._counts: list[int] = [0] * scheme.bins
         self.underflow = 0
         self.overflow = 0
         self.count = 0
@@ -96,6 +106,26 @@ class Histogram:
         self._sum_sq = 0.0
         self.min_seen = math.inf
         self.max_seen = -math.inf
+        # Bin lookup constants, hoisted out of insert (scheme.width is a
+        # computed property; a multiply beats a divide).
+        self._low = scheme.low
+        self._high = scheme.high
+        self._bins = scheme.bins
+        self._inv_width = scheme.bins / (scheme.high - scheme.low)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Regular-bin counts as an array (copy; mutate via insert/merge)."""
+        return np.asarray(self._counts, dtype=np.int64)
+
+    @counts.setter
+    def counts(self, values) -> None:
+        counts = [int(v) for v in values]
+        if len(counts) != self._bins:
+            raise HistogramError(
+                f"expected {self._bins} bin counts, got {len(counts)}"
+            )
+        self._counts = counts
 
     # -- insertion ---------------------------------------------------------
 
@@ -103,7 +133,6 @@ class Histogram:
         """Record one observation."""
         if not math.isfinite(value):
             raise HistogramError(f"cannot insert non-finite value: {value}")
-        scheme = self.scheme
         self.count += 1
         self._sum += value
         self._sum_sq += value * value
@@ -111,16 +140,24 @@ class Histogram:
             self.min_seen = value
         if value > self.max_seen:
             self.max_seen = value
-        if value < scheme.low:
+        if value < self._low:
             self.underflow += 1
-        elif value >= scheme.high:
+        elif value >= self._high:
             self.overflow += 1
         else:
-            index = int((value - scheme.low) / scheme.width)
+            try:
+                index = int((value - self._low) * self._inv_width)
+            except (OverflowError, ValueError):
+                # Degenerate schemes (subnormal span) overflow the
+                # precomputed reciprocal.  The fraction form cannot
+                # produce nan: high > low guarantees the denominator is
+                # a positive finite float.
+                fraction = (value - self._low) / (self._high - self._low)
+                index = int(fraction * self._bins)
             # Floating-point edge: value just below high can round to bins.
-            if index >= scheme.bins:
-                index = scheme.bins - 1
-            self.counts[index] += 1
+            if index >= self._bins:
+                index = self._bins - 1
+            self._counts[index] += 1
 
     def insert_many(self, values: Iterable[float]) -> None:
         """Record a batch of observations."""
@@ -169,25 +206,34 @@ class Histogram:
     def _quantile_raw(self, q: float) -> float:
         target = q * self.count
         scheme = self.scheme
-        cumulative = 0.0
-        if self.underflow:
-            if target <= self.underflow:
-                lo = self.min_seen
-                hi = min(scheme.low, self.max_seen)
-                return lo + (hi - lo) * (target / self.underflow)
-            cumulative = float(self.underflow)
-        for index in range(scheme.bins):
-            bin_count = float(self.counts[index])
-            if bin_count and target <= cumulative + bin_count:
-                left = scheme.low + index * scheme.width
-                fraction = (target - cumulative) / bin_count
-                return left + fraction * scheme.width
-            cumulative += bin_count
+        if self.underflow and target <= self.underflow:
+            lo = self.min_seen
+            hi = min(scheme.low, self.max_seen)
+            return lo + (hi - lo) * (target / self.underflow)
+        # Vectorized cumulative scan: convergence checks call this every
+        # few dozen accepted samples, and a Python loop over ~1000 bins
+        # dominated check cost.
+        counts = np.asarray(self._counts, dtype=np.int64)
+        cumulative = counts.cumsum()
+        inner = cumulative[-1] if counts.size else 0
+        inner_target = target - self.underflow
+        if inner and inner_target <= inner:
+            if inner_target > 0:
+                index = int(np.searchsorted(cumulative, inner_target, "left"))
+            else:
+                # q at (or below) the underflow boundary: the left edge of
+                # the first occupied bin, matching the scan semantics.
+                index = int(np.searchsorted(cumulative, 0, "right"))
+            bin_count = float(counts[index])
+            before = float(cumulative[index]) - bin_count
+            left = scheme.low + index * scheme.width
+            fraction = (inner_target - before) / bin_count
+            return left + fraction * scheme.width
         # Remaining mass is overflow.
         if self.overflow:
             lo = scheme.high
             hi = max(self.max_seen, scheme.high)
-            fraction = (target - cumulative) / self.overflow
+            fraction = (inner_target - float(inner)) / self.overflow
             return lo + (hi - lo) * min(1.0, max(0.0, fraction))
         return float(self.max_seen)
 
@@ -205,7 +251,7 @@ class Histogram:
             span = max(self.max_seen - scheme.high, scheme.width)
             return self.overflow / self.count / span
         index = min(int((value - scheme.low) / scheme.width), scheme.bins - 1)
-        return float(self.counts[index]) / self.count / scheme.width
+        return float(self._counts[index]) / self.count / scheme.width
 
     # -- merging (the parallel "reduce") ------------------------------------
 
@@ -215,7 +261,9 @@ class Histogram:
             raise HistogramError(
                 f"cannot merge different schemes: {self.scheme} vs {other.scheme}"
             )
-        self.counts += other.counts
+        counts = self._counts
+        for index, extra in enumerate(other._counts):
+            counts[index] += extra
         self.underflow += other.underflow
         self.overflow += other.overflow
         self.count += other.count
@@ -224,13 +272,40 @@ class Histogram:
         self.min_seen = min(self.min_seen, other.min_seen)
         self.max_seen = max(self.max_seen, other.max_seen)
 
+    def merge_payload(self, payload: dict) -> None:
+        """Fold a payload dict (full or delta form) into this histogram.
+
+        The master's incremental reduce: accumulating a slave's bin-count
+        *delta* avoids re-materializing and re-summing every slave's full
+        histogram each round.  ``min_seen``/``max_seen`` in a payload are
+        always absolute running extrema (min/max are not delta-able) and
+        merge idempotently.
+        """
+        low, high, bins = payload["scheme"]
+        scheme = self.scheme
+        if (low, high, bins) != (scheme.low, scheme.high, scheme.bins):
+            raise HistogramError(
+                f"cannot merge payload with scheme {payload['scheme']} "
+                f"into {scheme}"
+            )
+        counts = self._counts
+        for index, extra in enumerate(payload["counts"]):
+            counts[index] += extra
+        self.underflow += payload["underflow"]
+        self.overflow += payload["overflow"]
+        self.count += payload["count"]
+        self._sum += payload["sum"]
+        self._sum_sq += payload["sum_sq"]
+        self.min_seen = min(self.min_seen, payload["min_seen"])
+        self.max_seen = max(self.max_seen, payload["max_seen"])
+
     # -- (de)serialization for the wire protocol ----------------------------
 
     def to_payload(self) -> dict:
         """Plain-dict form for pickling/IPC to the parallel master."""
         return {
             "scheme": (self.scheme.low, self.scheme.high, self.scheme.bins),
-            "counts": self.counts.tolist(),
+            "counts": list(self._counts),
             "underflow": self.underflow,
             "overflow": self.overflow,
             "count": self.count,
@@ -245,7 +320,7 @@ class Histogram:
         """Inverse of :meth:`to_payload`."""
         low, high, bins = payload["scheme"]
         histogram = cls(BinScheme(low=low, high=high, bins=bins))
-        histogram.counts = np.asarray(payload["counts"], dtype=np.int64)
+        histogram.counts = payload["counts"]
         histogram.underflow = payload["underflow"]
         histogram.overflow = payload["overflow"]
         histogram.count = payload["count"]

@@ -23,6 +23,7 @@ from typing import Callable, Optional
 from repro.datacenter.job import Job
 from repro.datacenter.source import _JOB_COUNTER
 from repro.distributions import Distribution
+from repro.distributions.prefetch import PrefetchSampler
 from repro.engine.simulation import Simulation
 
 
@@ -53,6 +54,9 @@ class ClosedLoopClients:
         self.sim: Optional[Simulation] = None
         self._think_rng = None
         self._service_rng = None
+        self._next_think: Optional[PrefetchSampler] = None
+        self._next_size: Optional[PrefetchSampler] = None
+        self._label = ""
         self._in_flight: set[int] = set()
         self.completed = 0
         self._complete_listeners: list[Callable[[Job], None]] = []
@@ -64,6 +68,9 @@ class ClosedLoopClients:
         self.sim = sim
         self._think_rng = sim.spawn_rng()
         self._service_rng = sim.spawn_rng()
+        self._next_think = PrefetchSampler(self.think_time, self._think_rng)
+        self._next_size = PrefetchSampler(self.service, self._service_rng)
+        self._label = f"{self.name}:submit" if sim.tracing else ""
         self.target.bind(sim)
         self.target.on_complete(self._handle_complete)
         for _ in range(self.n_clients):
@@ -85,14 +92,10 @@ class ClosedLoopClients:
         return self.completed / self.sim.now
 
     def _schedule_submit(self) -> None:
-        gap = float(self.think_time.sample(self._think_rng))
-        self.sim.schedule_in(gap, self._submit, f"{self.name}:submit")
+        self.sim.schedule_in(self._next_think(), self._submit, self._label)
 
     def _submit(self) -> None:
-        job = Job(
-            next(_JOB_COUNTER),
-            size=float(self.service.sample(self._service_rng)),
-        )
+        job = Job(next(_JOB_COUNTER), size=self._next_size())
         job.arrival_time = self.sim.now
         self._in_flight.add(job.job_id)
         self.target.arrive(job)

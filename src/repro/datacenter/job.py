@@ -27,6 +27,8 @@ class Job:
         Network arrival, first instant of service, and completion.
     """
 
+    # NOTE: Source._emit initializes instances via __new__ + direct slot
+    # stores for speed; keep its field list in sync with these slots.
     __slots__ = (
         "job_id",
         "size",

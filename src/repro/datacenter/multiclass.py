@@ -27,10 +27,13 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.datacenter.disciplines import QueueingDiscipline
 from repro.datacenter.job import Job
 from repro.datacenter.source import _JOB_COUNTER
 from repro.distributions import Distribution
+from repro.distributions.prefetch import PrefetchSampler
 from repro.engine.simulation import Simulation
 
 
@@ -126,6 +129,9 @@ class MultiClassSource:
         self._probabilities = [
             job_class.weight / total for job_class in classes
         ]
+        # Cumulative weights for O(log k) class selection off one uniform
+        # (numpy's choice(p=...) costs microseconds per draw).
+        self._cumulative = np.cumsum(self._probabilities)
         self.target = target
         self.max_jobs = max_jobs
         self.name = name
@@ -133,6 +139,9 @@ class MultiClassSource:
         self.generated_by_class: Dict[str, int] = {n: 0 for n in names}
         self.sim: Optional[Simulation] = None
         self._rng = None
+        self._arrival_rng = None
+        self._next_gap: Optional[PrefetchSampler] = None
+        self._label = ""
 
     def bind(self, sim: Simulation) -> None:
         """Attach and schedule the first arrival."""
@@ -140,18 +149,23 @@ class MultiClassSource:
             raise RuntimeError(f"{self.name}: already bound")
         self.sim = sim
         self._rng = sim.spawn_rng()
+        self._arrival_rng = sim.spawn_rng()
+        self._next_gap = PrefetchSampler(self.interarrival, self._arrival_rng)
+        self._label = f"{self.name}:arrival" if sim.tracing else ""
         self.target.bind(sim)
         self._schedule_next()
 
     def _schedule_next(self) -> None:
         if self.max_jobs is not None and self.generated >= self.max_jobs:
             return
-        gap = float(self.interarrival.sample(self._rng))
-        self.sim.schedule_in(gap, self._emit, f"{self.name}:arrival")
+        self.sim.schedule_in(self._next_gap(), self._emit, self._label)
 
     def _emit(self) -> None:
-        index = self._rng.choice(len(self.classes), p=self._probabilities)
-        job_class = self.classes[index]
+        # Class choice and service demand share self._rng: the two draws
+        # interleave per job, so neither can be block-prefetched without
+        # changing the stream.
+        index = int(np.searchsorted(self._cumulative, self._rng.random()))
+        job_class = self.classes[min(index, len(self.classes) - 1)]
         job = Job(
             next(_JOB_COUNTER),
             size=float(job_class.service.sample(self._rng)),

@@ -20,6 +20,7 @@ from typing import Callable, Optional
 
 from repro.datacenter.job import Job
 from repro.datacenter.server import ServerError
+from repro.distributions.prefetch import PrefetchSampler
 from repro.engine.simulation import Simulation
 
 
@@ -35,6 +36,8 @@ class ProcessorSharingServer:
         self.name = name
         self.sim: Optional[Simulation] = None
         self._service_rng = None
+        self._next_size: Optional[PrefetchSampler] = None
+        self._traced = False
         self._jobs: dict[int, Job] = {}
         self._completion_event = None
         self._last_progress = 0.0
@@ -51,8 +54,12 @@ class ProcessorSharingServer:
             raise ServerError(f"{self.name}: already bound")
         self.sim = sim
         self._last_progress = sim.now
+        self._traced = sim.tracing
         if self.service_distribution is not None:
             self._service_rng = sim.spawn_rng()
+            self._next_size = PrefetchSampler(
+                self.service_distribution, self._service_rng
+            )
 
     def on_complete(self, listener: Callable[[Job, "ProcessorSharingServer"], None]) -> None:
         """Call ``listener(job, server)`` on every completion."""
@@ -91,10 +98,13 @@ class ProcessorSharingServer:
             return
         soonest = min(self._jobs.values(), key=lambda job: job.remaining)
         delay = soonest.remaining * len(self._jobs) / self.speed
+        label = (
+            f"{self.name}:complete#{soonest.job_id}" if self._traced else ""
+        )
         self._completion_event = self.sim.schedule_in(
             delay,
             lambda j=soonest: self._complete(j),
-            f"{self.name}:complete#{soonest.job_id}",
+            label,
         )
 
     def arrive(self, job: Job) -> None:
@@ -108,7 +118,7 @@ class ProcessorSharingServer:
                 raise ServerError(
                     f"{self.name}: sizeless job and no service distribution"
                 )
-            job.size = float(self.service_distribution.sample(self._service_rng))
+            job.size = self._next_size()
         if job.remaining is None:
             job.remaining = job.size
         self._advance_progress()

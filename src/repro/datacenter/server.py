@@ -19,10 +19,14 @@ subclassing.
 
 from __future__ import annotations
 
+from functools import partial
+from heapq import heappush
 from typing import Callable, Optional
 
 from repro.datacenter.disciplines import FCFSQueue, QueueingDiscipline
 from repro.datacenter.job import Job
+from repro.distributions.prefetch import PrefetchSampler
+from repro.engine.events import PENDING
 from repro.engine.simulation import Simulation
 
 
@@ -75,9 +79,20 @@ class Server:
 
         self.sim: Optional[Simulation] = None
         self._service_rng = None
+        self._next_size: Optional[PrefetchSampler] = None
         self.paused = False
         self._running: dict[int, Job] = {}
         self.completed_jobs = 0
+        self._traced = False
+        self._complete_label = ""
+        self._heap = None
+        self._seq = None
+        # Direct deque access when the discipline is exactly FCFS (the
+        # overwhelmingly common case): skips two method frames per
+        # queued job.  None for any other/subclassed discipline.
+        self._fcfs = (
+            self.queue._queue if type(self.queue) is FCFSQueue else None
+        )
 
         self._complete_listeners: list[Callable[[Job, "Server"], None]] = []
         self._arrival_listeners: list[Callable[[Job, "Server"], None]] = []
@@ -103,8 +118,16 @@ class Server:
         self.sim = sim
         self._last_busy_update = sim.now
         self._busy_marker_time = sim.now
+        self._traced = sim.tracing
+        # Captured once: _start pushes completion records straight onto
+        # the heap.  Safe because heap compaction is in-place.
+        self._heap = sim.events._heap
+        self._seq = sim.events._counter
         if self.service_distribution is not None:
             self._service_rng = sim.spawn_rng()
+            self._next_size = PrefetchSampler(
+                self.service_distribution, self._service_rng
+            )
         if self.forward_to is not None:
             self.forward_to.bind(sim)
 
@@ -153,8 +176,9 @@ class Server:
         now = self.sim.now
         dt = now - self._last_busy_update
         if dt > 0:
-            self._busy_integral += dt * self.busy_cores
-            if self.busy_cores == 0:
+            busy = len(self._running)
+            self._busy_integral += dt * busy
+            if busy == 0:
                 self._idle_integral += dt
                 if self.paused:
                     self._pause_integral += dt
@@ -205,34 +229,56 @@ class Server:
         if job.arrival_time is None:
             job.arrival_time = self.sim.now
         if job.size is None:
-            if self.service_distribution is None:
+            if self._next_size is None:
                 raise ServerError(
                     f"{self.name}: job #{job.job_id} has no size and server "
                     "has no service distribution"
                 )
-            job.size = float(self.service_distribution.sample(self._service_rng))
+            job.size = self._next_size()
         if job.remaining is None:
             job.remaining = job.size
-        for listener in self._arrival_listeners:
-            listener(job, self)
-        if not self.paused and self.busy_cores < self.cores:
+        if self._arrival_listeners:
+            for listener in self._arrival_listeners:
+                listener(job, self)
+        if not self.paused and len(self._running) < self.cores:
             self._start(job)
+        elif self._fcfs is not None:
+            self._fcfs.append(job)
         else:
             self.queue.push(job)
-        self._notify_occupancy()
+        if self._occupancy_listeners:
+            self._notify_occupancy()
 
     def _start(self, job: Job) -> None:
+        # Runs once per served job: the completion-event push is inlined
+        # (record layout [time, seq, callback, label, state]) and the
+        # callback is a partial, which dispatches at C level — one Python
+        # frame fewer per completion than a lambda trampoline.
+        now = self.sim.now
         if job.start_time is None:
-            job.start_time = self.sim.now
-        self._update_busy_integral()
+            job.start_time = now
+        if now != self._last_busy_update:
+            self._update_busy_integral()
         self._running[job.job_id] = job
-        job._last_progress = self.sim.now
-        self._schedule_completion(job)
+        job._last_progress = now
+        event = [
+            now + job.remaining / self.speed,
+            next(self._seq),
+            partial(self._complete, job),
+            f"{self.name}:complete#{job.job_id}" if self._traced else "",
+            PENDING,
+        ]
+        heappush(self._heap, event)
+        job._completion_event = event
 
     def _schedule_completion(self, job: Job) -> None:
+        """Cold-path completion scheduling (set_speed / resume)."""
         delay = job.remaining / self.speed
+        label = (
+            f"{self.name}:complete#{job.job_id}" if self._traced else ""
+        )
         job._completion_event = self.sim.schedule_in(
-            delay, lambda j=job: self._complete(j), f"{self.name}:complete#{job.job_id}"
+            delay, partial(self._complete, job), label
         )
 
     def _sync_progress(self, job: Job) -> None:
@@ -250,19 +296,22 @@ class Server:
     def _complete(self, job: Job) -> None:
         job._completion_event = None
         job.remaining = 0.0
+        now = self.sim.now
         # Integrate the elapsed interval at the pre-completion core count
         # before dropping the job, or busy time is undercounted.
-        self._update_busy_integral()
+        if now != self._last_busy_update:
+            self._update_busy_integral()
         del self._running[job.job_id]
-        job.finish_time = self.sim.now
+        job.finish_time = now
         self.completed_jobs += 1
         for listener in self._complete_listeners:
             listener(job, self)
         if self.forward_to is not None:
             self._forward(job)
-        if not self.paused:
+        if not self.paused and self.queue:
             self._dispatch_from_queue()
-        self._notify_occupancy()
+        if self._occupancy_listeners:
+            self._notify_occupancy()
 
     def _forward(self, job: Job) -> None:
         """Send a completed job to the next pipeline stage."""
@@ -274,7 +323,12 @@ class Server:
         self.forward_to.arrive(job)
 
     def _dispatch_from_queue(self) -> None:
-        while self.busy_cores < self.cores:
+        fcfs = self._fcfs
+        if fcfs is not None:
+            while fcfs and len(self._running) < self.cores:
+                self._start(fcfs.popleft())
+            return
+        while len(self._running) < self.cores:
             job = self.queue.pop()
             if job is None:
                 return
@@ -326,8 +380,9 @@ class Server:
         self._notify_occupancy()
 
     def _notify_occupancy(self) -> None:
-        for listener in self._occupancy_listeners:
-            listener(self)
+        if self._occupancy_listeners:
+            for listener in self._occupancy_listeners:
+                listener(self)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -21,6 +21,7 @@ from typing import Callable, Optional
 
 from repro.datacenter.job import Job
 from repro.datacenter.server import ServerError
+from repro.distributions.prefetch import PrefetchSampler
 from repro.engine.simulation import Simulation
 
 
@@ -36,6 +37,8 @@ class SRPTServer:
         self.name = name
         self.sim: Optional[Simulation] = None
         self._service_rng = None
+        self._next_size: Optional[PrefetchSampler] = None
+        self._traced = False
         self._running: Optional[Job] = None
         self._pool: list[tuple[float, int, Job]] = []  # (remaining, tie, job)
         self._tie = itertools.count()
@@ -52,8 +55,12 @@ class SRPTServer:
         if self.sim is not None:
             raise ServerError(f"{self.name}: already bound")
         self.sim = sim
+        self._traced = sim.tracing
         if self.service_distribution is not None:
             self._service_rng = sim.spawn_rng()
+            self._next_size = PrefetchSampler(
+                self.service_distribution, self._service_rng
+            )
 
     def on_complete(self, listener: Callable[[Job, "SRPTServer"], None]) -> None:
         """Call ``listener(job, server)`` on every completion."""
@@ -89,10 +96,13 @@ class SRPTServer:
             if job.start_time is None:
                 job.start_time = self.sim.now
             job._last_progress = self.sim.now
+            label = (
+                f"{self.name}:complete#{job.job_id}" if self._traced else ""
+            )
             job._completion_event = self.sim.schedule_in(
                 job.remaining / self.speed,
                 lambda j=job: self._complete(j),
-                f"{self.name}:complete#{job.job_id}",
+                label,
             )
 
     def arrive(self, job: Job) -> None:
@@ -107,7 +117,7 @@ class SRPTServer:
                 raise ServerError(
                     f"{self.name}: sizeless job and no service distribution"
                 )
-            job.size = float(self.service_distribution.sample(self._service_rng))
+            job.size = self._next_size()
         if job.remaining is None:
             job.remaining = job.size
         if self._running is not None:
@@ -123,10 +133,14 @@ class SRPTServer:
             else:
                 # Running job keeps the core; re-arm its completion.
                 running = self._running
+                label = (
+                    f"{self.name}:complete#{running.job_id}"
+                    if self._traced else ""
+                )
                 running._completion_event = self.sim.schedule_in(
                     running.remaining / self.speed,
                     lambda j=running: self._complete(j),
-                    f"{self.name}:complete#{running.job_id}",
+                    label,
                 )
         heapq.heappush(self._pool, (job.remaining, next(self._tie), job))
         self._dispatch()

@@ -34,6 +34,7 @@ from repro.distributions.continuous import (
 from repro.distributions.hyperexponential import HyperExponential
 from repro.distributions.empirical import EmpiricalDistribution
 from repro.distributions.transforms import Mixture, Scaled, Shifted, Truncated
+from repro.distributions.prefetch import DEFAULT_BLOCK, PrefetchSampler
 from repro.distributions.fitting import fit_mean_cv
 
 __all__ = [
@@ -51,6 +52,8 @@ __all__ = [
     "HyperExponential",
     "EmpiricalDistribution",
     "Mixture",
+    "PrefetchSampler",
+    "DEFAULT_BLOCK",
     "Scaled",
     "Shifted",
     "Truncated",

@@ -28,6 +28,16 @@ class Distribution(abc.ABC):
     checks) is derived here.
     """
 
+    #: Draw-order contract consumed by
+    #: :class:`~repro.distributions.prefetch.PrefetchSampler`: True
+    #: asserts that ``sample_many(rng, n)`` consumes ``rng`` identically
+    #: to ``n`` successive ``sample(rng)`` calls (bit-identical values in
+    #: the same order).  The base implementation below loops ``sample``
+    #: and is therefore safe; a subclass overriding ``sample_many`` with
+    #: a different generator-consumption order MUST set this to False or
+    #: prefetching would silently change seeded runs.
+    prefetch_safe = True
+
     @abc.abstractmethod
     def sample(self, rng: np.random.Generator) -> float:
         """Draw one value using ``rng`` as the sole source of randomness."""

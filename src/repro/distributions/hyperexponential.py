@@ -55,13 +55,18 @@ class HyperExponential(Distribution):
         return cls(p1=p1, rate1=rate1, rate2=rate2)
 
     def sample(self, rng: np.random.Generator) -> float:
-        rate = self.rate1 if rng.random() < self.p1 else self.rate2
-        return float(rng.exponential(1.0 / rate))
+        # Exactly two uniforms per draw (phase select, then inverse-CDF
+        # exponential) so the vectorized path below can consume the
+        # generator in the identical order — the prefetch_safe contract.
+        u = rng.random()
+        v = rng.random()
+        rate = self.rate1 if u < self.p1 else self.rate2
+        return -math.log1p(-v) / rate
 
     def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
-        phases = rng.random(size=n) < self.p1
-        means = np.where(phases, 1.0 / self.rate1, 1.0 / self.rate2)
-        return rng.exponential(means)
+        u = rng.random(size=2 * n)
+        rates = np.where(u[0::2] < self.p1, self.rate1, self.rate2)
+        return -np.log1p(-u[1::2]) / rates
 
     def mean(self) -> float:
         p2 = 1.0 - self.p1

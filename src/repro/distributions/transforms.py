@@ -31,6 +31,10 @@ class Scaled(Distribution):
         self.base = base
         self.factor = require_positive("factor", factor)
 
+    @property
+    def prefetch_safe(self) -> bool:
+        return self.base.prefetch_safe
+
     def sample(self, rng: np.random.Generator) -> float:
         return self.factor * self.base.sample(rng)
 
@@ -50,6 +54,10 @@ class Shifted(Distribution):
     def __init__(self, base: Distribution, offset: float):
         self.base = base
         self.offset = require_nonnegative("offset", offset)
+
+    @property
+    def prefetch_safe(self) -> bool:
+        return self.base.prefetch_safe
 
     def sample(self, rng: np.random.Generator) -> float:
         return self.offset + self.base.sample(rng)
@@ -91,6 +99,10 @@ class Truncated(Distribution):
         self._mean = float(np.mean(draws))
         self._variance = float(np.var(draws))
 
+    @property
+    def prefetch_safe(self) -> bool:
+        return self.base.prefetch_safe
+
     def _clip(self, x):
         return np.clip(x, self.low, self.high)
 
@@ -113,6 +125,11 @@ class Mixture(Distribution):
     Models multi-class task populations (e.g. cheap cache hits vs
     expensive misses) without building a multi-class queuing network.
     """
+
+    #: The vectorized path draws a multinomial and shuffles — a different
+    #: generator-consumption order than per-draw sampling, so prefetching
+    #: must fall back to single draws (see PrefetchSampler).
+    prefetch_safe = False
 
     def __init__(self, components: Sequence[Distribution], weights: Sequence[float]):
         if len(components) == 0:

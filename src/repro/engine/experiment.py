@@ -87,6 +87,7 @@ class Experiment:
         draw_sizes: bool = True,
         max_jobs: Optional[int] = None,
         name: Optional[str] = None,
+        prefetch: bool = True,
     ) -> Source:
         """Create and bind an open-loop source feeding ``target``."""
         source = Source(
@@ -95,6 +96,7 @@ class Experiment:
             draw_sizes=draw_sizes,
             max_jobs=max_jobs,
             name=name or f"source-{len(self.sources)}",
+            prefetch=prefetch,
         )
         source.bind(self.simulation)
         self.sources.append(source)
@@ -152,8 +154,11 @@ class Experiment:
         statistic = self.track(
             name, mean_accuracy=mean_accuracy, quantiles=quantiles, **overrides
         )
+        # Completion hooks fire once per job: bind the metric feed once
+        # (recorder) rather than routing each value through a name lookup.
+        record = self.stats.recorder(name)
         station.on_complete(
-            lambda job, server: self.record(name, job.response_time)
+            lambda job, server: record(job.finish_time - job.arrival_time)
         )
         return statistic
 
@@ -169,8 +174,9 @@ class Experiment:
         statistic = self.track(
             name, mean_accuracy=mean_accuracy, quantiles=quantiles, **overrides
         )
+        record = self.stats.recorder(name)
         station.on_complete(
-            lambda job, server: self.record(name, job.waiting_time)
+            lambda job, server: record(job.start_time - job.arrival_time)
         )
         return statistic
 

@@ -18,7 +18,13 @@ Backends: ``serial`` (in-process, deterministic, used in tests) and
 ``process`` (one OS process per slave via :mod:`multiprocessing`).
 """
 
-from repro.parallel.protocol import MetricTargets, SlaveReport, ParallelError
+from repro.parallel.protocol import (
+    DeltaTracker,
+    MetricTargets,
+    ParallelError,
+    SlaveReport,
+    histogram_delta,
+)
 from repro.parallel.master import ParallelResult, ParallelSimulation
 from repro.parallel.replications import (
     ReplicatedEstimate,
@@ -27,6 +33,8 @@ from repro.parallel.replications import (
 )
 
 __all__ = [
+    "DeltaTracker",
+    "histogram_delta",
     "MetricTargets",
     "SlaveReport",
     "ParallelError",

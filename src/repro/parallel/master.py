@@ -7,10 +7,18 @@ Protocol (Fig. 3):
 2. the bin schemes are broadcast; every slave builds its *own* replica of
    the experiment under a unique seed and runs its own warm-up +
    calibration (lag only — the scheme is imposed);
-3. slaves measure in chunks, reporting their full local histograms;
-4. the master merges the histograms after each round and signals stop as
-   soon as the merged (aggregate) sample satisfies Eqs. 2-3;
+3. slaves measure in chunks, reporting bin-count *deltas* since their
+   previous report (or full histograms with ``delta_reports=False``);
+4. the master folds each delta into persistent merged histograms and
+   signals stop as soon as the merged (aggregate) sample satisfies
+   Eqs. 2-3;
 5. final estimates are read off the merged histograms.
+
+Chunk sizes grow geometrically per round (``adaptive_chunking``): early
+rounds stay small so convergence is detected promptly on easy targets,
+later rounds amortize the report/merge overhead on hard ones.  The
+master computes the schedule, so the serial and process backends see
+identical per-round chunk sizes and produce identical merged counts.
 
 The experiment ``factory`` must be a callable ``factory(seed, **kwargs)
 -> Experiment`` that declares the same metrics every time.  For the
@@ -29,6 +37,7 @@ from repro.core.histogram import Histogram
 from repro.core.statistic import Estimate, Phase
 from repro.engine.experiment import Experiment
 from repro.parallel.protocol import (
+    DeltaTracker,
     MetricTargets,
     ParallelError,
     SlaveReport,
@@ -62,13 +71,20 @@ def build_slave_experiment(
     return experiment
 
 
-def _slave_report(experiment: Experiment, slave_id: int) -> SlaveReport:
+def _slave_report(
+    experiment: Experiment,
+    slave_id: int,
+    tracker: Optional[DeltaTracker] = None,
+) -> SlaveReport:
     histograms = {}
     lags = {}
     for statistic in experiment.stats:
         if statistic.histogram is not None:
             histograms[statistic.name] = statistic.histogram.to_payload()
         lags[statistic.name] = statistic.lag
+    delta = tracker is not None
+    if delta:
+        histograms = tracker.delta_histograms(histograms)
     return SlaveReport(
         slave_id=slave_id,
         histograms=histograms,
@@ -76,6 +92,7 @@ def _slave_report(experiment: Experiment, slave_id: int) -> SlaveReport:
         sim_time=experiment.simulation.now,
         total_accepted=experiment.stats.total_accepted,
         lags=lags,
+        delta=delta,
     )
 
 
@@ -85,23 +102,32 @@ def _process_slave_main(
     factory_kwargs,
     seed,
     schemes,
-    chunk_size,
     max_events_per_chunk,
     slave_id,
+    delta_reports,
 ):
-    """Entry point of one slave process: chunked measure/report loop."""
+    """Entry point of one slave process: chunked measure/report loop.
+
+    Commands arrive as ``("chunk", size)`` tuples (the master owns the
+    chunk schedule) or the string ``"stop"``.
+    """
     experiment = build_slave_experiment(factory, factory_kwargs, seed, schemes)
+    tracker = DeltaTracker() if delta_reports else None
     while True:
         command = conn.recv()
         if command == "stop":
             conn.close()
             return
-        if command != "chunk":  # pragma: no cover - protocol guard
+        if not (
+            isinstance(command, tuple)
+            and len(command) == 2
+            and command[0] == "chunk"
+        ):  # pragma: no cover - protocol guard
             raise ParallelError(f"unknown command: {command!r}")
         experiment.run_until_accepted(
-            chunk_size, max_events=max_events_per_chunk
+            command[1], max_events=max_events_per_chunk
         )
-        conn.send(_slave_report(experiment, slave_id))
+        conn.send(_slave_report(experiment, slave_id, tracker))
 
 
 @dataclass
@@ -142,9 +168,20 @@ class ParallelSimulation:
         ``"serial"`` (in-process round-robin; deterministic) or
         ``"process"`` (one OS process per slave).
     chunk_size:
-        Accepted observations per slave per round between merges.
+        Accepted observations per slave in the first round between
+        merges (rounds grow geometrically under ``adaptive_chunking``).
     max_rounds:
         Safety bound on measure/merge rounds.
+    delta_reports:
+        When True (default) slaves ship per-round histogram deltas and
+        the master accumulates incrementally; False restores full-state
+        reports (the A/B configuration — final estimates agree to float
+        tolerance either way).
+    adaptive_chunking:
+        When True (default) the per-round chunk doubles each round up to
+        ``max_chunk_size``; False keeps every round at ``chunk_size``.
+    max_chunk_size:
+        Cap for adaptive growth; defaults to ``16 * chunk_size``.
     """
 
     def __init__(
@@ -157,6 +194,9 @@ class ParallelSimulation:
         backend: str = "serial",
         max_rounds: int = 10_000,
         max_events_per_chunk: int = 10_000_000,
+        delta_reports: bool = True,
+        adaptive_chunking: bool = True,
+        max_chunk_size: Optional[int] = None,
     ):
         if n_slaves < 1:
             raise ParallelError(f"need >= 1 slave, got {n_slaves}")
@@ -164,6 +204,11 @@ class ParallelSimulation:
             raise ParallelError(f"chunk_size must be >= 1, got {chunk_size}")
         if backend not in ("serial", "process"):
             raise ParallelError(f"unknown backend {backend!r}")
+        if max_chunk_size is not None and max_chunk_size < chunk_size:
+            raise ParallelError(
+                f"max_chunk_size ({max_chunk_size}) must be >= "
+                f"chunk_size ({chunk_size})"
+            )
         self.factory = factory
         self.factory_kwargs = dict(factory_kwargs or {})
         self.n_slaves = n_slaves
@@ -172,6 +217,22 @@ class ParallelSimulation:
         self.backend = backend
         self.max_rounds = max_rounds
         self.max_events_per_chunk = max_events_per_chunk
+        self.delta_reports = delta_reports
+        self.adaptive_chunking = adaptive_chunking
+        self.max_chunk_size = (
+            max_chunk_size if max_chunk_size is not None else 16 * chunk_size
+        )
+
+    def _round_chunk(self, round_number: int) -> int:
+        """Accepted-observation quota per slave for one round (1-based).
+
+        Geometric growth capped at ``max_chunk_size``; computed by the
+        master so every backend follows the identical schedule.
+        """
+        if not self.adaptive_chunking:
+            return self.chunk_size
+        grown = self.chunk_size << min(round_number - 1, 60)
+        return min(grown, self.max_chunk_size)
 
     # -- master steps ----------------------------------------------------------
 
@@ -198,6 +259,7 @@ class ParallelSimulation:
     def _merge_reports(
         reports: List[SlaveReport], schemes: Dict[str, tuple]
     ) -> Dict[str, Histogram]:
+        """Full re-merge from full-state reports (delta_reports=False)."""
         merged: Dict[str, Histogram] = {}
         for name, payload in schemes.items():
             merged[name] = Histogram(scheme_from_payload(payload))
@@ -206,6 +268,15 @@ class ParallelSimulation:
                 if name in report.histograms:
                     merged[name].merge(report.histogram(name))
         return merged
+
+    @staticmethod
+    def _accumulate_reports(
+        merged: Dict[str, Histogram], reports: List[SlaveReport]
+    ) -> None:
+        """Incremental reduce: fold one round of delta reports in place."""
+        for report in reports:
+            for name, payload in report.histograms.items():
+                merged[name].merge_payload(payload)
 
     @staticmethod
     def _all_converged(
@@ -278,19 +349,29 @@ class ParallelSimulation:
             )
             for slave_id in range(self.n_slaves)
         ]
+        trackers = [
+            DeltaTracker() if self.delta_reports else None
+            for _ in range(self.n_slaves)
+        ]
         rounds = 0
         converged = False
         reports: List[SlaveReport] = []
         merged: Dict[str, Histogram] = self._merge_reports([], schemes)
         while rounds < self.max_rounds and not converged:
             rounds += 1
+            chunk = self._round_chunk(rounds)
             reports = []
             for slave_id, slave in enumerate(slaves):
                 slave.run_until_accepted(
-                    self.chunk_size, max_events=self.max_events_per_chunk
+                    chunk, max_events=self.max_events_per_chunk
                 )
-                reports.append(_slave_report(slave, slave_id))
-            merged = self._merge_reports(reports, schemes)
+                reports.append(
+                    _slave_report(slave, slave_id, trackers[slave_id])
+                )
+            if self.delta_reports:
+                self._accumulate_reports(merged, reports)
+            else:
+                merged = self._merge_reports(reports, schemes)
             converged = self._all_converged(merged, targets)
         return ParallelResult(
             estimates=self._estimates(merged, targets, converged),
@@ -318,9 +399,9 @@ class ParallelSimulation:
                     self.factory_kwargs,
                     slave_seed(self.master_seed, slave_id),
                     schemes,
-                    self.chunk_size,
                     self.max_events_per_chunk,
                     slave_id,
+                    self.delta_reports,
                 ),
                 daemon=True,
             )
@@ -335,10 +416,32 @@ class ParallelSimulation:
         try:
             while rounds < self.max_rounds and not converged:
                 rounds += 1
-                for pipe in pipes:
-                    pipe.send("chunk")
-                reports = [pipe.recv() for pipe in pipes]
-                merged = self._merge_reports(reports, schemes)
+                chunk = self._round_chunk(rounds)
+                for slave_id, pipe in enumerate(pipes):
+                    try:
+                        pipe.send(("chunk", chunk))
+                    except (BrokenPipeError, OSError) as error:
+                        raise ParallelError(
+                            f"slave {slave_id} is gone (send failed in "
+                            f"round {rounds}): {error}"
+                        ) from error
+                reports = []
+                for slave_id, pipe in enumerate(pipes):
+                    try:
+                        reports.append(pipe.recv())
+                    except (EOFError, ConnectionResetError) as error:
+                        # A dead slave closes (EOFError) or resets
+                        # (ConnectionResetError) its pipe end; without
+                        # this the master would block forever waiting on
+                        # the remaining recv()s after a partial round.
+                        raise ParallelError(
+                            f"slave {slave_id} died mid-round "
+                            f"(no report in round {rounds})"
+                        ) from error
+                if self.delta_reports:
+                    self._accumulate_reports(merged, reports)
+                else:
+                    merged = self._merge_reports(reports, schemes)
                 converged = self._all_converged(merged, targets)
         finally:
             for pipe in pipes:

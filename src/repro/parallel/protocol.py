@@ -1,9 +1,23 @@
 """Wire-format objects exchanged between master and slaves.
 
 Everything here is plain data (picklable, no live simulation state): the
-master broadcasts bin schemes + metric targets; slaves report their full
-local histograms each round (idempotent full-state reports make the
-merge trivially restartable — the master just re-sums).
+master broadcasts bin schemes + metric targets; slaves report their
+measurement progress each round in one of two forms:
+
+- **full reports** — the complete local histogram every round.
+  Idempotent (the master just re-sums), but both the wire payload and
+  the master's merge cost grow with the *cumulative* sample.
+- **delta reports** (default) — only the bin counts and moment sums
+  accumulated *since the previous report*.  The master folds each delta
+  into persistent merged histograms (:meth:`Histogram.merge_payload`),
+  making per-round master work proportional to the round, not the run.
+  ``min_seen``/``max_seen`` are not delta-able and always travel as
+  absolute running extrema; their min/max merge is idempotent, so
+  repeating them every round is harmless.
+
+Both forms produce identical merged integer bin counts; the float moment
+sums telescope (``Σ (sᵢ - sᵢ₋₁) = s_n``) up to rounding, so estimates
+agree to float tolerance.
 """
 
 from __future__ import annotations
@@ -48,18 +62,78 @@ class MetricTargets:
 
 @dataclass
 class SlaveReport:
-    """One measurement-round report from a slave: full local state."""
+    """One measurement-round report from a slave.
+
+    ``histograms`` maps metric name to a payload dict: the full local
+    histogram when ``delta`` is False, or only the counts/moments
+    accumulated since the previous report when ``delta`` is True.  The
+    scalar progress counters (``events_processed``, ``total_accepted``,
+    ``sim_time``) are always absolute.
+    """
 
     slave_id: int
-    histograms: Dict[str, dict]  # name -> Histogram.to_payload()
+    histograms: Dict[str, dict]  # name -> Histogram.to_payload() (or delta)
     events_processed: int
     sim_time: float
     total_accepted: int
     lags: Dict[str, Optional[int]] = field(default_factory=dict)
+    delta: bool = False
 
     def histogram(self, name: str) -> Histogram:
-        """Materialize one reported histogram."""
+        """Materialize one reported histogram (full reports only)."""
+        if self.delta:
+            raise ParallelError(
+                "cannot materialize a delta report as a standalone histogram"
+            )
         return Histogram.from_payload(self.histograms[name])
+
+
+def histogram_delta(current: dict, previous: Optional[dict]) -> dict:
+    """Payload holding only what ``current`` accrued beyond ``previous``.
+
+    With no ``previous`` (first report) the delta is the full payload.
+    Extrema stay absolute — see the module docstring.
+    """
+    if previous is None:
+        return dict(current)
+    if current["scheme"] != previous["scheme"]:
+        raise ParallelError(
+            f"scheme changed between reports: {previous['scheme']} "
+            f"-> {current['scheme']}"
+        )
+    return {
+        "scheme": current["scheme"],
+        "counts": [
+            now - before
+            for now, before in zip(current["counts"], previous["counts"])
+        ],
+        "underflow": current["underflow"] - previous["underflow"],
+        "overflow": current["overflow"] - previous["overflow"],
+        "count": current["count"] - previous["count"],
+        "sum": current["sum"] - previous["sum"],
+        "sum_sq": current["sum_sq"] - previous["sum_sq"],
+        "min_seen": current["min_seen"],
+        "max_seen": current["max_seen"],
+    }
+
+
+class DeltaTracker:
+    """Slave-side bookkeeping that turns full payloads into deltas.
+
+    One per slave; it remembers the last payload shipped per metric so
+    each report carries only the new counts.
+    """
+
+    def __init__(self) -> None:
+        self._previous: Dict[str, dict] = {}
+
+    def delta_histograms(self, histograms: Dict[str, dict]) -> Dict[str, dict]:
+        """Compute per-metric deltas and advance the snapshots."""
+        deltas = {}
+        for name, payload in histograms.items():
+            deltas[name] = histogram_delta(payload, self._previous.get(name))
+            self._previous[name] = payload
+        return deltas
 
 
 def scheme_payload(scheme: BinScheme) -> Tuple[float, float, int]:

@@ -14,6 +14,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.distributions import EmpiricalDistribution
+from repro.distributions.prefetch import PrefetchSampler
 from repro.workloads.workload import Workload, WorkloadError
 
 
@@ -23,11 +24,16 @@ def generate_trace(
     rng: np.random.Generator,
     start_time: float = 0.0,
 ) -> List[Tuple[float, float]]:
-    """Draw an explicit trace of ``n`` (arrival_time, size) pairs."""
+    """Draw an explicit trace of ``n`` (arrival_time, size) pairs.
+
+    Draws go through :class:`PrefetchSampler` so a generated trace
+    consumes the rng stream exactly like an online source serving the
+    same draws one at a time (bit-reproducible either way).
+    """
     if n < 1:
         raise WorkloadError(f"need n >= 1 trace entries, got {n}")
-    gaps = workload.interarrival.sample_many(rng, n)
-    sizes = workload.service.sample_many(rng, n)
+    gaps = PrefetchSampler(workload.interarrival, rng).take(n)
+    sizes = PrefetchSampler(workload.service, rng).take(n)
     arrivals = start_time + np.cumsum(gaps)
     return list(zip(arrivals.tolist(), sizes.tolist()))
 

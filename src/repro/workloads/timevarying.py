@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.datacenter.job import Job
 from repro.datacenter.source import _JOB_COUNTER
+from repro.distributions.prefetch import PrefetchSampler
 from repro.engine.simulation import Simulation
 from repro.workloads.workload import Workload, WorkloadError
 
@@ -129,6 +130,9 @@ class VariableRateSource:
         self.sim: Optional[Simulation] = None
         self._arrival_rng = None
         self._service_rng = None
+        self._next_gap: Optional[PrefetchSampler] = None
+        self._next_size: Optional[PrefetchSampler] = None
+        self._label = ""
 
     def bind(self, sim: Simulation) -> None:
         """Attach and schedule the first arrival."""
@@ -137,21 +141,24 @@ class VariableRateSource:
         self.sim = sim
         self._arrival_rng = sim.spawn_rng()
         self._service_rng = sim.spawn_rng()
+        self._next_gap = PrefetchSampler(
+            self.workload.interarrival, self._arrival_rng
+        )
+        self._next_size = PrefetchSampler(
+            self.workload.service, self._service_rng
+        )
+        self._label = f"{self.name}:arrival" if sim.tracing else ""
         self.target.bind(sim)
         self._schedule_next()
 
     def _schedule_next(self) -> None:
         if self.max_jobs is not None and self.generated >= self.max_jobs:
             return
-        gap = float(self.workload.interarrival.sample(self._arrival_rng))
-        gap /= self.profile.multiplier(self.sim.now)
-        self.sim.schedule_in(gap, self._emit, f"{self.name}:arrival")
+        gap = self._next_gap() / self.profile.multiplier(self.sim.now)
+        self.sim.schedule_in(gap, self._emit, self._label)
 
     def _emit(self) -> None:
-        job = Job(
-            next(_JOB_COUNTER),
-            size=float(self.workload.service.sample(self._service_rng)),
-        )
+        job = Job(next(_JOB_COUNTER), size=self._next_size())
         job.arrival_time = self.sim.now
         self.generated += 1
         self.target.arrive(job)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine.events import EventQueue, SimulationError
+from repro.engine.events import EV_CALLBACK, EV_TIME, EventQueue, SimulationError
 from repro.engine.simulation import Simulation
 
 
@@ -14,7 +14,7 @@ class TestEventQueue:
         queue.schedule(1.0, lambda: fired.append("a"))
         queue.schedule(2.0, lambda: fired.append("b"))
         while (event := queue.pop()) is not None:
-            event.callback()
+            event[EV_CALLBACK]()
         assert fired == ["a", "b", "c"]
 
     def test_ties_break_by_schedule_order(self):
@@ -57,6 +57,45 @@ class TestEventQueue:
     def test_empty_pop_returns_none(self):
         assert EventQueue().pop() is None
         assert EventQueue().peek_time() is None
+
+    def test_cancel_after_fire_rejected(self):
+        """A fired event is not cancellable — and the attempt must not
+        corrupt the live-event count (the dead-entry counter used to be
+        incremented even though the record had already left the heap)."""
+        queue = EventQueue()
+        fired = queue.schedule(1.0, lambda: None, "fired")
+        keeper = queue.schedule(2.0, lambda: None, "keeper")
+        assert queue.pop() is fired
+        with pytest.raises(SimulationError, match="already-fired"):
+            queue.cancel(fired)
+        assert len(queue) == 1
+        assert queue.pop() is keeper
+        assert queue.pop() is None
+
+    def test_cancel_after_fire_via_simulation(self):
+        sim = Simulation()
+        handle = sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="already-fired"):
+            sim.cancel(handle)
+        assert len(sim.events) == 0
+
+    def test_compaction_preserves_order_and_len(self):
+        """Cancelling more than half of a large heap triggers in-place
+        compaction; survivors must still pop in time order."""
+        queue = EventQueue()
+        heap_ref = queue._heap  # loop-style direct reference
+        events = [queue.schedule(float(i), lambda: None) for i in range(600)]
+        for event in events[::2] + events[1::4]:  # cancel ~75%
+            queue.cancel(event)
+        live = [e for e in events if e[4] == 0]  # still PENDING
+        assert len(queue) == len(live)
+        # Compaction happened in place: the loop's reference is still the heap.
+        assert queue._heap is heap_ref
+        popped = []
+        while (event := queue.pop()) is not None:
+            popped.append(event[EV_TIME])
+        assert popped == [e[EV_TIME] for e in live]
 
 
 class TestSimulation:
@@ -121,12 +160,78 @@ class TestSimulation:
         sim.run(stop_when=lambda: count[0] >= 50, stop_check_interval=1)
         assert count[0] == 50
 
+    def test_run_until_pins_clock_on_empty_queue(self):
+        """run(until=T) must land the clock exactly on T even when the
+        queue runs dry before the horizon (or was empty to begin with)."""
+        sim = Simulation()
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_run_until_pins_clock_after_events_drain(self):
+        sim = Simulation()
+        sim.schedule_at(1.5, lambda: None)
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+        # The horizon is sticky across calls, not cumulative.
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_run_until_pins_clock_on_overshoot(self):
+        sim = Simulation()
+        sim.schedule_at(10.0, lambda: None)
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+        assert len(sim.events) == 1  # overshooting event stays live
+
     def test_periodic_fires_repeatedly(self):
         sim = Simulation()
         ticks = []
         sim.schedule_periodic(1.0, lambda: ticks.append(sim.now))
         sim.run(max_events=5)
         assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_periodic_state_stays_bounded(self):
+        """Long-running periodic tasks hold O(1) simulation state: one
+        handle per task, one pending event — not one handle per tick."""
+        sim = Simulation()
+        sim.schedule_periodic(1.0, lambda: None)
+        sim.run(max_events=500)
+        assert len(sim._periodics) == 1
+        assert len(sim.events) == 1  # only the next tick is scheduled
+
+    def test_cancel_periodic_stops_ticks(self):
+        sim = Simulation()
+        ticks = []
+        task = sim.schedule_periodic(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=3.5)
+        sim.cancel_periodic(task)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert len(sim.events) == 0
+        assert sim._periodics == {}
+
+    def test_cancel_periodic_unknown_or_double(self):
+        sim = Simulation()
+        task = sim.schedule_periodic(1.0, lambda: None)
+        sim.cancel_periodic(task)
+        with pytest.raises(SimulationError, match="unknown periodic"):
+            sim.cancel_periodic(task)
+        with pytest.raises(SimulationError, match="unknown periodic"):
+            sim.cancel_periodic(999)
+
+    def test_periodic_can_cancel_itself(self):
+        sim = Simulation()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 3:
+                sim.cancel_periodic(task)
+
+        task = sim.schedule_periodic(1.0, tick)
+        sim.run(until=20.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert sim._periodics == {}
 
     def test_periodic_rejects_nonpositive_period(self):
         with pytest.raises(SimulationError):

@@ -1,11 +1,29 @@
 """Tests for the master/slave parallel simulation (Fig. 3)."""
 
+import numpy as np
 import pytest
 
-from repro.core.histogram import BinScheme
-from repro.parallel import MetricTargets, ParallelError, ParallelSimulation
+from repro.core.histogram import BinScheme, Histogram
+from repro.parallel import (
+    DeltaTracker,
+    MetricTargets,
+    ParallelError,
+    ParallelSimulation,
+    histogram_delta,
+)
 from repro.parallel.master import build_slave_experiment, slave_seed
 from repro.parallel.protocol import scheme_from_payload, scheme_payload
+
+
+def crashing_factory(seed, master_seed=3):
+    """Builds a working experiment for the master, dies for any slave.
+
+    Module-level (picklable) so the process backend can fork it; the
+    slave process crashes during construction, closing its pipe end.
+    """
+    if seed != master_seed:
+        raise RuntimeError(f"slave with seed {seed} crashed")
+    return factory(seed)
 
 
 def factory(seed, load=0.6, accuracy=0.05):
@@ -80,6 +98,98 @@ class TestValidation:
             ParallelSimulation(factory, chunk_size=0)
         with pytest.raises(ParallelError):
             ParallelSimulation(factory, backend="mpi")
+        with pytest.raises(ParallelError):
+            ParallelSimulation(factory, chunk_size=1000, max_chunk_size=500)
+
+
+class TestDeltaProtocol:
+    SCHEME = BinScheme(low=0.0, high=10.0, bins=20)
+
+    def _histogram_with(self, values):
+        histogram = Histogram(self.SCHEME)
+        for value in values:
+            histogram.insert(value)
+        return histogram
+
+    def test_first_report_is_full_payload(self):
+        payload = self._histogram_with([1.0, 2.0, 3.0]).to_payload()
+        assert histogram_delta(payload, None) == payload
+
+    def test_delta_holds_only_new_counts(self):
+        histogram = self._histogram_with([1.0, 2.0])
+        before = histogram.to_payload()
+        histogram.insert(2.0)
+        histogram.insert(7.5)
+        delta = histogram_delta(histogram.to_payload(), before)
+        assert delta["count"] == 2
+        assert sum(delta["counts"]) == 2
+        assert delta["sum"] == pytest.approx(9.5)
+        # Extrema stay absolute, not differenced.
+        assert delta["min_seen"] == 1.0
+        assert delta["max_seen"] == 7.5
+
+    def test_delta_rejects_scheme_change(self):
+        before = self._histogram_with([1.0]).to_payload()
+        other = Histogram(BinScheme(low=0.0, high=5.0, bins=20))
+        other.insert(1.0)
+        with pytest.raises(ParallelError, match="scheme changed"):
+            histogram_delta(other.to_payload(), before)
+
+    def test_tracker_deltas_accumulate_to_direct_inserts(self):
+        """Folding a tracker's delta stream into a merged histogram must
+        reproduce the histogram built by inserting every value directly."""
+        rng = np.random.default_rng(0)
+        rounds = [rng.uniform(0.0, 10.0, size=50) for _ in range(4)]
+        local = Histogram(self.SCHEME)
+        merged = Histogram(self.SCHEME)
+        tracker = DeltaTracker()
+        for chunk in rounds:
+            for value in chunk:
+                local.insert(value)
+            (delta,) = tracker.delta_histograms(
+                {"metric": local.to_payload()}
+            ).values()
+            merged.merge_payload(delta)
+        direct = self._histogram_with([v for chunk in rounds for v in chunk])
+        merged_payload = merged.to_payload()
+        direct_payload = direct.to_payload()
+        # Integer state is exact; float moment sums telescope, so they
+        # agree to rounding only.
+        for key in ("scheme", "counts", "underflow", "overflow", "count",
+                    "min_seen", "max_seen"):
+            assert merged_payload[key] == direct_payload[key], key
+        assert merged_payload["sum"] == pytest.approx(
+            direct_payload["sum"], rel=1e-12
+        )
+        assert merged_payload["sum_sq"] == pytest.approx(
+            direct_payload["sum_sq"], rel=1e-12
+        )
+
+
+class TestChunkSchedule:
+    def test_geometric_growth_with_cap(self):
+        simulation = ParallelSimulation(factory, chunk_size=100)
+        assert [simulation._round_chunk(r) for r in range(1, 8)] == [
+            100, 200, 400, 800, 1600, 1600, 1600
+        ]  # default cap = 16 * chunk_size
+
+    def test_explicit_cap(self):
+        simulation = ParallelSimulation(
+            factory, chunk_size=100, max_chunk_size=350
+        )
+        assert [simulation._round_chunk(r) for r in range(1, 5)] == [
+            100, 200, 350, 350
+        ]
+
+    def test_constant_without_adaptive_chunking(self):
+        simulation = ParallelSimulation(
+            factory, chunk_size=100, adaptive_chunking=False
+        )
+        assert [simulation._round_chunk(r) for r in (1, 5, 50)] == [100] * 3
+
+    def test_no_overflow_at_large_round_numbers(self):
+        simulation = ParallelSimulation(factory, chunk_size=100)
+        assert simulation._round_chunk(10_000) == simulation.max_chunk_size
 
 
 class TestSerialBackend:
@@ -115,6 +225,23 @@ class TestSerialBackend:
             ).run()["response_time"].mean
 
         assert run() == run()
+
+    def test_delta_reports_match_full_reports(self):
+        """A/B: the incremental delta protocol and full-state re-merge
+        must walk the identical round schedule and agree on estimates."""
+        kwargs = dict(n_slaves=2, master_seed=11, chunk_size=1000,
+                      backend="serial")
+        delta = ParallelSimulation(factory, delta_reports=True, **kwargs).run()
+        full = ParallelSimulation(factory, delta_reports=False, **kwargs).run()
+        assert delta.rounds == full.rounds
+        assert delta.total_accepted == full.total_accepted
+        assert delta.slave_events == full.slave_events
+        d, f = delta["response_time"], full["response_time"]
+        assert d.accepted == f.accepted
+        assert d.mean == pytest.approx(f.mean, rel=1e-12)
+        assert d.std == pytest.approx(f.std, rel=1e-9)
+        for q in d.quantiles:
+            assert d.quantiles[q] == pytest.approx(f.quantiles[q], rel=1e-12)
 
     def test_more_slaves_fewer_rounds_each(self):
         few = ParallelSimulation(
@@ -170,8 +297,28 @@ class TestProcessBackend:
                       master_seed=9, chunk_size=1500)
         serial = ParallelSimulation(factory, backend="serial", **kwargs).run()
         process = ParallelSimulation(factory, backend="process", **kwargs).run()
-        # Same seeds, same protocol: identical merged estimates.
+        # Same seeds, same master-owned chunk schedule: the backends
+        # replay identical slave trajectories, not merely similar ones.
         assert process["response_time"].mean == pytest.approx(
             serial["response_time"].mean
         )
         assert process.total_accepted == serial.total_accepted
+        assert process.rounds == serial.rounds
+        assert process.slave_events == serial.slave_events
+
+    def test_slave_seeds_identical_across_backends(self):
+        """slave_seed is pure arithmetic on (master_seed, slave_id), so
+        both backends hand replica i the same stream."""
+        seeds = [slave_seed(9, i) for i in range(4)]
+        assert seeds == [slave_seed(9, i) for i in range(4)]
+        assert len(set(seeds)) == 4
+
+    def test_dead_slave_raises_instead_of_hanging(self):
+        """A slave that crashes mid-round must surface as ParallelError
+        on the master (a bare recv() would block forever)."""
+        simulation = ParallelSimulation(
+            crashing_factory, n_slaves=2, master_seed=3, backend="process",
+            chunk_size=500,
+        )
+        with pytest.raises(ParallelError, match="slave .* (died|is gone)"):
+            simulation.run()
