@@ -1,0 +1,45 @@
+"""Correctness tooling: static analysis + runtime determinism sanitizer.
+
+BigHouse's statistics stack (runs-up independence, online histograms,
+convergence-terminated measurement) is only trustworthy if every random
+draw is seed-deterministic and the serial/parallel and prefetch-on/off
+configurations are step-identical.  This package enforces those
+invariants two ways:
+
+- **simlint** (:mod:`repro.analysis.linter` / :mod:`repro.analysis.rules`)
+  — an AST static-analysis pass run as ``python -m repro.analysis``.  It
+  checks simulation-correctness rules (no global RNG, no wall-clock in
+  hot paths, the ``prefetch_safe`` declaration contract, no event-record
+  mutation outside the engine, no float ``==`` on simulated time, no
+  lambdas crossing the pickled parallel protocol).  Findings can be
+  suppressed per line with ``# simlint: disable=RULE``.
+
+- **the determinism sanitizer** (:mod:`repro.analysis.sanitizer`) — an
+  opt-in runtime probe (``Experiment(..., sanitize=True)`` or
+  ``repro run --sanitize``) that hashes the event-dispatch stream and
+  RNG block boundaries so A/B configurations (prefetch on vs off,
+  serial vs process backends) can be asserted bit-identical, and that
+  cross-checks every prefetched block against per-draw replay.
+
+See ``docs/analysis.md`` for the rule catalog and extension guide.
+"""
+
+from repro.analysis.linter import (
+    Finding,
+    LintError,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.rules import RULES, Rule, register_rule
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "Rule",
+    "RULES",
+    "register_rule",
+]

@@ -1,0 +1,107 @@
+"""``python -m repro.analysis`` — the simlint command line.
+
+Usage::
+
+    python -m repro.analysis src tests            # text report
+    python -m repro.analysis src --format json    # machine-readable (CI)
+    python -m repro.analysis --list-rules         # rule catalog
+
+Exit codes: ``0`` clean, ``1`` at least one non-suppressed finding,
+``2`` usage or I/O error (bad path, unknown rule, syntax error).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.linter import LintError, lint_paths
+from repro.analysis.rules import RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The simlint argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "simlint: AST-based determinism & simulation-correctness "
+            "analyzer (see docs/analysis.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--disable",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _split_ids(raw):
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        width = max(len(rule_id) for rule_id in RULES)
+        for rule_id, rule in sorted(RULES.items()):
+            print(f"{rule_id:<{width}}  {rule.summary}")
+        return 0
+    try:
+        findings, scanned = lint_paths(
+            args.paths,
+            select=_split_ids(args.select),
+            disable=_split_ids(args.disable),
+        )
+    except LintError as error:
+        print(f"simlint: error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        json.dump(
+            {
+                "version": 1,
+                "files_scanned": scanned,
+                "findings": [finding.to_dict() for finding in findings],
+            },
+            sys.stdout,
+            indent=2,
+        )
+        sys.stdout.write("\n")
+    else:
+        for finding in findings:
+            print(f"{finding.location()}: {finding.rule}: {finding.message}")
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(
+            f"simlint: {len(findings)} {noun} in {scanned} file(s) scanned"
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,234 @@
+"""The simlint driver: parse files, run rules, apply suppressions.
+
+The linter is deliberately dependency-free (stdlib ``ast`` only) so it
+can run in CI before any simulation dependency is installed.  Rules live
+in :mod:`repro.analysis.rules`; each is a small object with an ``id``,
+a one-line ``summary``, an ``applies(ctx)`` path filter, and a
+``check(ctx)`` generator yielding :class:`Finding`.
+
+**Suppressions.** A finding is discarded when any physical line spanned
+by the flagged statement carries a comment of the form::
+
+    do_something()  # simlint: disable=RULE
+    other_thing()   # simlint: disable=rule-a,rule-b  (optional reason)
+    anything()      # simlint: disable=all
+
+The rule list is comma-separated rule ids; ``all`` suppresses every
+rule on that line.  Suppressions are intentionally per-line — there is
+no file-level or block-level escape hatch, so every waiver is visible
+next to the code it excuses.
+
+**Module-relative paths.** Rules scope themselves by where a file sits
+in the package (``engine/…``, ``datacenter/…``, ``tests/…``).  The
+linter derives that relative path from the filesystem path: everything
+after the last ``/repro/`` segment for library code, ``tests/…`` for
+the test tree, and the bare filename otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+
+class LintError(RuntimeError):
+    """Raised for unusable inputs (missing paths, unreadable files)."""
+
+
+#: Matches ``# simlint: disable=rule-a,rule-b`` anywhere in a line.
+_SUPPRESSION = re.compile(
+    r"#\s*simlint:\s*disable=([a-zA-Z0-9_\-]+(?:\s*,\s*[a-zA-Z0-9_\-]+)*)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific location."""
+
+    rule: str
+    path: str  # as given by the caller (display path)
+    line: int
+    col: int
+    message: str
+    end_line: int = 0  # last physical line of the flagged statement
+
+    def location(self) -> str:
+        """``path:line:col`` rendering used by the text reporter."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for ``--format json``."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to inspect one parsed module."""
+
+    path: str  # display path
+    rel: str  # package-relative path, e.g. "engine/simulation.py"
+    tree: ast.AST
+    lines: List[str] = field(default_factory=list)
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            rule=rule_id,
+            path=self.path,
+            line=line,
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            end_line=getattr(node, "end_lineno", line) or line,
+        )
+
+
+def relative_module_path(path: Path) -> str:
+    """Package-relative path used for rule scoping (see module docstring)."""
+    posix = path.as_posix()
+    marker = "/repro/"
+    index = posix.rfind(marker)
+    if index >= 0:
+        return posix[index + len(marker):]
+    test_marker = "/tests/"
+    index = posix.rfind(test_marker)
+    if index >= 0:
+        return "tests/" + posix[index + len(test_marker):]
+    if posix.startswith("tests/"):
+        return posix
+    return path.name
+
+
+def suppressed_rules(lines: Sequence[str], start: int, end: int) -> set:
+    """Rule ids suppressed on any physical line in [start, end] (1-based)."""
+    ids: set = set()
+    for line_number in range(max(1, start), min(len(lines), end) + 1):
+        match = _SUPPRESSION.search(lines[line_number - 1])
+        if match:
+            ids.update(
+                part.strip() for part in match.group(1).split(",")
+            )
+    return ids
+
+
+def _active_rules(
+    select: Optional[Iterable[str]], disable: Optional[Iterable[str]]
+) -> List:
+    from repro.analysis.rules import RULES
+
+    selected = set(select) if select else None
+    disabled = set(disable) if disable else set()
+    unknown = (selected or set()) | disabled
+    unknown -= set(RULES)
+    if unknown:
+        raise LintError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(RULES))}"
+        )
+    return [
+        rule
+        for rule_id, rule in sorted(RULES.items())
+        if (selected is None or rule_id in selected)
+        and rule_id not in disabled
+    ]
+
+
+def lint_source(
+    source: str,
+    rel: str,
+    path: Optional[str] = None,
+    select: Optional[Iterable[str]] = None,
+    disable: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one module given as a source string.
+
+    ``rel`` is the package-relative path rules scope on (e.g.
+    ``"engine/simulation.py"`` or ``"tests/test_foo.py"``); ``path`` is
+    the display path used in findings (defaults to ``rel``).
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        raise LintError(
+            f"{path or rel}:{error.lineno}: syntax error: {error.msg}"
+        ) from error
+    ctx = ModuleContext(
+        path=path or rel,
+        rel=rel,
+        tree=tree,
+        lines=source.splitlines(),
+    )
+    findings: List[Finding] = []
+    for rule in _active_rules(select, disable):
+        if not rule.applies(ctx):
+            continue
+        for finding in rule.check(ctx):
+            suppressed = suppressed_rules(
+                ctx.lines, finding.line, finding.end_line or finding.line
+            )
+            if finding.rule in suppressed or "all" in suppressed:
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(
+    path: Path,
+    select: Optional[Iterable[str]] = None,
+    disable: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one file on disk."""
+    try:
+        source = Path(path).read_text()
+    except OSError as error:
+        raise LintError(f"cannot read {path}: {error}") from error
+    return lint_source(
+        source,
+        rel=relative_module_path(Path(path)),
+        path=str(path),
+        select=select,
+        disable=disable,
+    )
+
+
+def iter_python_files(paths: Iterable) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``*.py`` files."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.is_file():
+            yield path
+        else:
+            raise LintError(f"no such file or directory: {path}")
+
+
+def lint_paths(
+    paths: Iterable,
+    select: Optional[Iterable[str]] = None,
+    disable: Optional[Iterable[str]] = None,
+) -> tuple:
+    """Lint every ``*.py`` file under ``paths``.
+
+    Returns ``(findings, files_scanned)``.
+    """
+    findings: List[Finding] = []
+    scanned = 0
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, select=select, disable=disable))
+        scanned += 1
+    return findings, scanned

@@ -1,0 +1,482 @@
+"""The simlint rule registry.
+
+Each rule is a tiny object: an ``id`` (the name used in
+``# simlint: disable=…`` suppressions and ``--select``/``--disable``),
+a one-line ``summary`` shown by ``--list-rules``, an ``applies(ctx)``
+path filter, and a ``check(ctx)`` generator yielding findings.
+
+Adding a rule is three steps (see docs/analysis.md for a worked
+example):
+
+1. subclass :class:`Rule`, set ``id`` and ``summary``, implement
+   ``check`` (and ``applies`` if the rule is path-scoped);
+2. decorate the class with :func:`register_rule`;
+3. add seeded positive/negative cases to ``tests/test_simlint.py``.
+
+The rules below encode the determinism invariants the simulator's
+statistics rest on — see each rule's docstring for the failure mode it
+prevents.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.analysis.linter import Finding, ModuleContext
+
+#: Registry mapping rule id -> rule instance, in registration order.
+RULES: Dict[str, "Rule"] = {}
+
+
+def register_rule(cls):
+    """Class decorator: instantiate and register a rule by its id."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"{cls.__name__} must define a non-empty id")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    RULES[rule.id] = rule
+    return cls
+
+
+class Rule:
+    """Base class for simlint rules."""
+
+    id: str = ""
+    summary: str = ""
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        """Whether this rule runs on the module at ``ctx.rel``."""
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+        raise NotImplementedError
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, or None for anything else."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@register_rule
+class GlobalRngRule(Rule):
+    """No global RNG: all randomness must flow through spawned Generators.
+
+    ``import random`` and module-level ``np.random.*`` calls (including
+    bare ``np.random.default_rng()``) create random streams outside the
+    experiment's :meth:`Simulation.spawn_rng` seed plumbing, so adding a
+    component silently perturbs every other component's draws and runs
+    stop being reproducible from the experiment seed.  The sanctioned
+    constructors live in ``engine/simulation.py`` (the whitelist);
+    everything else must accept a ``numpy.random.Generator``.
+
+    Scope: library code only — test modules legitimately construct
+    fixed-seed generators to drive units under test.  Re-wrapping an
+    existing bit generator (``np.random.Generator(bit_gen)``) is allowed
+    everywhere: it introduces no new entropy source.
+    """
+
+    id = "global-rng"
+    summary = (
+        "no `import random` / module-level np.random.* calls outside the "
+        "seed-plumbing whitelist (engine/simulation.py)"
+    )
+
+    #: Files allowed to construct generators from raw seeds.
+    whitelist = ("engine/simulation.py",)
+
+    #: np.random attributes that are not entropy sources.
+    allowed_calls = ("Generator",)
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return (
+            not ctx.rel.startswith("tests/")
+            and ctx.rel not in self.whitelist
+        )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith(
+                        "random."
+                    ):
+                        yield ctx.finding(
+                            self.id,
+                            node,
+                            "stdlib `random` is a hidden global stream; "
+                            "use the experiment's spawned "
+                            "numpy.random.Generator",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        "stdlib `random` is a hidden global stream; "
+                        "use the experiment's spawned "
+                        "numpy.random.Generator",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted is None:
+                    continue
+                for prefix in ("np.random.", "numpy.random."):
+                    if dotted.startswith(prefix):
+                        attr = dotted[len(prefix):]
+                        if attr.split(".")[0] in self.allowed_calls:
+                            break
+                        yield ctx.finding(
+                            self.id,
+                            node,
+                            f"`{dotted}` constructs an ad-hoc random "
+                            "stream; thread a seeded Generator (or "
+                            "repro.engine.simulation.seeded_rng) instead",
+                        )
+                        break
+
+
+@register_rule
+class WallClockRule(Rule):
+    """No wall-clock reads inside simulation hot paths.
+
+    Inside ``engine/`` and ``datacenter/`` the only clock is
+    ``Simulation.now``; a ``time.time()`` or ``datetime.now()`` read
+    makes behaviour depend on host speed and breaks run-to-run
+    reproducibility.  ``time.perf_counter`` stays legal: it is used to
+    *measure* a run's wall time, never to drive simulated behaviour.
+    """
+
+    id = "wall-clock"
+    summary = (
+        "no wall-clock reads (time.time / datetime.now) inside engine/ "
+        "or datacenter/"
+    )
+
+    banned = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "datetime.now",
+            "datetime.utcnow",
+            "datetime.today",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+            "date.today",
+        }
+    )
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.rel.startswith(("engine/", "datacenter/"))
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted in self.banned:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"`{dotted}()` reads the wall clock in a "
+                        "simulation hot path; simulated time must come "
+                        "from Simulation.now",
+                    )
+
+
+@register_rule
+class PrefetchContractRule(Rule):
+    """Distribution subclasses overriding ``sample_many`` must be explicit.
+
+    :class:`~repro.distributions.prefetch.PrefetchSampler` consults
+    ``prefetch_safe`` to decide whether block draws may replace per-draw
+    sampling.  A subclass that overrides ``sample_many`` but silently
+    inherits ``prefetch_safe = True`` is asserting bit-identical
+    generator consumption without anyone having thought about it — the
+    exact bug class that silently changes seeded runs.  Such classes
+    must (a) define both ``sample`` and ``sample_many`` and (b) declare
+    ``prefetch_safe`` explicitly (class attribute or property), with a
+    comment saying why the vectorized path is (or is not) draw-order
+    identical.
+    """
+
+    id = "prefetch-contract"
+    summary = (
+        "Distribution subclasses overriding sample_many must define "
+        "sample and declare prefetch_safe explicitly"
+    )
+
+    #: Class names treated as distribution roots when used as a base.
+    known_bases = frozenset(
+        {
+            "Distribution",
+            "Exponential",
+            "Deterministic",
+            "Uniform",
+            "Gamma",
+            "Erlang",
+            "LogNormal",
+            "Weibull",
+            "BoundedPareto",
+            "Pareto",
+            "HyperExponential",
+            "EmpiricalDistribution",
+            "Scaled",
+            "Shifted",
+            "Truncated",
+            "Mixture",
+        }
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        classes = [
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ClassDef)
+        ]
+        # Distribution-ness propagates through in-module inheritance:
+        # iterate until the recognized set stops growing.
+        recognized: Set[str] = set()
+        grew = True
+        while grew:
+            grew = False
+            for cls in classes:
+                if cls.name in recognized:
+                    continue
+                base_names = {
+                    dotted_name(base) for base in cls.bases
+                } | {
+                    base.id
+                    for base in cls.bases
+                    if isinstance(base, ast.Name)
+                }
+                if base_names & (self.known_bases | recognized):
+                    recognized.add(cls.name)
+                    grew = True
+        for cls in classes:
+            if cls.name not in recognized:
+                continue
+            methods = {
+                stmt.name
+                for stmt in cls.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if "sample_many" not in methods:
+                continue
+            declares = "prefetch_safe" in methods or any(
+                isinstance(stmt, ast.Assign)
+                and any(
+                    isinstance(target, ast.Name)
+                    and target.id == "prefetch_safe"
+                    for target in stmt.targets
+                )
+                or (
+                    isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == "prefetch_safe"
+                )
+                for stmt in cls.body
+            )
+            if "sample" not in methods:
+                yield ctx.finding(
+                    self.id,
+                    cls,
+                    f"{cls.name} overrides sample_many without defining "
+                    "sample; both halves of the draw contract are "
+                    "required",
+                )
+            if not declares:
+                yield ctx.finding(
+                    self.id,
+                    cls,
+                    f"{cls.name} overrides sample_many but inherits "
+                    "prefetch_safe implicitly; declare it explicitly "
+                    "with a one-line why",
+                )
+
+
+@register_rule
+class EventMutationRule(Rule):
+    """Event records may only be mutated by the engine.
+
+    An event record is a five-slot list ``[time, seq, callback, label,
+    state]`` whose lifecycle (PENDING → CANCELLED/FIRED) is owned by
+    ``engine/events.py``; the inlined event loop in
+    ``engine/simulation.py`` is the one sanctioned fast path.  Any other
+    code flipping record slots corrupts heap invariants (lazy-deletion
+    accounting, cancellation safety) in ways that only surface as
+    wrong statistics much later.
+    """
+
+    id = "event-mutation"
+    summary = (
+        "no mutation of event-record slots (EV_* / PENDING / CANCELLED "
+        "/ FIRED) outside engine/events.py"
+    )
+
+    #: The engine files that own the record layout.
+    whitelist = ("engine/events.py", "engine/simulation.py")
+
+    state_names = frozenset({"PENDING", "CANCELLED", "FIRED"})
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.rel not in self.whitelist
+
+    def _is_event_subscript(self, target: ast.AST) -> bool:
+        if not isinstance(target, ast.Subscript):
+            return False
+        index = target.slice
+        return isinstance(index, ast.Name) and index.id.startswith("EV_")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                hits = any(
+                    self._is_event_subscript(target)
+                    for target in node.targets
+                )
+                value_is_state = (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id in self.state_names
+                    and any(
+                        isinstance(target, ast.Subscript)
+                        for target in node.targets
+                    )
+                )
+                if hits or value_is_state:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        "event records may only be mutated inside "
+                        "engine/events.py (use EventQueue.cancel / "
+                        "requeue)",
+                    )
+            elif isinstance(node, ast.AugAssign):
+                if self._is_event_subscript(node.target):
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        "event records may only be mutated inside "
+                        "engine/events.py (use EventQueue.cancel / "
+                        "requeue)",
+                    )
+
+
+@register_rule
+class FloatTimeEqRule(Rule):
+    """No float ``==`` on simulated-time expressions.
+
+    Simulated timestamps are accumulated floats; exact equality between
+    two computed times is true only by accident and silently stops
+    being true when draw order, prefetching, or arithmetic
+    associativity changes.  Compare with a tolerance
+    (``pytest.approx`` / ``math.isclose``) or restructure the logic.
+    ``== pytest.approx(...)`` is recognized and allowed.
+    """
+
+    id = "float-time-eq"
+    summary = (
+        "no float == / != on simulated-time expressions (now, "
+        "arrival_time, start_time, finish_time, sim_time)"
+    )
+
+    time_terms = frozenset(
+        {"now", "arrival_time", "start_time", "finish_time", "sim_time"}
+    )
+
+    def _time_like(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Attribute):
+            return node.attr in self.time_terms
+        if isinstance(node, ast.Name):
+            return node.id in self.time_terms
+        return False
+
+    def _tolerant(self, node: ast.AST) -> bool:
+        """Comparand forms that make exact equality acceptable."""
+        if isinstance(node, ast.Constant) and node.value is None:
+            return True
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if dotted and dotted.split(".")[-1] == "approx":
+                return True
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                lhs, rhs = operands[index], operands[index + 1]
+                pair = (lhs, rhs)
+                if not any(self._time_like(side) for side in pair):
+                    continue
+                if any(self._tolerant(side) for side in pair):
+                    continue
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "float equality on a simulated-time expression; "
+                    "compare with a tolerance (pytest.approx / "
+                    "math.isclose) or restructure",
+                )
+
+
+@register_rule
+class ParallelLambdaRule(Rule):
+    """No lambdas in objects crossing the pickled parallel protocol.
+
+    The process backend ships factories, commands, and reports through
+    ``multiprocessing`` pipes; lambdas are not picklable, so a lambda
+    that reaches a pipe fails at runtime — and only on the process
+    backend, which the serial-backend tests never exercise.  Inside
+    ``parallel/`` every lambda is suspect; everywhere else, lambdas
+    passed directly to a ``.send(...)`` call are flagged.
+    """
+
+    id = "parallel-lambda"
+    summary = (
+        "no lambdas inside parallel/ or in .send(...) payloads (they "
+        "cannot cross the pickled protocol)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.rel.startswith("parallel/"):
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.Lambda):
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        "lambda in the parallel package risks crossing "
+                        "the pickled protocol; use a module-level "
+                        "function",
+                    )
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "send"):
+                continue
+            payload = list(node.args) + [kw.value for kw in node.keywords]
+            for arg in payload:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Lambda):
+                        yield ctx.finding(
+                            self.id,
+                            sub,
+                            "lambda inside a .send(...) payload cannot "
+                            "be pickled across the parallel protocol",
+                        )

@@ -21,13 +21,49 @@ from pathlib import Path
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.config import build_experiment
+    from repro.config import build_experiment, load_config
     from repro.engine.report import result_to_dict
 
-    experiment = build_experiment(args.config)
+    if not args.sanitize:
+        experiment = build_experiment(args.config)
+        result = experiment.run(max_events=args.max_events)
+        json.dump(result_to_dict(result), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0 if result.converged else 3
+
+    # Sanitized run: hash the event stream, verify every prefetch block
+    # per-draw, then replay the identical config with prefetching
+    # disabled and require a bit-identical event stream (see
+    # docs/analysis.md).  Exit 4 on any determinism mismatch.
+    from repro.analysis.sanitizer import experiment_digest
+
+    config = load_config(args.config)
+    experiment = build_experiment(config, sanitize=True)
     result = experiment.run(max_events=args.max_events)
-    json.dump(result_to_dict(result), sys.stdout, indent=2)
+    twin = experiment_digest(
+        lambda seed, **kwargs: build_experiment(
+            {**config, "seed": seed}, **kwargs
+        ),
+        seed=config.get("seed", 0),
+        factory_kwargs={"prefetch": False},
+        max_events=args.max_events,
+    )
+    matched = (
+        result.sanitizer.event_digest == twin.event_digest
+        and result.sanitizer.events_hashed == twin.events_hashed
+    )
+    payload = result_to_dict(result)
+    payload["sanitizer"]["prefetch_off"] = twin.to_dict()
+    payload["sanitizer"]["prefetch_determinism"] = "ok" if matched else "FAIL"
+    json.dump(payload, sys.stdout, indent=2)
     sys.stdout.write("\n")
+    if not matched:
+        print(
+            "sanitizer: prefetch-on and prefetch-off event streams "
+            "diverge; the run is not reproducible",
+            file=sys.stderr,
+        )
+        return 4
     return 0 if result.converged else 3
 
 
@@ -111,6 +147,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("config", help="path to the experiment JSON")
     run.add_argument("--max-events", type=int, default=None,
                      help="safety cap on simulated events")
+    run.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "run with the determinism sanitizer: verify prefetch blocks "
+            "per-draw, hash the event stream, and A/B it against a "
+            "prefetch-off twin (exit 4 on mismatch)"
+        ),
+    )
     run.set_defaults(handler=_cmd_run)
 
     workloads = commands.add_parser(

@@ -177,8 +177,17 @@ def _build_servers(spec: dict) -> list[Server]:
     ]
 
 
-def build_experiment(config: Union[dict, str, Path]) -> Experiment:
-    """Build a fully wired experiment from a config dict or file path."""
+def build_experiment(
+    config: Union[dict, str, Path],
+    prefetch: bool | None = None,
+    sanitize: bool | None = None,
+) -> Experiment:
+    """Build a fully wired experiment from a config dict or file path.
+
+    ``prefetch`` / ``sanitize`` override the config document's keys of
+    the same name (used by ``repro run --sanitize`` and the sanitizer's
+    A/B twins, which rebuild the same config under both prefetch modes).
+    """
     if isinstance(config, (str, Path)):
         config = load_config(config)
     if "workload" not in config:
@@ -192,6 +201,8 @@ def build_experiment(config: Union[dict, str, Path]) -> Experiment:
         calibration_samples=config.get("calibration_samples", 5000),
         confidence=config.get("confidence", 0.95),
         max_events=config.get("max_events", 50_000_000),
+        prefetch=config.get("prefetch", True) if prefetch is None else prefetch,
+        sanitize=config.get("sanitize", False) if sanitize is None else sanitize,
     )
     # Load scaling should account for the total core pool by default.
     server_spec = dict(config.get("servers", {}))

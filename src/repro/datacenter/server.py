@@ -257,7 +257,9 @@ class Server:
         now = self.sim.now
         if job.start_time is None:
             job.start_time = now
-        if now != self._last_busy_update:
+        # Exact != is correct: _last_busy_update is assigned from this
+        # same clock, so equality means "already integrated at this time".
+        if now != self._last_busy_update:  # simlint: disable=float-time-eq
             self._update_busy_integral()
         self._running[job.job_id] = job
         job._last_progress = now
@@ -299,7 +301,7 @@ class Server:
         now = self.sim.now
         # Integrate the elapsed interval at the pre-completion core count
         # before dropping the job, or busy time is undercounted.
-        if now != self._last_busy_update:
+        if now != self._last_busy_update:  # simlint: disable=float-time-eq
             self._update_busy_integral()
         del self._running[job.job_id]
         job.finish_time = now

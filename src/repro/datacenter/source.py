@@ -77,11 +77,19 @@ class Source:
         self.sim = sim
         self._arrival_rng = sim.spawn_rng()
         self._service_rng = sim.spawn_rng()
+        # When a determinism probe is attached (Experiment(sanitize=True))
+        # the samplers record their block boundaries and, unless the probe
+        # opts out, replay every block per-draw to verify the prefetch
+        # contract.
+        probe = sim.probe
+        verify = probe is not None and probe.verify_prefetch
         self._next_gap = PrefetchSampler(
-            self.workload.interarrival, self._arrival_rng, self.prefetch_block
+            self.workload.interarrival, self._arrival_rng, self.prefetch_block,
+            verify=verify, probe=probe,
         )
         self._next_size = PrefetchSampler(
-            self.workload.service, self._service_rng, self.prefetch_block
+            self.workload.service, self._service_rng, self.prefetch_block,
+            verify=verify, probe=probe,
         )
         # Descriptive labels cost an f-string per event; only pay when
         # someone is recording them.

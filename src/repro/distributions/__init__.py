@@ -34,7 +34,11 @@ from repro.distributions.continuous import (
 from repro.distributions.hyperexponential import HyperExponential
 from repro.distributions.empirical import EmpiricalDistribution
 from repro.distributions.transforms import Mixture, Scaled, Shifted, Truncated
-from repro.distributions.prefetch import DEFAULT_BLOCK, PrefetchSampler
+from repro.distributions.prefetch import (
+    DEFAULT_BLOCK,
+    PrefetchContractError,
+    PrefetchSampler,
+)
 from repro.distributions.fitting import fit_mean_cv
 
 __all__ = [
@@ -52,6 +56,7 @@ __all__ = [
     "HyperExponential",
     "EmpiricalDistribution",
     "Mixture",
+    "PrefetchContractError",
     "PrefetchSampler",
     "DEFAULT_BLOCK",
     "Scaled",

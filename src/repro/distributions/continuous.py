@@ -28,6 +28,10 @@ class Exponential(Distribution):
     it for real internet services badly underestimates tail latency.
     """
 
+    #: Both paths are one rng.exponential call; numpy fills arrays with
+    #: the same per-draw routine, so consumption and values are bit-equal.
+    prefetch_safe = True
+
     def __init__(self, rate: float):
         self.rate = require_positive("rate", rate)
 
@@ -52,6 +56,9 @@ class Exponential(Distribution):
 class Deterministic(Distribution):
     """Constant value; the Cv = 0 limit ("Low Cv" loadtester traffic)."""
 
+    #: Neither path consumes the generator at all.
+    prefetch_safe = True
+
     def __init__(self, value: float):
         self.value = require_nonnegative("value", value)
 
@@ -70,6 +77,10 @@ class Deterministic(Distribution):
 
 class Uniform(Distribution):
     """Uniform distribution on [low, high]."""
+
+    #: Both paths are one rng.uniform call — bit-identical consumption
+    #: and values.
+    prefetch_safe = True
 
     def __init__(self, low: float, high: float):
         if high < low:
@@ -97,6 +108,10 @@ class Gamma(Distribution):
     with k < 1, though the hyperexponential is preferred there because its
     tail better matches measured service distributions).
     """
+
+    #: rng.gamma fills arrays by repeating the scalar rejection sampler,
+    #: so consumption and values are bit-equal.
+    prefetch_safe = True
 
     def __init__(self, shape: float, scale: float):
         self.shape = require_positive("shape", shape)
@@ -151,6 +166,10 @@ class LogNormal(Distribution):
     common good fit for measured request service times.
     """
 
+    #: rng.lognormal repeats the scalar ziggurat per element — bit-equal
+    #: consumption and values.
+    prefetch_safe = True
+
     def __init__(self, mu: float, sigma: float):
         self.mu = float(mu)
         self.sigma = require_positive("sigma", sigma)
@@ -180,6 +199,10 @@ class LogNormal(Distribution):
 
 class Weibull(Distribution):
     """Weibull distribution with shape ``k`` and scale ``lam``."""
+
+    #: rng.weibull repeats the scalar routine per element and the scale
+    #: multiply is plain arithmetic — bit-equal consumption and values.
+    prefetch_safe = True
 
     def __init__(self, shape: float, scale: float):
         self.shape = require_positive("shape", shape)
@@ -235,6 +258,11 @@ class BoundedPareto(Distribution):
     Density proportional to x^(-alpha-1) on [low, high].
     """
 
+    #: One uniform per draw in both paths (bit-equal consumption); the
+    #: inverse-CDF pow rounds 1-2 ulp differently under numpy's SIMD
+    #: loops, so values agree to ~1e-15 relative, not bitwise.
+    prefetch_safe = True
+
     def __init__(self, alpha: float, low: float, high: float):
         self.alpha = require_positive("alpha", alpha)
         self.low = require_positive("low", low)
@@ -282,6 +310,12 @@ class Pareto(Distribution):
     Models the extreme tails seen in interactive workloads (Shell: Cv = 15).
     The variance only exists for alpha > 2.
     """
+
+    #: One uniform per draw in both paths (the u == 0 guards differ only
+    #: on a measure-zero event); the pow transform rounds 1-2 ulp
+    #: differently under numpy's SIMD loops — values agree to ~1e-15
+    #: relative, not bitwise.
+    prefetch_safe = True
 
     def __init__(self, alpha: float, xm: float):
         self.alpha = require_positive("alpha", alpha)

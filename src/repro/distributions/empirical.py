@@ -117,6 +117,10 @@ class EmpiricalDistribution(Distribution):
 
     # -- sampling ---------------------------------------------------------
 
+    #: One uniform per draw in both paths and np.interp is applied
+    #: elementwise identically — bit-equal consumption and values.
+    prefetch_safe = True
+
     def sample(self, rng: np.random.Generator) -> float:
         return float(self._inverse(rng.random()))
 

@@ -27,6 +27,10 @@ from repro.distributions.base import (
 class HyperExponential(Distribution):
     """H2 distribution: exponential mixture with two phases."""
 
+    #: Exactly two uniforms per draw in both paths, in the same order,
+    #: and both use numpy's log1p — bit-equal consumption and values.
+    prefetch_safe = True
+
     def __init__(self, p1: float, rate1: float, rate2: float):
         if not 0.0 < p1 < 1.0:
             raise DistributionError(f"p1 must be in (0, 1), got {p1}")
@@ -61,7 +65,10 @@ class HyperExponential(Distribution):
         u = rng.random()
         v = rng.random()
         rate = self.rate1 if u < self.p1 else self.rate2
-        return -math.log1p(-v) / rate
+        # np.log1p, not math.log1p: the two differ by an ulp on some
+        # inputs, and sample_many uses numpy's — the values must match
+        # bitwise for the prefetch A/B event streams to hash equal.
+        return float(-np.log1p(-v) / rate)
 
     def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
         u = rng.random(size=2 * n)

@@ -41,6 +41,16 @@ from repro.distributions.base import Distribution, DistributionError
 DEFAULT_BLOCK = 4096
 
 
+class PrefetchContractError(DistributionError):
+    """A distribution's ``sample_many`` broke the draw-order contract.
+
+    Raised by a verifying :class:`PrefetchSampler` when a block draw
+    consumed the generator differently (or produced different values)
+    than the same number of per-draw ``sample`` calls would have — i.e.
+    the distribution's ``prefetch_safe = True`` declaration is wrong.
+    """
+
+
 class PrefetchSampler:
     """Serve single draws from vectorized blocks of a distribution.
 
@@ -54,21 +64,44 @@ class PrefetchSampler:
     block_size:
         Draws per refill.  ``1`` disables prefetching (every call is a
         plain ``sample``), which is the A/B "off" configuration.
+    verify:
+        When True, every block refill is replayed per-draw from a clone
+        of the generator state and must consume the generator
+        bit-identically and reproduce the same values (within float
+        tolerance for pow/log-based transforms), else
+        :class:`PrefetchContractError` is raised.  This is the runtime
+        check behind ``Experiment(..., sanitize=True)``; it multiplies
+        the sampling cost and is meant for verification runs only.
+    probe:
+        Optional :class:`~repro.analysis.sanitizer.DeterminismProbe`;
+        when set, each refill records its block size so the sanitizer
+        can pin RNG block boundaries.
     """
 
-    __slots__ = ("distribution", "rng", "block_size", "it", "_vectorized")
+    __slots__ = ("distribution", "rng", "block_size", "it", "_vectorized",
+                 "verify", "probe")
+
+    #: Relative tolerance for the verify-mode value comparison: numpy's
+    #: vectorized SIMD kernels may round pow/log transforms 1-2 ulp
+    #: differently from the scalar path (see module docstring); real
+    #: contract violations produce entirely different draws.
+    VERIFY_RTOL = 1e-9
 
     def __init__(
         self,
         distribution: Distribution,
         rng: np.random.Generator,
         block_size: int = DEFAULT_BLOCK,
+        verify: bool = False,
+        probe=None,
     ):
         if block_size < 1:
             raise DistributionError(f"block_size must be >= 1, got {block_size}")
         self.distribution = distribution
         self.rng = rng
         self.block_size = int(block_size)
+        self.verify = verify
+        self.probe = probe
         self._vectorized = (
             block_size > 1 and getattr(distribution, "prefetch_safe", False)
         )
@@ -97,9 +130,55 @@ class PrefetchSampler:
         """
         if not self._vectorized:
             return float(self.distribution.sample(self.rng))
-        block = self.distribution.sample_many(self.rng, self.block_size).tolist()
+        if self.verify:
+            block = self._verified_block().tolist()
+        else:
+            block = self.distribution.sample_many(
+                self.rng, self.block_size
+            ).tolist()
+        if self.probe is not None:
+            self.probe.record_block(self.block_size)
         self.it = it = iter(block)
         return next(it)
+
+    def _verified_block(self) -> np.ndarray:
+        """Draw one block while cross-checking the prefetch contract.
+
+        The generator state is snapshotted, the block is drawn through
+        ``sample_many``, then the same draws are replayed one at a time
+        through ``sample`` on a clone started from the snapshot.  Both
+        the final generator state (bit-identical consumption) and the
+        values must agree.
+        """
+        rng = self.rng
+        before = rng.bit_generator.state
+        block = np.asarray(
+            self.distribution.sample_many(rng, self.block_size), dtype=float
+        )
+        replay_bits = type(rng.bit_generator)()
+        replay_bits.state = before
+        replay = np.random.Generator(replay_bits)
+        sample = self.distribution.sample
+        singles = np.array(
+            [sample(replay) for _ in range(self.block_size)], dtype=float
+        )
+        if replay_bits.state != rng.bit_generator.state:
+            raise PrefetchContractError(
+                f"{type(self.distribution).__name__}.sample_many consumed "
+                f"the generator differently than {self.block_size} "
+                "successive sample() calls; its prefetch_safe=True "
+                "declaration is wrong (set prefetch_safe = False or fix "
+                "the draw order)"
+            )
+        if not np.allclose(block, singles, rtol=self.VERIFY_RTOL, atol=0.0):
+            worst = int(np.argmax(np.abs(block - singles)))
+            raise PrefetchContractError(
+                f"{type(self.distribution).__name__}.sample_many produced "
+                f"different values than per-draw sampling (first diverging "
+                f"draw #{worst}: {block[worst]!r} vs {singles[worst]!r}); "
+                "its prefetch_safe=True declaration is wrong"
+            )
+        return block
 
     #: Alias so call sites can read naturally.
     def sample(self) -> float:

@@ -94,7 +94,9 @@ class Truncated(Distribution):
         self.base = base
         self.low = require_nonnegative("low", low)
         self.high = float(high)
-        rng = np.random.default_rng(moment_seed)
+        # Fixed-seed one-off moment estimation at construction time —
+        # deliberately independent of any simulation's streams.
+        rng = np.random.default_rng(moment_seed)  # simlint: disable=global-rng
         draws = self._clip(base.sample_many(rng, self._MOMENT_SAMPLE))
         self._mean = float(np.mean(draws))
         self._variance = float(np.var(draws))

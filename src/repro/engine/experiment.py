@@ -32,6 +32,9 @@ class ExperimentResult:
     wall_time: float
     jobs_generated: int = 0
     extras: Dict[str, float] = field(default_factory=dict)
+    #: Determinism digest when the run was sanitized (see
+    #: repro.analysis.sanitizer), else None.
+    sanitizer: Optional[object] = None
 
     def __getitem__(self, name: str) -> Estimate:
         return self.estimates[name]
@@ -49,7 +52,13 @@ class Experiment:
     - ``warmup_samples`` (Nw), ``calibration_samples`` (Nc = 5000),
     - ``confidence`` (1 - alpha, default 95%),
     - ``bins`` / ``max_lag`` for calibration,
-    - ``max_events`` / ``max_sim_time`` as safety bounds.
+    - ``max_events`` / ``max_sim_time`` as safety bounds,
+    - ``prefetch`` as the default sampling mode for sources added via
+      :meth:`add_source`,
+    - ``sanitize`` to attach a determinism probe (see
+      :mod:`repro.analysis.sanitizer`): event timestamps are hashed,
+      prefetched blocks are verified per-draw, and the resulting digest
+      lands in :attr:`ExperimentResult.sanitizer`.
     """
 
     def __init__(
@@ -63,6 +72,8 @@ class Experiment:
         max_events: int = 50_000_000,
         max_sim_time: Optional[float] = None,
         convergence_check_interval: int = 256,
+        prefetch: bool = True,
+        sanitize: bool = False,
     ):
         self.simulation = Simulation(seed)
         self.stats = StatisticsCollection()
@@ -75,8 +86,13 @@ class Experiment:
         self.max_events = max_events
         self.max_sim_time = max_sim_time
         self.convergence_check_interval = convergence_check_interval
+        self.prefetch_default = prefetch
         self.sources: list = []
         self._has_run = False
+        if sanitize:
+            # Must happen before any add_source: samplers capture the
+            # probe at bind time.
+            self.simulation.enable_sanitizer()
 
     # -- topology -----------------------------------------------------------
 
@@ -87,16 +103,19 @@ class Experiment:
         draw_sizes: bool = True,
         max_jobs: Optional[int] = None,
         name: Optional[str] = None,
-        prefetch: bool = True,
+        prefetch: Optional[bool] = None,
     ) -> Source:
-        """Create and bind an open-loop source feeding ``target``."""
+        """Create and bind an open-loop source feeding ``target``.
+
+        ``prefetch=None`` inherits the experiment-level default.
+        """
         source = Source(
             workload,
             target,
             draw_sizes=draw_sizes,
             max_jobs=max_jobs,
             name=name or f"source-{len(self.sources)}",
-            prefetch=prefetch,
+            prefetch=self.prefetch_default if prefetch is None else prefetch,
         )
         source.bind(self.simulation)
         self.sources.append(source)
@@ -182,6 +201,10 @@ class Experiment:
 
     # -- running -------------------------------------------------------------------
 
+    def _probe_snapshot(self):
+        probe = self.simulation.probe
+        return probe.snapshot() if probe is not None else None
+
     def _run_loop(self, stop_when, max_events=None, max_sim_time=None) -> None:
         budget = max_events if max_events is not None else self.max_events
         horizon = max_sim_time if max_sim_time is not None else self.max_sim_time
@@ -247,6 +270,7 @@ class Experiment:
             sim_time=self.simulation.now,
             wall_time=wall,
             jobs_generated=sum(source.generated for source in self.sources),
+            sanitizer=self._probe_snapshot(),
         )
 
     def run_until_calibrated(
@@ -272,6 +296,7 @@ class Experiment:
             sim_time=self.simulation.now,
             wall_time=wall,
             jobs_generated=sum(source.generated for source in self.sources),
+            sanitizer=self._probe_snapshot(),
         )
 
     def run_until_accepted(
@@ -295,4 +320,5 @@ class Experiment:
             sim_time=self.simulation.now,
             wall_time=wall,
             jobs_generated=sum(source.generated for source in self.sources),
+            sanitizer=self._probe_snapshot(),
         )

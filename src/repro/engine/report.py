@@ -39,7 +39,7 @@ def estimate_to_dict(estimate: Estimate) -> dict:
 
 def result_to_dict(result: ExperimentResult) -> dict:
     """A full experiment outcome as plain data."""
-    return {
+    payload = {
         "converged": result.converged,
         "events_processed": result.events_processed,
         "sim_time": result.sim_time,
@@ -51,6 +51,10 @@ def result_to_dict(result: ExperimentResult) -> dict:
             for name, estimate in result.estimates.items()
         },
     }
+    sanitizer = getattr(result, "sanitizer", None)
+    if sanitizer is not None:
+        payload["sanitizer"] = sanitizer.to_dict()
+    return payload
 
 
 def save_result(result: ExperimentResult, path: Union[str, Path]) -> Path:

@@ -36,6 +36,25 @@ from repro.engine.events import (
 )
 
 
+def seeded_rng(seed) -> np.random.Generator:
+    """The sanctioned constructor for a component-local random stream.
+
+    This module is the seed-plumbing whitelist enforced by simlint's
+    ``global-rng`` rule: all other library code must receive a
+    ``numpy.random.Generator`` (usually via :meth:`Simulation.spawn_rng`)
+    or derive one from an explicit seed through this function — never
+    construct ``np.random.default_rng`` ad hoc, and never rely on global
+    module-level randomness.  ``seed`` is required on purpose: an
+    unseeded stream cannot be reproduced.
+    """
+    if seed is None:
+        raise SimulationError(
+            "seeded_rng requires an explicit seed; unseeded streams are "
+            "not reproducible"
+        )
+    return np.random.default_rng(seed)
+
+
 class Simulation:
     """Virtual clock, event queue, and deterministic RNG streams."""
 
@@ -47,6 +66,7 @@ class Simulation:
         self._periodics: dict[int, Event] = {}
         self._periodic_counter = 0
         self._trace: Optional[deque] = None
+        self._probe = None
 
     # -- debug tracing -------------------------------------------------------
 
@@ -76,6 +96,33 @@ class Simulation:
         is recording them.
         """
         return self._trace is not None
+
+    # -- determinism sanitizer ----------------------------------------------
+
+    def enable_sanitizer(self, probe=None):
+        """Attach a determinism probe (see :mod:`repro.analysis.sanitizer`).
+
+        From then on every dispatched event's timestamp is folded into
+        the probe's event digest, components that consult
+        :attr:`probe` record their RNG block boundaries, and prefetch
+        samplers bound afterwards run in verify mode (per-draw replay of
+        every block) unless the probe opts out.  Must be attached before
+        sources bind — samplers capture the probe at bind time.
+        Returns the probe.
+        """
+        if probe is None:
+            # Deferred import: the analysis package depends on the engine,
+            # not the other way around.
+            from repro.analysis.sanitizer import DeterminismProbe
+
+            probe = DeterminismProbe()
+        self._probe = probe
+        return probe
+
+    @property
+    def probe(self):
+        """The attached determinism probe, or None when not sanitizing."""
+        return self._probe
 
     # -- randomness --------------------------------------------------------
 
@@ -169,6 +216,8 @@ class Simulation:
         self.events_processed += 1
         if self._trace is not None:
             self._trace.append((time, event[EV_LABEL]))
+        if self._probe is not None:
+            self._probe.record_time(time)
         event[EV_CALLBACK]()
         return True
 
@@ -197,6 +246,9 @@ class Simulation:
         heap = events._heap
         pop = heappop
         trace = self._trace
+        # Sanitizer hook: one bound method when probing, else None so the
+        # per-event cost is a single local test (same shape as tracing).
+        record = self._probe.record_time if self._probe is not None else None
         budget = math.inf if max_events is None else max_events
         # A None horizon folds to +inf so the per-event test is a single
         # float compare; the queue pop is inlined for the same reason.
@@ -234,6 +286,8 @@ class Simulation:
                 self.now = now = time
                 if trace is not None:
                     trace.append((time, event[3]))
+                if record is not None:
+                    record(time)
                 event[2]()
                 processed += 1
                 if processed >= next_check:

@@ -85,6 +85,7 @@ def _slave_report(
     delta = tracker is not None
     if delta:
         histograms = tracker.delta_histograms(histograms)
+    probe = experiment.simulation.probe
     return SlaveReport(
         slave_id=slave_id,
         histograms=histograms,
@@ -93,6 +94,7 @@ def _slave_report(
         total_accepted=experiment.stats.total_accepted,
         lags=lags,
         delta=delta,
+        digest=probe.snapshot() if probe is not None else None,
     )
 
 
@@ -144,6 +146,11 @@ class ParallelResult:
     wall_time: float
     master_wall_time: float
     extras: Dict[str, float] = field(default_factory=dict)
+    #: Per-slave cumulative determinism digests (from the final round's
+    #: reports) when slaves ran sanitized, else None.  Comparable across
+    #: backends: the master owns the chunk schedule, so slave ``i``
+    #: replays the same stream serial or process-parallel.
+    slave_digests: Optional[List] = None
 
     def __getitem__(self, name: str) -> Estimate:
         return self.estimates[name]
@@ -383,6 +390,11 @@ class ParallelSimulation:
             total_accepted=sum(report.total_accepted for report in reports),
             wall_time=0.0,
             master_wall_time=0.0,
+            slave_digests=(
+                [report.digest for report in reports]
+                if any(report.digest is not None for report in reports)
+                else None
+            ),
         )
 
     def _run_process(self, schemes, targets) -> ParallelResult:
@@ -464,4 +476,9 @@ class ParallelSimulation:
             total_accepted=sum(report.total_accepted for report in reports),
             wall_time=0.0,
             master_wall_time=0.0,
+            slave_digests=(
+                [report.digest for report in reports]
+                if any(report.digest is not None for report in reports)
+                else None
+            ),
         )

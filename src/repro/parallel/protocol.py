@@ -78,6 +78,9 @@ class SlaveReport:
     total_accepted: int
     lags: Dict[str, Optional[int]] = field(default_factory=dict)
     delta: bool = False
+    #: Cumulative determinism digest (repro.analysis.sanitizer
+    #: SanitizerDigest) when the slave runs sanitized, else None.
+    digest: Optional[object] = None
 
     def histogram(self, name: str) -> Histogram:
         """Materialize one reported histogram (full reports only)."""

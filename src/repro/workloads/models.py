@@ -25,9 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.distributions import fit_mean_cv
+from repro.engine.simulation import seeded_rng
 from repro.workloads.workload import Workload, WorkloadError
 
 
@@ -65,7 +64,7 @@ class WorkloadSpec:
             service=fit_mean_cv(self.service_mean, self.service_cv),
         )
         if empirical:
-            workload = workload.as_empirical(np.random.default_rng(seed))
+            workload = workload.as_empirical(seeded_rng(seed))
         return workload
 
 

@@ -15,6 +15,7 @@ from typing import Optional
 import numpy as np
 
 from repro.distributions import Distribution, EmpiricalDistribution, Scaled
+from repro.engine.simulation import seeded_rng
 
 
 class WorkloadError(ValueError):
@@ -96,7 +97,9 @@ class Workload:
     ) -> "Workload":
         """Materialize both distributions as fine-grained empirical CDFs,
         the artifact shape BigHouse actually distributes (< 1 MB each)."""
-        rng = rng if rng is not None else np.random.default_rng(0xB16)
+        # 0xB16 ("BIG") is the historical fixed seed; changing it changes
+        # every shipped empirical workload bit-for-bit.
+        rng = rng if rng is not None else seeded_rng(0xB16)
         return replace(
             self,
             interarrival=EmpiricalDistribution.from_distribution(

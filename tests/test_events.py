@@ -165,22 +165,23 @@ class TestSimulation:
         queue runs dry before the horizon (or was empty to begin with)."""
         sim = Simulation()
         sim.run(until=5.0)
-        assert sim.now == 5.0
+        # Exact landing is the property under test.
+        assert sim.now == 5.0  # simlint: disable=float-time-eq
 
     def test_run_until_pins_clock_after_events_drain(self):
         sim = Simulation()
         sim.schedule_at(1.5, lambda: None)
         sim.run(until=7.0)
-        assert sim.now == 7.0
+        assert sim.now == 7.0  # simlint: disable=float-time-eq
         # The horizon is sticky across calls, not cumulative.
         sim.run(until=7.0)
-        assert sim.now == 7.0
+        assert sim.now == 7.0  # simlint: disable=float-time-eq
 
     def test_run_until_pins_clock_on_overshoot(self):
         sim = Simulation()
         sim.schedule_at(10.0, lambda: None)
         sim.run(until=4.0)
-        assert sim.now == 4.0
+        assert sim.now == 4.0  # simlint: disable=float-time-eq
         assert len(sim.events) == 1  # overshooting event stays live
 
     def test_periodic_fires_repeatedly(self):

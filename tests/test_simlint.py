@@ -1,0 +1,417 @@
+"""simlint: seeded positive/negative cases per rule, suppressions, CLI.
+
+Each rule gets at least one snippet that must fire and one that must
+stay silent, exercised through :func:`lint_source` with an explicit
+``rel`` path (rules scope on it).  The suite ends with the whole-tree
+assertion CI relies on: the repository's own ``src`` and ``tests`` are
+lint-clean.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, LintError, lint_paths, lint_source
+from repro.analysis.cli import main as simlint_main
+from repro.analysis.linter import relative_module_path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def findings_for(source, rel="datacenter/example.py", **kwargs):
+    return lint_source(textwrap.dedent(source), rel=rel, **kwargs)
+
+
+def rule_ids(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestGlobalRngRule:
+    def test_import_random_fires(self):
+        findings = findings_for("import random\n")
+        assert rule_ids(findings) == ["global-rng"]
+
+    def test_from_random_import_fires(self):
+        findings = findings_for("from random import choice\n")
+        assert rule_ids(findings) == ["global-rng"]
+
+    def test_default_rng_call_fires(self):
+        findings = findings_for(
+            """
+            import numpy as np
+            rng = np.random.default_rng()
+            """
+        )
+        assert rule_ids(findings) == ["global-rng"]
+
+    def test_numpy_module_level_draw_fires(self):
+        findings = findings_for(
+            """
+            import numpy
+            x = numpy.random.exponential(1.0)
+            """
+        )
+        assert rule_ids(findings) == ["global-rng"]
+
+    def test_generator_rewrap_allowed(self):
+        # Re-wrapping an existing bit generator adds no entropy source.
+        findings = findings_for(
+            """
+            import numpy as np
+            def clone(bits):
+                return np.random.Generator(bits)
+            """
+        )
+        assert findings == []
+
+    def test_whitelisted_module_allowed(self):
+        findings = findings_for(
+            "import numpy as np\nrng = np.random.default_rng(7)\n",
+            rel="engine/simulation.py",
+        )
+        assert findings == []
+
+    def test_tests_are_exempt(self):
+        findings = findings_for(
+            "import numpy as np\nrng = np.random.default_rng(7)\n",
+            rel="tests/test_example.py",
+        )
+        assert findings == []
+
+    def test_threaded_generator_usage_clean(self):
+        findings = findings_for(
+            """
+            def sample(rng):
+                return rng.exponential(1.0)
+            """
+        )
+        assert findings == []
+
+
+class TestWallClockRule:
+    def test_time_time_fires_in_engine(self):
+        findings = findings_for(
+            "import time\nstamp = time.time()\n", rel="engine/example.py"
+        )
+        assert rule_ids(findings) == ["wall-clock"]
+
+    def test_datetime_now_fires_in_datacenter(self):
+        findings = findings_for(
+            """
+            import datetime
+            stamp = datetime.datetime.now()
+            """,
+            rel="datacenter/example.py",
+        )
+        assert rule_ids(findings) == ["wall-clock"]
+
+    def test_perf_counter_allowed(self):
+        # perf_counter measures a run's wall time; it never drives
+        # simulated behaviour.
+        findings = findings_for(
+            "import time\nstarted = time.perf_counter()\n",
+            rel="engine/example.py",
+        )
+        assert findings == []
+
+    def test_outside_scope_allowed(self):
+        findings = findings_for(
+            "import time\nstamp = time.time()\n", rel="workloads/example.py"
+        )
+        assert findings == []
+
+
+class TestPrefetchContractRule:
+    def test_override_without_declaration_fires(self):
+        findings = findings_for(
+            """
+            class Sneaky(Distribution):
+                def sample(self, rng):
+                    return 1.0
+                def sample_many(self, rng, n):
+                    return [1.0] * n
+            """
+        )
+        assert rule_ids(findings) == ["prefetch-contract"]
+
+    def test_missing_sample_fires_too(self):
+        findings = findings_for(
+            """
+            class HalfBaked(Distribution):
+                def sample_many(self, rng, n):
+                    return [1.0] * n
+            """
+        )
+        assert sorted(rule_ids(findings)) == [
+            "prefetch-contract",
+            "prefetch-contract",
+        ]
+
+    def test_class_attribute_declaration_passes(self):
+        findings = findings_for(
+            """
+            class Honest(Distribution):
+                prefetch_safe = True
+                def sample(self, rng):
+                    return 1.0
+                def sample_many(self, rng, n):
+                    return [1.0] * n
+            """
+        )
+        assert findings == []
+
+    def test_property_declaration_passes(self):
+        findings = findings_for(
+            """
+            class Derived(Scaled):
+                @property
+                def prefetch_safe(self):
+                    return self.base.prefetch_safe
+                def sample(self, rng):
+                    return 1.0
+                def sample_many(self, rng, n):
+                    return [1.0] * n
+            """
+        )
+        assert findings == []
+
+    def test_inheritance_chain_recognized(self):
+        # Distribution-ness propagates through in-module bases.
+        findings = findings_for(
+            """
+            class Intermediate(Distribution):
+                pass
+
+            class Leaf(Intermediate):
+                def sample(self, rng):
+                    return 1.0
+                def sample_many(self, rng, n):
+                    return [1.0] * n
+            """
+        )
+        assert rule_ids(findings) == ["prefetch-contract"]
+
+    def test_unrelated_class_ignored(self):
+        findings = findings_for(
+            """
+            class NotADistribution:
+                def sample_many(self, rng, n):
+                    return [1.0] * n
+            """
+        )
+        assert findings == []
+
+
+class TestEventMutationRule:
+    def test_ev_slot_assignment_fires(self):
+        findings = findings_for("event[EV_STATE] = CANCELLED\n")
+        assert rule_ids(findings) == ["event-mutation"]
+
+    def test_state_constant_store_fires(self):
+        findings = findings_for("record[4] = FIRED\n")
+        assert rule_ids(findings) == ["event-mutation"]
+
+    def test_augassign_fires(self):
+        findings = findings_for("event[EV_TIME] += 1.0\n")
+        assert rule_ids(findings) == ["event-mutation"]
+
+    def test_engine_files_exempt(self):
+        for rel in ("engine/events.py", "engine/simulation.py"):
+            findings = findings_for("event[EV_STATE] = CANCELLED\n", rel=rel)
+            assert findings == []
+
+    def test_plain_subscript_store_allowed(self):
+        findings = findings_for("table[key] = value\n")
+        assert findings == []
+
+
+class TestFloatTimeEqRule:
+    def test_now_equality_fires(self):
+        findings = findings_for(
+            "def f(sim, t):\n    return sim.now == t\n"
+        )
+        assert rule_ids(findings) == ["float-time-eq"]
+
+    def test_not_equals_fires(self):
+        findings = findings_for(
+            "def f(job):\n    return job.finish_time != job.arrival_time\n"
+        )
+        assert rule_ids(findings) == ["float-time-eq"]
+
+    def test_none_sentinel_allowed(self):
+        findings = findings_for(
+            "def f(job):\n    return job.start_time == None\n"
+        )
+        assert findings == []
+
+    def test_pytest_approx_allowed(self):
+        findings = findings_for(
+            "def f(sim):\n    assert sim.now == pytest.approx(5.0)\n",
+            rel="tests/test_example.py",
+        )
+        assert findings == []
+
+    def test_ordering_comparisons_allowed(self):
+        findings = findings_for(
+            "def f(sim, t):\n    return sim.now >= t\n"
+        )
+        assert findings == []
+
+
+class TestParallelLambdaRule:
+    def test_lambda_in_parallel_package_fires(self):
+        findings = findings_for(
+            "callback = lambda: None\n", rel="parallel/example.py"
+        )
+        assert rule_ids(findings) == ["parallel-lambda"]
+
+    def test_lambda_in_send_payload_fires(self):
+        findings = findings_for(
+            "def f(pipe):\n    pipe.send((\"chunk\", lambda: 1))\n"
+        )
+        assert rule_ids(findings) == ["parallel-lambda"]
+
+    def test_lambda_elsewhere_allowed(self):
+        findings = findings_for("callback = lambda: None\n")
+        assert findings == []
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self):
+        findings = findings_for(
+            "import random  # simlint: disable=global-rng\n"
+        )
+        assert findings == []
+
+    def test_comma_separated_ids(self):
+        findings = findings_for(
+            "import random  # simlint: disable=wall-clock, global-rng\n"
+        )
+        assert findings == []
+
+    def test_disable_all(self):
+        findings = findings_for(
+            "import random  # simlint: disable=all\n"
+        )
+        assert findings == []
+
+    def test_wrong_id_does_not_suppress(self):
+        findings = findings_for(
+            "import random  # simlint: disable=wall-clock\n"
+        )
+        assert rule_ids(findings) == ["global-rng"]
+
+    def test_multiline_statement_suppressed_on_any_line(self):
+        # The finding anchors at the class but the marker may sit on any
+        # physical line the node spans.
+        findings = findings_for(
+            """
+            class Sneaky(Distribution):
+                def sample(self, rng):
+                    return 1.0
+                def sample_many(self, rng, n):
+                    # simlint: disable=prefetch-contract
+                    return [1.0] * n
+            """
+        )
+        assert findings == []
+
+
+class TestSelectDisable:
+    SOURCE = "import random\nevent[EV_STATE] = FIRED\n"
+
+    def test_select_narrows(self):
+        findings = findings_for(self.SOURCE, select=["global-rng"])
+        assert rule_ids(findings) == ["global-rng"]
+
+    def test_disable_removes(self):
+        findings = findings_for(self.SOURCE, disable=["global-rng"])
+        assert rule_ids(findings) == ["event-mutation"]
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(LintError):
+            findings_for(self.SOURCE, select=["no-such-rule"])
+
+    def test_syntax_error_raises(self):
+        with pytest.raises(LintError):
+            findings_for("def broken(:\n")
+
+
+class TestRelativeModulePath:
+    def test_repro_package_paths(self):
+        assert (
+            relative_module_path(Path("src/repro/engine/simulation.py"))
+            == "engine/simulation.py"
+        )
+
+    def test_test_paths(self):
+        assert (
+            relative_module_path(Path("/root/repo/tests/test_foo.py"))
+            == "tests/test_foo.py"
+        )
+
+    def test_other_paths_fall_back_to_basename(self):
+        assert relative_module_path(Path("scripts/tool.py")) == "tool.py"
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert simlint_main([str(target)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one_text(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import random\n")
+        assert simlint_main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "global-rng" in out
+        assert "dirty.py:1:" in out
+
+    def test_findings_json_shape(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import random\n")
+        assert simlint_main([str(target), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["files_scanned"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "global-rng"
+        assert finding["line"] == 1
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert simlint_main([str(missing)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_list_rules_covers_registry(self, capsys):
+        assert simlint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in out
+
+    def test_rule_registry_complete(self):
+        assert set(RULES) == {
+            "global-rng",
+            "wall-clock",
+            "prefetch-contract",
+            "event-mutation",
+            "float-time-eq",
+            "parallel-lambda",
+        }
+
+
+class TestWholeTree:
+    def test_repository_is_lint_clean(self):
+        """The acceptance gate: our own src + tests carry no findings."""
+        findings, scanned = lint_paths(
+            [REPO_ROOT / "src", REPO_ROOT / "tests"]
+        )
+        assert scanned > 100
+        assert findings == [], "\n".join(
+            f"{finding.location()}: {finding.rule}: {finding.message}"
+            for finding in findings
+        )
