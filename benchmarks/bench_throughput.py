@@ -129,6 +129,17 @@ def main(argv=None) -> int:
                         help="disable block-prefetched sampling (A/B)")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="earlier results JSON to embed as 'before'")
+    parser.add_argument("--compare", type=Path, default=None,
+                        help=(
+                            "recorded results JSON to gate against: exit 1 "
+                            "if any workload regresses by more than "
+                            "--max-regress"
+                        ))
+    parser.add_argument("--max-regress", type=float, default=0.02,
+                        help=(
+                            "tolerated fractional events/sec drop vs "
+                            "--compare (default 0.02 = 2%%)"
+                        ))
     parser.add_argument("--out", type=Path,
                         default=REPO_ROOT / "BENCH_throughput.json")
     args = parser.parse_args(argv)
@@ -170,6 +181,29 @@ def main(argv=None) -> int:
 
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
+
+    if args.compare and args.compare.exists():
+        # The zero-cost-tracing gate: current throughput must stay
+        # within --max-regress of the recorded numbers.
+        recorded = json.loads(args.compare.read_text())
+        recorded = recorded.get("workloads", recorded)
+        failed = False
+        for name in results:
+            if name not in recorded:
+                continue
+            now = results[name]["events_per_sec"]
+            then = recorded[name]["events_per_sec"]
+            change = now / then - 1.0
+            verdict = "ok"
+            if change < -args.max_regress:
+                verdict = "REGRESSION"
+                failed = True
+            print(f"{name:10s} {then:>12,.0f} -> {now:>12,.0f} events/s  "
+                  f"({change:+.1%}, {verdict})")
+        if failed:
+            print(f"throughput regressed beyond {args.max_regress:.0%} "
+                  f"of {args.compare}", file=sys.stderr)
+            return 1
     return 0
 
 

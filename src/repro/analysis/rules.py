@@ -435,6 +435,122 @@ class FloatTimeEqRule(Rule):
 
 
 @register_rule
+class TraceInHotLoopRule(Rule):
+    """Tracer calls in hot loops must be guarded.
+
+    The observability contract is "zero cost when disabled": components
+    hold ``tracer = None`` and the event loop folds its emit threshold
+    to ``+inf``, so an untraced run pays one comparison per event.  A
+    tracer call placed *unguarded* inside a lexical loop in the
+    simulation layers (``engine/``, ``datacenter/``, ``core/``) breaks
+    that contract twice over — it either crashes on the None default or
+    pays attribute-lookup + call overhead per iteration even when
+    tracing is off.  Every in-loop emission must sit under an ``if``
+    whose test mentions the tracer (``if tracer is not None:``,
+    ``if self._tracer ...:``) or its ``enabled`` flag.
+
+    The parallel master and the CLI are boundary layers and exempt:
+    their loops run once per merge round, not once per simulated event.
+    """
+
+    id = "trace-in-hot-loop"
+    summary = (
+        "tracer calls inside engine/ datacenter/ core/ loops must be "
+        "guarded by a tracer-None/.enabled check"
+    )
+
+    #: Variable/attribute names treated as tracer handles.
+    tracer_names = frozenset({"tracer", "_tracer"})
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.rel.startswith(("engine/", "datacenter/", "core/"))
+
+    def _is_tracer_call(self, node: ast.Call) -> bool:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return False
+        dotted = dotted_name(func.value)
+        if dotted is None:
+            return False
+        return dotted.split(".")[-1] in self.tracer_names
+
+    def _mentions_tracer(self, test: ast.AST) -> bool:
+        for sub in ast.walk(test):
+            if isinstance(sub, ast.Name) and sub.id in self.tracer_names:
+                return True
+            if isinstance(sub, ast.Attribute) and (
+                sub.attr in self.tracer_names or sub.attr == "enabled"
+            ):
+                return True
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        findings: list = []
+
+        def scan_expr(node: ast.AST, in_loop: bool, guarded: bool) -> None:
+            for sub in ast.walk(node):
+                if (
+                    isinstance(sub, ast.Call)
+                    and self._is_tracer_call(sub)
+                    and in_loop
+                    and not guarded
+                ):
+                    findings.append(
+                        ctx.finding(
+                            self.id,
+                            sub,
+                            "unguarded tracer call inside a loop in a "
+                            "simulation layer; wrap it in `if <tracer> "
+                            "is not None:` (zero-cost-when-disabled "
+                            "contract)",
+                        )
+                    )
+
+        def scan(nodes, in_loop: bool, guarded: bool) -> None:
+            for node in nodes:
+                if isinstance(
+                    node,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    # A nested def is a fresh lexical scope: where it is
+                    # *called* from decides its hotness, which a lexical
+                    # rule cannot see.
+                    scan(node.body, False, False)
+                elif isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                    if isinstance(node, (ast.For, ast.AsyncFor)):
+                        scan_expr(node.iter, in_loop, guarded)
+                    else:
+                        scan_expr(node.test, in_loop, guarded)
+                    scan(node.body, True, guarded)
+                    scan(node.orelse, True, guarded)
+                elif isinstance(node, ast.If):
+                    scan_expr(node.test, in_loop, guarded)
+                    # Both branches count as guarded: a lexical rule
+                    # cannot tell `if tracer is not None:` from the
+                    # inverted `if tracer is None: ... else: emit`.
+                    branch_guarded = guarded or self._mentions_tracer(
+                        node.test
+                    )
+                    scan(node.body, in_loop, branch_guarded)
+                    scan(node.orelse, in_loop, branch_guarded)
+                elif isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        scan_expr(item.context_expr, in_loop, guarded)
+                    scan(node.body, in_loop, guarded)
+                elif isinstance(node, ast.Try):
+                    scan(node.body, in_loop, guarded)
+                    for handler in node.handlers:
+                        scan(handler.body, in_loop, guarded)
+                    scan(node.orelse, in_loop, guarded)
+                    scan(node.finalbody, in_loop, guarded)
+                else:
+                    scan_expr(node, in_loop, guarded)
+
+        scan(ctx.tree.body, False, False)
+        yield from findings
+
+
+@register_rule
 class ParallelLambdaRule(Rule):
     """No lambdas in objects crossing the pickled parallel protocol.
 

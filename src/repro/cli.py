@@ -20,51 +20,129 @@ import sys
 from pathlib import Path
 
 
+def _config_factory(seed, config=None, **overrides):
+    """Module-level (picklable) factory for ``repro run --parallel``.
+
+    The process backend forks one replica per slave; each rebuilds the
+    experiment from the same config document under its own seed.
+    """
+    from repro.config import build_experiment
+
+    return build_experiment({**(config or {}), "seed": seed}, **overrides)
+
+
+def _make_observability(args):
+    """Build (tracer, progress) from the run command's flags."""
+    tracer = None
+    if args.trace:
+        import time
+
+        from repro.observability import Tracer
+
+        # The CLI is the boundary: the host clock is injected here, so
+        # records carry host_time for profiling while the engine itself
+        # never reads a wall clock.
+        tracer = Tracer.to_path(args.trace, clock=time.perf_counter)
+    progress = None
+    if args.progress is not None:
+        from repro.observability import ProgressReporter
+
+        progress = ProgressReporter(min_interval=args.progress)
+    return tracer, progress
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.config import build_experiment, load_config
-    from repro.engine.report import result_to_dict
+    from repro.engine.report import parallel_result_to_dict, result_to_dict
 
-    if not args.sanitize:
-        experiment = build_experiment(args.config)
+    if args.sanitize and args.parallel:
+        print("--sanitize and --parallel are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    tracer, progress = _make_observability(args)
+    try:
+        if args.parallel:
+            from repro.parallel.master import ParallelSimulation
+
+            config = load_config(args.config)
+            simulation = ParallelSimulation(
+                _config_factory,
+                factory_kwargs={"config": config},
+                n_slaves=args.parallel,
+                master_seed=config.get("seed", 0),
+                backend=args.backend,
+            )
+            if tracer is not None:
+                simulation.attach_tracer(tracer)
+            if progress is not None:
+                simulation.attach_progress(progress)
+            result = simulation.run()
+            if args.metrics and result.telemetry is None:
+                from repro.observability import ExperimentTelemetry
+
+                result.telemetry = ExperimentTelemetry.from_parallel(
+                    result, dead_slaves=result.dead_slaves
+                )
+            json.dump(parallel_result_to_dict(result), sys.stdout, indent=2)
+            sys.stdout.write("\n")
+            return 0 if result.converged else 3
+
+        if not args.sanitize:
+            experiment = build_experiment(args.config)
+            if tracer is not None:
+                experiment.attach_tracer(tracer)
+            if progress is not None:
+                experiment.attach_progress(progress)
+            experiment.collect_telemetry = args.metrics
+            result = experiment.run(max_events=args.max_events)
+            json.dump(result_to_dict(result), sys.stdout, indent=2)
+            sys.stdout.write("\n")
+            return 0 if result.converged else 3
+
+        # Sanitized run: hash the event stream, verify every prefetch
+        # block per-draw, then replay the identical config with
+        # prefetching disabled and require a bit-identical event stream
+        # (see docs/analysis.md).  Exit 4 on any determinism mismatch.
+        from repro.analysis.sanitizer import experiment_digest
+
+        config = load_config(args.config)
+        experiment = build_experiment(config, sanitize=True)
+        if tracer is not None:
+            experiment.attach_tracer(tracer)
+        if progress is not None:
+            experiment.attach_progress(progress)
+        experiment.collect_telemetry = args.metrics
         result = experiment.run(max_events=args.max_events)
-        json.dump(result_to_dict(result), sys.stdout, indent=2)
-        sys.stdout.write("\n")
-        return 0 if result.converged else 3
-
-    # Sanitized run: hash the event stream, verify every prefetch block
-    # per-draw, then replay the identical config with prefetching
-    # disabled and require a bit-identical event stream (see
-    # docs/analysis.md).  Exit 4 on any determinism mismatch.
-    from repro.analysis.sanitizer import experiment_digest
-
-    config = load_config(args.config)
-    experiment = build_experiment(config, sanitize=True)
-    result = experiment.run(max_events=args.max_events)
-    twin = experiment_digest(
-        lambda seed, **kwargs: build_experiment(
-            {**config, "seed": seed}, **kwargs
-        ),
-        seed=config.get("seed", 0),
-        factory_kwargs={"prefetch": False},
-        max_events=args.max_events,
-    )
-    matched = (
-        result.sanitizer.event_digest == twin.event_digest
-        and result.sanitizer.events_hashed == twin.events_hashed
-    )
-    payload = result_to_dict(result)
-    payload["sanitizer"]["prefetch_off"] = twin.to_dict()
-    payload["sanitizer"]["prefetch_determinism"] = "ok" if matched else "FAIL"
-    json.dump(payload, sys.stdout, indent=2)
-    sys.stdout.write("\n")
-    if not matched:
-        print(
-            "sanitizer: prefetch-on and prefetch-off event streams "
-            "diverge; the run is not reproducible",
-            file=sys.stderr,
+        twin = experiment_digest(
+            lambda seed, **kwargs: build_experiment(
+                {**config, "seed": seed}, **kwargs
+            ),
+            seed=config.get("seed", 0),
+            factory_kwargs={"prefetch": False},
+            max_events=args.max_events,
         )
-        return 4
-    return 0 if result.converged else 3
+        matched = (
+            result.sanitizer.event_digest == twin.event_digest
+            and result.sanitizer.events_hashed == twin.events_hashed
+        )
+        payload = result_to_dict(result)
+        payload["sanitizer"]["prefetch_off"] = twin.to_dict()
+        payload["sanitizer"]["prefetch_determinism"] = (
+            "ok" if matched else "FAIL"
+        )
+        json.dump(payload, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        if not matched:
+            print(
+                "sanitizer: prefetch-on and prefetch-off event streams "
+                "diverge; the run is not reproducible",
+                file=sys.stderr,
+            )
+            return 4
+        return 0 if result.converged else 3
+    finally:
+        if tracer is not None:
+            tracer.close()
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
@@ -155,6 +233,44 @@ def build_parser() -> argparse.ArgumentParser:
             "per-draw, hash the event stream, and A/B it against a "
             "prefetch-off twin (exit 4 on mismatch)"
         ),
+    )
+    run.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a structured JSON-lines trace (engine counters, "
+            "statistic phase transitions, parallel master records) to "
+            "PATH; validate with 'python -m repro.observability PATH'"
+        ),
+    )
+    run.add_argument(
+        "--metrics",
+        action="store_true",
+        help="attach an end-of-run telemetry digest to the JSON output",
+    )
+    run.add_argument(
+        "--progress",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help=(
+            "report per-metric convergence progress to stderr at most "
+            "every SECONDS seconds"
+        ),
+    )
+    run.add_argument(
+        "--parallel",
+        type=int,
+        metavar="N",
+        default=None,
+        help="distribute measurement over N slave replicas (Fig. 3)",
+    )
+    run.add_argument(
+        "--backend",
+        choices=("serial", "process"),
+        default="serial",
+        help="slave backend for --parallel (default: serial)",
     )
     run.set_defaults(handler=_cmd_run)
 

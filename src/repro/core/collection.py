@@ -25,6 +25,7 @@ class StatisticsCollection:
         self._stats: Dict[str, Statistic] = {}
         self._barrier_lifted = False
         self._recording_started = False
+        self._tracer = None
 
     # -- construction -----------------------------------------------------
 
@@ -43,8 +44,16 @@ class StatisticsCollection:
         # warm-up quota; barrier bookkeeping therefore costs nothing on
         # the per-observation path.
         statistic._warm_hook = self._maybe_lift_barrier
+        if self._tracer is not None:
+            statistic.attach_tracer(self._tracer)
         self._stats[statistic.name] = statistic
         return statistic
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a structured tracer to every metric, present and future."""
+        self._tracer = tracer
+        for stat in self._stats.values():
+            stat.attach_tracer(tracer)
 
     def __contains__(self, name: str) -> bool:
         return name in self._stats

@@ -255,12 +255,68 @@ class Histogram:
 
     # -- merging (the parallel "reduce") ------------------------------------
 
-    def merge(self, other: "Histogram") -> None:
-        """Fold another histogram with the identical scheme into this one."""
-        if other.scheme != self.scheme:
-            raise HistogramError(
-                f"cannot merge different schemes: {self.scheme} vs {other.scheme}"
+    def rebin_to(self, scheme: BinScheme) -> "Histogram":
+        """A copy of this histogram approximated onto a different scheme.
+
+        Each source bin's mass is deposited at its midpoint in the target
+        scheme (underflow/overflow regions use the midpoint of their
+        observed extent).  Totals and the exact running moments are
+        preserved; only the *binned* quantile resolution degrades — by at
+        most one source bin width, the same error class the histogram
+        approximation already carries.
+        """
+        target = Histogram(scheme)
+        target.count = self.count
+        target._sum = self._sum
+        target._sum_sq = self._sum_sq
+        target.min_seen = self.min_seen
+        target.max_seen = self.max_seen
+
+        def deposit(value: float, mass: int) -> None:
+            if not mass:
+                return
+            if value < scheme.low:
+                target.underflow += mass
+            elif value >= scheme.high:
+                target.overflow += mass
+            else:
+                index = min(
+                    int((value - scheme.low) / scheme.width), scheme.bins - 1
+                )
+                target._counts[index] += mass
+
+        source = self.scheme
+        for index, mass in enumerate(self._counts):
+            deposit(source.low + (index + 0.5) * source.width, mass)
+        if self.underflow:
+            lo = self.min_seen if math.isfinite(self.min_seen) else source.low
+            deposit((lo + source.low) / 2.0, self.underflow)
+        if self.overflow:
+            hi = (
+                max(self.max_seen, source.high)
+                if math.isfinite(self.max_seen)
+                else source.high
             )
+            deposit((source.high + hi) / 2.0, self.overflow)
+        return target
+
+    def merge(self, other: "Histogram", rebin: bool = False) -> None:
+        """Fold another histogram into this one.
+
+        Schemes must be identical unless ``rebin=True``, in which case
+        ``other`` is first approximated onto this histogram's scheme via
+        :meth:`rebin_to`.  A silent bin-wise merge of mismatched schemes
+        would attribute mass to the wrong value ranges, so the default is
+        to refuse loudly.
+        """
+        if other.scheme != self.scheme:
+            if not rebin:
+                raise HistogramError(
+                    f"cannot merge different schemes: {self.scheme} vs "
+                    f"{other.scheme}; pass rebin=True to approximate onto "
+                    "this histogram's scheme"
+                )
+            other = other.rebin_to(self.scheme)
         counts = self._counts
         for index, extra in enumerate(other._counts):
             counts[index] += extra
@@ -280,16 +336,34 @@ class Histogram:
         histogram each round.  ``min_seen``/``max_seen`` in a payload are
         always absolute running extrema (min/max are not delta-able) and
         merge idempotently.
+
+        Malformed payloads are rejected *before* any state is touched —
+        the same contract as the full-report path
+        (:meth:`from_payload`): a wrong-length ``counts`` list or a
+        count total that disagrees with the bin masses raises
+        :class:`HistogramError` instead of silently merging a prefix.
         """
         low, high, bins = payload["scheme"]
         scheme = self.scheme
         if (low, high, bins) != (scheme.low, scheme.high, scheme.bins):
             raise HistogramError(
                 f"cannot merge payload with scheme {payload['scheme']} "
-                f"into {scheme}"
+                f"into {scheme}; rebin slave-side or recalibrate"
+            )
+        extra_counts = payload["counts"]
+        if len(extra_counts) != self._bins:
+            raise HistogramError(
+                f"payload carries {len(extra_counts)} bin counts, scheme "
+                f"expects {self._bins}; refusing a partial merge"
+            )
+        total = sum(extra_counts) + payload["underflow"] + payload["overflow"]
+        if total != payload["count"]:
+            raise HistogramError(
+                f"payload count invariant violated: bins+underflow+overflow "
+                f"= {total} but count = {payload['count']}"
             )
         counts = self._counts
-        for index, extra in enumerate(payload["counts"]):
+        for index, extra in enumerate(extra_counts):
             counts[index] += extra
         self.underflow += payload["underflow"]
         self.overflow += payload["overflow"]

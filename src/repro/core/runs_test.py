@@ -11,11 +11,30 @@ statistic, which is asymptotically chi-square with 6 degrees of freedom.
 An autocorrelated sequence (e.g. successive response times from a busy
 queue) produces too few short runs — neighbours tend to move together —
 and fails the test; spacing the observations out restores independence.
+
+**Inconclusive results.**  The chi-square approximation assumes a few
+thousand observations of *continuous* data.  Two degenerate regimes
+produce answers that look authoritative but are not:
+
+- sequences shorter than :data:`MIN_RUNS_SAMPLE` — the asymptotic null
+  distribution simply does not apply;
+- tie-heavy sequences (adjacent-equality fraction above
+  :data:`MAX_TIE_FRACTION`) — ties end runs under the strict-ascent
+  convention, and at high tie rates the run-length distribution is
+  driven by the tie structure rather than by independence.  A pure
+  upward trend whose long runs are broken only by ties can *pass* the
+  test outright (see ``tests/test_runs_test.py`` for the construction).
+
+:func:`runs_up_test` therefore reports a three-way outcome (pass /
+fail / inconclusive), and :func:`select_lag` — the calibration-phase
+entry point — only accepts a lag on a *conclusive* pass, growing the
+lag conservatively otherwise.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 from scipy import stats as _scipy_stats
@@ -42,6 +61,60 @@ RUNS_UP_DOF = 6
 
 #: Minimum sequence length for the chi-square approximation to be usable.
 MIN_RUNS_SAMPLE = 64
+
+#: Adjacent-equality fraction above which the runs-up test is declared
+#: inconclusive: the strict-ascent convention makes heavily tied data's
+#: run-length distribution reflect the tie structure, not independence.
+#: Real queueing outputs stay well below this (waiting times at moderate
+#: load measure ~0.1-0.25 even with a point mass at zero); constant
+#: sequences sit at 1.0 and trend-with-ties pathologies near 0.5.
+MAX_TIE_FRACTION = 0.4
+
+#: Outcomes of :func:`runs_up_test`.
+PASS = "pass"
+FAIL = "fail"
+INCONCLUSIVE = "inconclusive"
+
+
+@dataclass(frozen=True)
+class RunsUpResult:
+    """Three-way outcome of one runs-up independence test."""
+
+    outcome: str  # PASS / FAIL / INCONCLUSIVE
+    n: int
+    tie_fraction: float
+    statistic: Optional[float] = None
+    reason: str = ""
+
+    @property
+    def passed(self) -> bool:
+        """True only for a conclusive pass."""
+        return self.outcome == PASS
+
+    @property
+    def conclusive(self) -> bool:
+        """False when the chi-square approximation was not applicable."""
+        return self.outcome != INCONCLUSIVE
+
+
+@dataclass(frozen=True)
+class LagSelection:
+    """Outcome of the calibration-phase lag search (:func:`select_lag`)."""
+
+    lag: int
+    conclusive: bool
+    reason: str
+    #: Number of lags whose spaced subsequence produced a conclusive
+    #: (pass or fail) runs-up verdict during the search.
+    tested: int = 0
+
+
+def tie_fraction(sequence: Sequence[float]) -> float:
+    """Fraction of adjacent pairs that are exactly equal."""
+    values = np.asarray(sequence, dtype=float)
+    if values.size < 2:
+        return 0.0
+    return float(np.mean(values[1:] == values[:-1]))
 
 
 def runs_up_counts(sequence: Sequence[float]) -> np.ndarray:
@@ -83,16 +156,131 @@ def runs_up_statistic(sequence: Sequence[float]) -> float:
     return float(deviation @ KNUTH_A @ deviation) / n
 
 
-def runs_up_passes(sequence: Sequence[float], significance: float = 0.05) -> bool:
-    """True if the sequence is consistent with independence.
+def runs_up_test(
+    sequence: Sequence[float], significance: float = 0.05
+) -> RunsUpResult:
+    """Run the runs-up test with a defined inconclusive regime.
 
-    One-sided upper-tail test: autocorrelation inflates V, so we reject
-    when V exceeds the chi-square(6) critical value at ``significance``.
+    Returns :data:`INCONCLUSIVE` (instead of a misleading chi-square
+    verdict) when the sequence is shorter than :data:`MIN_RUNS_SAMPLE`
+    or its adjacent-tie fraction exceeds :data:`MAX_TIE_FRACTION`;
+    otherwise :data:`PASS` / :data:`FAIL` by the one-sided upper-tail
+    chi-square(6) criterion (autocorrelation inflates V).
     """
     if not 0.0 < significance < 1.0:
         raise ValueError(f"significance must be in (0, 1), got {significance}")
+    values = np.asarray(sequence, dtype=float)
+    n = int(values.size)
+    ties = tie_fraction(values)
+    if n < MIN_RUNS_SAMPLE:
+        return RunsUpResult(
+            outcome=INCONCLUSIVE,
+            n=n,
+            tie_fraction=ties,
+            reason=(
+                f"sequence too short for the chi-square approximation "
+                f"({n} < {MIN_RUNS_SAMPLE})"
+            ),
+        )
+    if ties > MAX_TIE_FRACTION:
+        return RunsUpResult(
+            outcome=INCONCLUSIVE,
+            n=n,
+            tie_fraction=ties,
+            reason=(
+                f"tie fraction {ties:.2f} exceeds {MAX_TIE_FRACTION}; "
+                "the continuous-data assumption is broken"
+            ),
+        )
+    statistic = runs_up_statistic(values)
     critical = float(_scipy_stats.chi2.ppf(1.0 - significance, RUNS_UP_DOF))
-    return runs_up_statistic(sequence) <= critical
+    return RunsUpResult(
+        outcome=PASS if statistic <= critical else FAIL,
+        n=n,
+        tie_fraction=ties,
+        statistic=statistic,
+        reason=f"V={statistic:.2f} vs chi2 critical {critical:.2f}",
+    )
+
+
+def runs_up_passes(sequence: Sequence[float], significance: float = 0.05) -> bool:
+    """True only for a *conclusive* pass of the runs-up test.
+
+    One-sided upper-tail test: autocorrelation inflates V, so we reject
+    when V exceeds the chi-square(6) critical value at ``significance``.
+    Tie-heavy sequences (see :data:`MAX_TIE_FRACTION`) are inconclusive
+    and report False — they must not be treated as independent.  Too
+    short a sequence raises, as :func:`runs_up_statistic` always has.
+    """
+    values = np.asarray(sequence, dtype=float)
+    if values.size < MIN_RUNS_SAMPLE:
+        raise ValueError(
+            f"runs-up test needs >= {MIN_RUNS_SAMPLE} observations, "
+            f"got {values.size}"
+        )
+    return runs_up_test(values, significance).passed
+
+
+def select_lag(
+    sample: Sequence[float],
+    max_lag: int = 50,
+    significance: float = 0.05,
+    min_points: int = MIN_RUNS_SAMPLE,
+) -> LagSelection:
+    """Calibration-phase lag search with defined degenerate behaviour.
+
+    Try ``l = 1, 2, ...`` and accept the first lag whose spaced
+    subsequence ``sample[::l]`` yields a *conclusive* runs-up pass.  An
+    inconclusive verdict (short subsequence, tie-heavy data) never
+    accepts a lag — growing the spacing is the conservative response to
+    not knowing, so:
+
+    - no conclusive pass up to ``max_lag`` → the largest testable lag,
+      flagged ``conclusive=False``;
+    - a calibration sample too small to test at all → ``max_lag``
+      itself, flagged ``conclusive=False`` (the caller configured a
+      sample the test cannot certify; maximal spacing is the only
+      defensible answer that does not abort the run).
+    """
+    if max_lag < 1:
+        raise ValueError(f"max_lag must be >= 1, got {max_lag}")
+    values = np.asarray(sample, dtype=float)
+    if values.size < min_points:
+        return LagSelection(
+            lag=max_lag,
+            conclusive=False,
+            reason=(
+                f"calibration sample too small to test "
+                f"({values.size} < {min_points}); grew lag to max_lag"
+            ),
+        )
+    largest_testable = 1
+    tested = 0
+    for lag in range(1, max_lag + 1):
+        spaced = values[::lag]
+        if spaced.size < min_points:
+            break
+        largest_testable = lag
+        result = runs_up_test(spaced, significance)
+        if result.conclusive:
+            tested += 1
+            if result.passed:
+                return LagSelection(
+                    lag=lag,
+                    conclusive=True,
+                    reason=result.reason,
+                    tested=tested,
+                )
+    return LagSelection(
+        lag=largest_testable,
+        conclusive=False,
+        reason=(
+            f"no conclusive runs-up pass up to lag {largest_testable} "
+            f"({tested} conclusive verdicts); grew lag to the largest "
+            "testable spacing"
+        ),
+        tested=tested,
+    )
 
 
 def find_lag(
@@ -105,25 +293,19 @@ def find_lag(
 
     This is the calibration-phase computation: given the ~5000-observation
     calibration sample, try ``l = 1, 2, ...`` and return the first lag at
-    which ``sample[::l]`` looks independent.  If no lag up to ``max_lag``
-    passes (or subsequences become too short to test), the largest testable
-    lag is returned — a conservative fallback mirroring the original
-    implementation's behaviour of never aborting a simulation over
-    calibration.
+    which ``sample[::l]`` looks independent.  Only *conclusive* passes
+    count (see :func:`runs_up_test`); if no lag up to ``max_lag``
+    conclusively passes, the largest testable lag is returned — a
+    conservative fallback mirroring the original implementation's
+    behaviour of never aborting a simulation over calibration.  Callers
+    that need the conclusiveness flag use :func:`select_lag`.
     """
     values = np.asarray(sample, dtype=float)
     if values.size < min_points:
         raise ValueError(
             f"calibration sample too small: {values.size} < {min_points}"
         )
-    if max_lag < 1:
-        raise ValueError(f"max_lag must be >= 1, got {max_lag}")
-    largest_testable = 1
-    for lag in range(1, max_lag + 1):
-        spaced = values[::lag]
-        if spaced.size < min_points:
-            break
-        largest_testable = lag
-        if runs_up_passes(spaced, significance):
-            return lag
-    return largest_testable
+    return select_lag(
+        values, max_lag=max_lag, significance=significance,
+        min_points=min_points,
+    ).lag

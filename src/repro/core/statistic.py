@@ -26,7 +26,7 @@ from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
 from repro.core.confidence import z_value
 from repro.core.convergence import required_sample_size, summarize_histogram
 from repro.core.histogram import BinScheme, Histogram
-from repro.core.runs_test import find_lag
+from repro.core.runs_test import LagSelection, select_lag
 
 
 class StatisticError(RuntimeError):
@@ -169,9 +169,15 @@ class Statistic:
 
         self.phase = Phase.WARMUP
         self.lag: Optional[int] = None
+        #: How the lag was chosen (set at calibration end): carries the
+        #: conclusiveness flag — an inconclusive runs-up search grows the
+        #: lag conservatively instead of accepting an untestable one.
+        self.lag_selection: Optional[LagSelection] = None
         self.histogram: Optional[Histogram] = None
         self.observed = 0
         self.accepted = 0
+        #: Convergence tests actually executed (telemetry).
+        self.convergence_checks = 0
         self._warmup_seen = 0
         self._calibration: list[float] = []
         self._since_accept = 0
@@ -188,6 +194,17 @@ class Statistic:
         #: over a run instead of O(accepted / interval).
         self._next_check = math.inf
         self._required_cache: Optional[float] = None
+        #: Structured tracer (repro.observability), or None.  Hooks fire
+        #: only at phase transitions and convergence checks — never on
+        #: the per-observation fast path.
+        self._tracer = None
+
+    # -- structured tracing --------------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a tracer; phase transitions and convergence checks
+        emit ``statistic/*`` records from then on."""
+        self._tracer = tracer
 
     # -- collection coordination -------------------------------------------
 
@@ -232,9 +249,35 @@ class Statistic:
                 accepted = self.accepted + 1
                 self.accepted = accepted
                 if accepted >= self._next_check:
+                    self.convergence_checks += 1
                     required = self.required_sample_size()
+                    if self._tracer is not None:
+                        self._tracer.gauge(
+                            "convergence",
+                            accepted,
+                            component="statistic",
+                            metric=self.name,
+                            required=(
+                                None if required == math.inf else required
+                            ),
+                            fraction=(
+                                min(1.0, accepted / required)
+                                if required not in (0, math.inf)
+                                else None
+                            ),
+                        )
                     if accepted >= required:
                         self.phase = Phase.CONVERGED
+                        if self._tracer is not None:
+                            self._tracer.event(
+                                "phase",
+                                component="statistic",
+                                metric=self.name,
+                                to="converged",
+                                accepted=accepted,
+                                observed=self.observed,
+                                lag=self.lag,
+                            )
                     else:
                         # Not there yet: re-test after 5% of the
                         # estimated remaining gap (geometric backoff
@@ -266,16 +309,33 @@ class Statistic:
 
     def _enter_calibration(self) -> None:
         self.phase = Phase.CALIBRATION
+        if self._tracer is not None:
+            self._tracer.event(
+                "phase",
+                component="statistic",
+                metric=self.name,
+                to="calibration",
+                observed=self.observed,
+            )
         if self.calibration_samples == 0:  # pragma: no cover - guarded in init
             self._finish_calibration()
 
     def _finish_calibration(self) -> None:
-        """Runs-up lag search + histogram bin determination (Fig. 2, step 2)."""
-        self.lag = find_lag(
+        """Runs-up lag search + histogram bin determination (Fig. 2, step 2).
+
+        The lag is only *accepted* on a conclusive runs-up pass; an
+        inconclusive search (calibration sample too small, tie-heavy
+        data) grows the lag conservatively instead — see
+        :func:`repro.core.runs_test.select_lag` and
+        :attr:`lag_selection`.
+        """
+        selection = select_lag(
             self._calibration,
             max_lag=self.max_lag,
             significance=self.significance,
         )
+        self.lag = selection.lag
+        self.lag_selection = selection
         scheme = self.fixed_scheme or BinScheme.from_sample(
             self._calibration, bins=self.bins
         )
@@ -284,6 +344,16 @@ class Statistic:
         self._since_accept = 0
         self._next_check = max(self.min_accepted, self.convergence_check_interval)
         self.phase = Phase.MEASUREMENT
+        if self._tracer is not None:
+            self._tracer.event(
+                "phase",
+                component="statistic",
+                metric=self.name,
+                to="measurement",
+                lag=selection.lag,
+                lag_conclusive=selection.conclusive,
+                lag_reason=selection.reason,
+            )
 
     # -- convergence ----------------------------------------------------------
 

@@ -26,9 +26,18 @@ half of the sample.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence, Tuple
 
 import numpy as np
+
+#: Fewest observations (or batch means) MSER will score.
+MIN_MSER_SAMPLE = 10
+
+#: The "no usable answer" sentinel: truncate nothing, and the returned
+#: marginal-standard-error score is +inf so callers comparing candidate
+#: pilot runs never prefer a degenerate one.
+NO_RESULT: Tuple[int, float] = (0, math.inf)
 
 
 def mser(sample: Sequence[float], max_fraction: float = 0.5) -> Tuple[int, float]:
@@ -37,13 +46,23 @@ def mser(sample: Sequence[float], max_fraction: float = 0.5) -> Tuple[int, float
     Returns ``(d, score)``: discard the first ``d`` observations.  Only
     truncation points up to ``max_fraction`` of the sample are
     considered (the rule degenerates when the retained tail gets small).
+
+    Degenerate inputs get sentinels rather than exceptions — the rule is
+    advisory, and a pilot-analysis pipeline should not abort over them:
+
+    - fewer than :data:`MIN_MSER_SAMPLE` observations → :data:`NO_RESULT`
+      (``(0, inf)``: truncate nothing, score worse than any real one);
+    - a constant sequence → ``(0, 0.0)`` (already "converged"; zero
+      marginal error at zero truncation).
+
+    Invalid *parameters* (``max_fraction`` out of range) still raise.
     """
-    values = np.asarray(sample, dtype=float)
-    n = values.size
-    if n < 10:
-        raise ValueError(f"need >= 10 observations, got {n}")
     if not 0.0 < max_fraction <= 0.9:
         raise ValueError(f"max_fraction must be in (0, 0.9], got {max_fraction}")
+    values = np.asarray(sample, dtype=float)
+    n = values.size
+    if n < MIN_MSER_SAMPLE:
+        return NO_RESULT
     limit = max(1, int(n * max_fraction))
     # Suffix sums give all suffix means/variances in O(n).
     suffix_sum = np.cumsum(values[::-1])[::-1]
@@ -66,16 +85,17 @@ def mser5(sample: Sequence[float], batch: int = 5,
     Batching smooths the sequence so the rule does not chase individual
     outliers.  The returned truncation point is in *raw observations*
     (a multiple of ``batch``).
+
+    Mirrors :func:`mser`'s degenerate-input contract: fewer than
+    :data:`MIN_MSER_SAMPLE` full batches returns :data:`NO_RESULT`
+    instead of raising; an invalid ``batch`` parameter still raises.
     """
     if batch < 1:
         raise ValueError(f"batch must be >= 1, got {batch}")
     values = np.asarray(sample, dtype=float)
     n_batches = values.size // batch
-    if n_batches < 10:
-        raise ValueError(
-            f"need >= 10 full batches ({10 * batch} observations), "
-            f"got {values.size}"
-        )
+    if n_batches < MIN_MSER_SAMPLE:
+        return NO_RESULT
     means = values[: n_batches * batch].reshape(n_batches, batch).mean(axis=1)
     d_batches, score = mser(means, max_fraction)
     return d_batches * batch, score
@@ -88,6 +108,10 @@ def suggest_warmup(sample: Sequence[float], batch: int = 5,
     Pilot-run the simulation, collect a few thousand observations of the
     slowest-warming metric, and pass them here; configure the real
     experiment's ``warmup_samples`` with the result.
+
+    A pilot too small for MSER-5 (see :data:`NO_RESULT`) suggests 0 —
+    i.e. "no evidence a warm-up is needed", which for an advisory tool
+    fed a near-empty pilot is the only defensible answer.
     """
     if safety_factor < 1.0:
         raise ValueError(f"safety_factor must be >= 1, got {safety_factor}")

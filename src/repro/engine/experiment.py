@@ -35,6 +35,9 @@ class ExperimentResult:
     #: Determinism digest when the run was sanitized (see
     #: repro.analysis.sanitizer), else None.
     sanitizer: Optional[object] = None
+    #: repro.observability.ExperimentTelemetry when telemetry was
+    #: collected (tracer attached or collect_telemetry set), else None.
+    telemetry: Optional[object] = None
 
     def __getitem__(self, name: str) -> Estimate:
         return self.estimates[name]
@@ -89,6 +92,11 @@ class Experiment:
         self.prefetch_default = prefetch
         self.sources: list = []
         self._has_run = False
+        self._tracer = None
+        self._progress = None
+        #: Attach an ExperimentTelemetry digest to results even without a
+        #: tracer (``repro run --metrics``).
+        self.collect_telemetry = False
         if sanitize:
             # Must happen before any add_source: samplers capture the
             # probe at bind time.
@@ -199,6 +207,57 @@ class Experiment:
         )
         return statistic
 
+    # -- observability -------------------------------------------------------
+
+    def attach_tracer(self, tracer, emit_interval: int = 4096) -> None:
+        """Attach a :class:`repro.observability.Tracer` to the whole run.
+
+        Wires the event loop (periodic ``engine/events`` counters) and
+        every tracked metric (phase transitions, convergence gauges) to
+        one tracer.  Call before or after :meth:`track` — the collection
+        forwards the tracer to future metrics too.
+        """
+        self._tracer = tracer
+        self.simulation.attach_tracer(tracer, emit_interval)
+        self.stats.attach_tracer(tracer)
+
+    @property
+    def tracer(self):
+        """The attached structured tracer, or None."""
+        return self._tracer
+
+    def attach_progress(self, reporter) -> None:
+        """Attach a :class:`repro.observability.ProgressReporter`.
+
+        The reporter is polled from the convergence-check path (every
+        ``convergence_check_interval`` events, throttled internally by
+        its own wall-clock interval), so it costs nothing on the
+        per-event path.
+        """
+        self._progress = reporter
+
+    def _telemetry(self):
+        """ExperimentTelemetry digest, or None when not collecting."""
+        if self._tracer is None and not self.collect_telemetry:
+            return None
+        # Deferred import: the observability package is optional plumage
+        # on top of the engine, not a dependency of it.
+        from repro.observability.telemetry import ExperimentTelemetry
+
+        return ExperimentTelemetry.from_experiment(self, tracer=self._tracer)
+
+    def _stop_condition(self, stop_when):
+        """Compose the convergence predicate with the progress poll."""
+        progress = self._progress
+        if progress is None:
+            return stop_when
+
+        def polled() -> bool:
+            progress.poll(self)
+            return stop_when()
+
+        return polled
+
     # -- running -------------------------------------------------------------------
 
     def _probe_snapshot(self):
@@ -257,7 +316,7 @@ class Experiment:
             )
         started = time.perf_counter()
         self._run_loop(
-            stop_when=lambda: self.stats.all_converged,
+            stop_when=self._stop_condition(lambda: self.stats.all_converged),
             max_events=max_events,
             max_sim_time=max_sim_time,
         )
@@ -271,6 +330,7 @@ class Experiment:
             wall_time=wall,
             jobs_generated=sum(source.generated for source in self.sources),
             sanitizer=self._probe_snapshot(),
+            telemetry=self._telemetry(),
         )
 
     def run_until_calibrated(
@@ -285,7 +345,7 @@ class Experiment:
             raise RuntimeError("experiment has no tracked metrics")
         started = time.perf_counter()
         self._run_loop(
-            stop_when=lambda: self.stats.all_measuring,
+            stop_when=self._stop_condition(lambda: self.stats.all_measuring),
             max_events=max_events,
         )
         wall = time.perf_counter() - started
@@ -309,7 +369,9 @@ class Experiment:
         target = self.stats.total_accepted + additional
         started = time.perf_counter()
         self._run_loop(
-            stop_when=lambda: self.stats.total_accepted >= target,
+            stop_when=self._stop_condition(
+                lambda: self.stats.total_accepted >= target
+            ),
             max_events=max_events,
         )
         wall = time.perf_counter() - started

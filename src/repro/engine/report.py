@@ -54,6 +54,39 @@ def result_to_dict(result: ExperimentResult) -> dict:
     sanitizer = getattr(result, "sanitizer", None)
     if sanitizer is not None:
         payload["sanitizer"] = sanitizer.to_dict()
+    telemetry = getattr(result, "telemetry", None)
+    if telemetry is not None:
+        payload["telemetry"] = _plain(telemetry)
+    return payload
+
+
+def _plain(value):
+    """Objects with a to_dict() flatten themselves; dicts pass through."""
+    return value.to_dict() if hasattr(value, "to_dict") else value
+
+
+def parallel_result_to_dict(result) -> dict:
+    """A ParallelResult as plain data (``repro run --parallel N``)."""
+    payload = {
+        "converged": result.converged,
+        "n_slaves": result.n_slaves,
+        "rounds": result.rounds,
+        "degraded": result.degraded,
+        "dead_slaves": list(result.dead_slaves),
+        "master_events": result.master_events,
+        "slave_events": list(result.slave_events),
+        "total_events": result.total_events,
+        "total_accepted": result.total_accepted,
+        "wall_time": result.wall_time,
+        "master_wall_time": result.master_wall_time,
+        "metrics": {
+            name: estimate_to_dict(estimate)
+            for name, estimate in result.estimates.items()
+        },
+    }
+    telemetry = getattr(result, "telemetry", None)
+    if telemetry is not None:
+        payload["telemetry"] = _plain(telemetry)
     return payload
 
 

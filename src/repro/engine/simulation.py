@@ -16,6 +16,7 @@ before every pop), and batches the ``events_processed`` counter update.
 from __future__ import annotations
 
 import math
+import sys
 from collections import deque
 from heapq import heappop, heappush
 from typing import Callable, Optional
@@ -62,11 +63,16 @@ class Simulation:
         self.now: float = 0.0
         self.events = EventQueue()
         self.events_processed: int = 0
+        #: Events dispatched one-at-a-time through step() rather than the
+        #: inlined run() loop (telemetry: fast-path vs slow-path split).
+        self.slowpath_events: int = 0
         self._seed_sequence = np.random.SeedSequence(seed)
         self._periodics: dict[int, Event] = {}
         self._periodic_counter = 0
         self._trace: Optional[deque] = None
         self._probe = None
+        self._tracer = None
+        self._tracer_interval = 4096
 
     # -- debug tracing -------------------------------------------------------
 
@@ -96,6 +102,31 @@ class Simulation:
         is recording them.
         """
         return self._trace is not None
+
+    # -- structured tracing (repro.observability) ----------------------------
+
+    def attach_tracer(self, tracer, emit_interval: int = 4096) -> None:
+        """Attach a :class:`repro.observability.Tracer` to the event loop.
+
+        While attached, :meth:`run` emits an ``engine/events`` counter
+        every ``emit_interval`` dispatched events carrying the cumulative
+        event count, the queue depth, and simulated time.  Rates
+        (events/sec) are derived post-hoc from consecutive records —
+        the engine itself never reads a wall clock.  Detach with
+        ``attach_tracer(None)``; when detached the loop carries no
+        tracer state at all.
+        """
+        if tracer is not None and emit_interval < 1:
+            raise SimulationError(
+                f"emit_interval must be >= 1, got {emit_interval}"
+            )
+        self._tracer = tracer
+        self._tracer_interval = emit_interval
+
+    @property
+    def tracer(self):
+        """The attached structured tracer, or None when untraced."""
+        return self._tracer
 
     # -- determinism sanitizer ----------------------------------------------
 
@@ -214,6 +245,7 @@ class Simulation:
             )
         self.now = time
         self.events_processed += 1
+        self.slowpath_events += 1
         if self._trace is not None:
             self._trace.append((time, event[EV_LABEL]))
         if self._probe is not None:
@@ -256,6 +288,14 @@ class Simulation:
         # With no stop_when, the check threshold is never reached.
         check_every = stop_check_interval if stop_when is not None else math.inf
         next_check = check_every
+        # Structured tracing piggybacks on the same threshold shape.  An
+        # untraced run folds the emit threshold to an unreachable *int*
+        # (not +inf: int-vs-int compares are cheaper in CPython than
+        # int-vs-float, and this test runs once per event), so the
+        # disabled cost is one integer compare that never fires.
+        tracer = self._tracer
+        emit_every = self._tracer_interval if tracer is not None else sys.maxsize
+        next_emit = emit_every
         processed = 0
         now = self.now
         # No per-event monotonicity test: schedule_at/schedule_in refuse
@@ -290,6 +330,17 @@ class Simulation:
                     record(time)
                 event[2]()
                 processed += 1
+                if processed >= next_emit:
+                    next_emit = processed + emit_every
+                    if tracer is not None:
+                        tracer.counter(
+                            "events",
+                            self.events_processed + processed,
+                            component="engine",
+                            sim_time=now,
+                            queue_depth=len(heap),
+                            cancelled_pending=events._dead,
+                        )
                 if processed >= next_check:
                     next_check = processed + check_every
                     if stop_when():
@@ -297,3 +348,12 @@ class Simulation:
         finally:
             self.now = now
             self.events_processed += processed
+            if tracer is not None and processed:
+                tracer.counter(
+                    "events",
+                    self.events_processed,
+                    component="engine",
+                    sim_time=now,
+                    queue_depth=len(heap),
+                    run_exit=True,
+                )

@@ -151,6 +151,16 @@ class ParallelResult:
     #: backends: the master owns the chunk schedule, so slave ``i``
     #: replays the same stream serial or process-parallel.
     slave_digests: Optional[List] = None
+    #: True when one or more slaves died mid-run and the result was
+    #: assembled from the survivors' contributions.  A degraded result
+    #: is statistically valid (every merged observation is real) but
+    #: covers fewer independent replicas than requested.
+    degraded: bool = False
+    #: Slave ids that died before the run finished (empty when healthy).
+    dead_slaves: List[int] = field(default_factory=list)
+    #: repro.observability.ExperimentTelemetry when telemetry was
+    #: collected (tracer attached), else None.
+    telemetry: Optional[object] = None
 
     def __getitem__(self, name: str) -> Estimate:
         return self.estimates[name]
@@ -229,6 +239,59 @@ class ParallelSimulation:
         self.max_chunk_size = (
             max_chunk_size if max_chunk_size is not None else 16 * chunk_size
         )
+        self._tracer = None
+        self._progress = None
+
+    # -- observability ---------------------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.observability.Tracer` to the master.
+
+        The master emits ``master/*`` records (merge spans when the
+        tracer carries a host clock, round counters, dead-slave events)
+        and ``slave/*`` report events.  The calibration experiment also
+        inherits the tracer, so a traced parallel run covers engine,
+        statistic, master, and slave components.  The parallel layer is
+        the boundary: host-clock use is legitimate here.
+        """
+        self._tracer = tracer
+
+    def attach_progress(self, reporter) -> None:
+        """Attach a ProgressReporter; it renders per-round convergence."""
+        self._progress = reporter
+
+    def _trace_round(self, round_number: int, reports: List[SlaveReport]) -> None:
+        tracer = self._tracer
+        if tracer is None:
+            return
+        for report in reports:
+            tracer.event(
+                "report",
+                component="slave",
+                sim_time=report.sim_time,
+                slave=report.slave_id,
+                round=round_number,
+                events=report.events_processed,
+                accepted=report.total_accepted,
+            )
+
+    def _merge_round(self, merged, reports, schemes, round_number: int):
+        """One reduce step, traced as a ``master/merge`` span when possible."""
+        tracer = self._tracer
+
+        def reduce():
+            if self.delta_reports:
+                self._accumulate_reports(merged, reports)
+                return merged
+            return self._merge_reports(reports, schemes)
+
+        if tracer is not None and tracer.has_clock:
+            with tracer.span(
+                "merge", component="master",
+                round=round_number, reports=len(reports),
+            ):
+                return reduce()
+        return reduce()
 
     def _round_chunk(self, round_number: int) -> int:
         """Accepted-observation quota per slave for one round (1-based).
@@ -245,6 +308,8 @@ class ParallelSimulation:
 
     def _calibrate_master(self):
         master = self.factory(seed=self.master_seed, **self.factory_kwargs)
+        if self._tracer is not None:
+            master.attach_tracer(self._tracer)
         master.run_until_calibrated()
         for statistic in master.stats:
             if statistic.phase not in (Phase.MEASUREMENT, Phase.CONVERGED):
@@ -344,6 +409,12 @@ class ParallelSimulation:
         result.master_events = master.simulation.events_processed
         result.master_wall_time = master_wall
         result.wall_time = time.perf_counter() - started
+        if self._tracer is not None:
+            from repro.observability.telemetry import ExperimentTelemetry
+
+            result.telemetry = ExperimentTelemetry.from_parallel(
+                result, tracer=self._tracer, dead_slaves=result.dead_slaves
+            )
         return result
 
     def _run_serial(self, schemes, targets) -> ParallelResult:
@@ -375,11 +446,11 @@ class ParallelSimulation:
                 reports.append(
                     _slave_report(slave, slave_id, trackers[slave_id])
                 )
-            if self.delta_reports:
-                self._accumulate_reports(merged, reports)
-            else:
-                merged = self._merge_reports(reports, schemes)
+            self._trace_round(rounds, reports)
+            merged = self._merge_round(merged, reports, schemes, rounds)
             converged = self._all_converged(merged, targets)
+            if self._progress is not None:
+                self._progress.parallel_update(rounds, merged, targets)
         return ParallelResult(
             estimates=self._estimates(merged, targets, converged),
             converged=converged,
@@ -396,6 +467,55 @@ class ParallelSimulation:
                 else None
             ),
         )
+
+    @staticmethod
+    def _shutdown_slaves(
+        processes,
+        pipes,
+        join_timeout: float = 30.0,
+        escalation_timeout: float = 5.0,
+        tracer=None,
+    ) -> List[tuple]:
+        """Stop slave processes, escalating join → terminate → kill.
+
+        Each slave first gets a cooperative ``"stop"`` and a
+        ``join_timeout`` to exit cleanly; a survivor is terminated
+        (SIGTERM) and, failing that too, killed (SIGKILL) — a hung or
+        signal-ignoring slave must never wedge the master's exit path.
+        Returns ``[(slave_id, action), ...]`` for every escalation
+        beyond the clean join (``"terminate"`` / ``"kill"``), which is
+        also what makes this testable with fake process objects.
+        """
+        for pipe in pipes:
+            try:
+                pipe.send("stop")
+                pipe.close()
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        escalations: List[tuple] = []
+        for slave_id, process in enumerate(processes):
+            process.join(timeout=join_timeout)
+            if not process.is_alive():
+                continue
+            process.terminate()
+            process.join(timeout=escalation_timeout)
+            if process.is_alive():
+                # multiprocessing.Process.kill() exists since 3.7; fall
+                # back to terminate-again for exotic fakes without it.
+                kill = getattr(process, "kill", process.terminate)
+                kill()
+                process.join(timeout=escalation_timeout)
+                escalations.append((slave_id, "kill"))
+            else:
+                escalations.append((slave_id, "terminate"))
+            if tracer is not None:
+                tracer.event(
+                    "shutdown_escalation",
+                    component="master",
+                    slave=slave_id,
+                    action=escalations[-1][1],
+                )
+        return escalations
 
     def _run_process(self, schemes, targets) -> ParallelResult:
         context = multiprocessing.get_context("fork")
@@ -425,55 +545,82 @@ class ParallelSimulation:
         converged = False
         reports: List[SlaveReport] = []
         merged: Dict[str, Histogram] = self._merge_reports([], schemes)
+        alive: Dict[int, object] = dict(enumerate(pipes))
+        dead: List[int] = []
+        # Last-known cumulative progress per slave, so a mid-run death
+        # does not erase its (already merged) contribution from the
+        # result's accounting.
+        last_events: Dict[int, int] = {i: 0 for i in alive}
+        last_accepted: Dict[int, int] = {i: 0 for i in alive}
+
+        def mark_dead(slave_id: int, round_number: int, cause: str) -> None:
+            # A dead slave's delta for the current round is lost, but
+            # everything it reported in earlier rounds is already merged:
+            # the run continues on the survivors and the result is
+            # flagged degraded.
+            alive.pop(slave_id, None)
+            dead.append(slave_id)
+            if self._tracer is not None:
+                self._tracer.event(
+                    "dead",
+                    component="slave",
+                    slave=slave_id,
+                    round=round_number,
+                    cause=cause,
+                )
         try:
             while rounds < self.max_rounds and not converged:
                 rounds += 1
                 chunk = self._round_chunk(rounds)
-                for slave_id, pipe in enumerate(pipes):
+                commanded = []
+                for slave_id, pipe in list(alive.items()):
                     try:
                         pipe.send(("chunk", chunk))
+                        commanded.append(slave_id)
                     except (BrokenPipeError, OSError) as error:
-                        raise ParallelError(
-                            f"slave {slave_id} is gone (send failed in "
-                            f"round {rounds}): {error}"
-                        ) from error
+                        mark_dead(slave_id, rounds, f"send failed: {error}")
                 reports = []
-                for slave_id, pipe in enumerate(pipes):
+                for slave_id in commanded:
+                    pipe = alive.get(slave_id)
+                    if pipe is None:  # pragma: no cover - defensive
+                        continue
                     try:
-                        reports.append(pipe.recv())
-                    except (EOFError, ConnectionResetError) as error:
+                        report = pipe.recv()
+                    except (EOFError, ConnectionResetError):
                         # A dead slave closes (EOFError) or resets
                         # (ConnectionResetError) its pipe end; without
                         # this the master would block forever waiting on
                         # the remaining recv()s after a partial round.
-                        raise ParallelError(
-                            f"slave {slave_id} died mid-round "
-                            f"(no report in round {rounds})"
-                        ) from error
-                if self.delta_reports:
-                    self._accumulate_reports(merged, reports)
-                else:
-                    merged = self._merge_reports(reports, schemes)
+                        mark_dead(slave_id, rounds, "no report")
+                        continue
+                    reports.append(report)
+                    last_events[slave_id] = report.events_processed
+                    last_accepted[slave_id] = report.total_accepted
+                if not alive:
+                    raise ParallelError(
+                        f"every slave has died ({self.n_slaves} started, "
+                        f"last loss in round {rounds}); no survivors to "
+                        "finish the run"
+                    )
+                self._trace_round(rounds, reports)
+                merged = self._merge_round(merged, reports, schemes, rounds)
                 converged = self._all_converged(merged, targets)
+                if self._progress is not None:
+                    self._progress.parallel_update(rounds, merged, targets)
         finally:
-            for pipe in pipes:
-                try:
-                    pipe.send("stop")
-                    pipe.close()
-                except (BrokenPipeError, OSError):  # pragma: no cover
-                    pass
-            for process in processes:
-                process.join(timeout=30)
-                if process.is_alive():  # pragma: no cover - hung slave
-                    process.terminate()
+            self._shutdown_slaves(
+                processes, list(alive.values()), tracer=self._tracer
+            )
         return ParallelResult(
             estimates=self._estimates(merged, targets, converged),
             converged=converged,
             n_slaves=self.n_slaves,
             rounds=rounds,
             master_events=0,
-            slave_events=[report.events_processed for report in reports],
-            total_accepted=sum(report.total_accepted for report in reports),
+            slave_events=[
+                last_events[slave_id] for slave_id in sorted(last_events)
+            ],
+            total_accepted=sum(last_accepted.values()),
             wall_time=0.0,
             master_wall_time=0.0,
             slave_digests=(
@@ -481,4 +628,6 @@ class ParallelSimulation:
                 if any(report.digest is not None for report in reports)
                 else None
             ),
+            degraded=bool(dead),
+            dead_slaves=sorted(dead),
         )

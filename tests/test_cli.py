@@ -91,3 +91,91 @@ class TestCharacterize:
         trace = tmp_path / "bad.txt"
         trace.write_text("1.0 2.0 3.0\n")
         assert main(["characterize", str(trace)]) == 2
+
+
+def write_config(tmp_path, **overrides):
+    config = {
+        "seed": 4,
+        "warmup_samples": 200,
+        "calibration_samples": 1500,
+        "workload": {"name": "dns", "load": 0.5},
+        "servers": {"count": 1, "cores": 1},
+        "metrics": [{"kind": "response_time", "mean_accuracy": 0.1}],
+    }
+    config.update(overrides)
+    path = tmp_path / "exp.json"
+    path.write_text(json.dumps(config))
+    return path
+
+
+class TestRunObservability:
+    def test_trace_flag_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.observability import validate_trace_file
+
+        trace_path = tmp_path / "trace.jsonl"
+        config = write_config(tmp_path)
+        assert main(["run", str(config), "--trace", str(trace_path)]) == 0
+        count, errors = validate_trace_file(trace_path)
+        assert errors == []
+        assert count > 0
+        components = {
+            json.loads(line)["component"]
+            for line in trace_path.read_text().splitlines()
+        }
+        assert {"engine", "statistic"} <= components
+
+    def test_metrics_flag_embeds_telemetry(self, tmp_path, capsys):
+        config = write_config(tmp_path)
+        assert main(["run", str(config), "--metrics"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        telemetry = payload["telemetry"]
+        assert telemetry["events_processed"] > 0
+        assert telemetry["metrics"]["response_time"]["phase"] == "converged"
+
+    def test_no_flags_no_telemetry(self, tmp_path, capsys):
+        config = write_config(tmp_path)
+        assert main(["run", str(config)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "telemetry" not in payload
+
+    def test_progress_flag_reports_to_stderr(self, tmp_path, capsys):
+        config = write_config(tmp_path)
+        assert main(["run", str(config), "--progress", "0"]) == 0
+        captured = capsys.readouterr()
+        assert "[progress] response_time" in captured.err
+        json.loads(captured.out)  # stdout stays pure JSON
+
+    def test_parallel_serial_backend(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        config = write_config(tmp_path)
+        assert main([
+            "run", str(config), "--parallel", "2", "--backend", "serial",
+            "--trace", str(trace_path), "--metrics",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["converged"] is True
+        assert payload["n_slaves"] == 2
+        assert payload["degraded"] is False
+        assert payload["telemetry"]["parallel"]["rounds"] == payload["rounds"]
+        components = {
+            json.loads(line)["component"]
+            for line in trace_path.read_text().splitlines()
+        }
+        assert {"engine", "master", "slave"} <= components
+
+    def test_sanitize_parallel_mutually_exclusive(self, tmp_path, capsys):
+        config = write_config(tmp_path)
+        assert main(
+            ["run", str(config), "--sanitize", "--parallel", "2"]
+        ) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_trace_validator_cli(self, tmp_path):
+        from repro.observability.__main__ import main as validate_main
+
+        trace_path = tmp_path / "trace.jsonl"
+        config = write_config(tmp_path)
+        assert main(["run", str(config), "--trace", str(trace_path)]) == 0
+        assert validate_main([str(trace_path)]) == 0
+        trace_path.write_text('{"seq": "bogus"}\n')
+        assert validate_main([str(trace_path)]) == 1

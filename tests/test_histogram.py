@@ -189,3 +189,92 @@ class TestProperties:
         left.merge(right)
         assert left.count == len(values)
         assert left.mean == pytest.approx(float(np.mean(values)), rel=1e-9, abs=1e-9)
+
+
+class TestMergeConsistency:
+    """merge() and merge_payload() must enforce the same contract."""
+
+    def test_merge_mismatched_schemes_refuses_loudly(self, rng):
+        left = filled(rng.exponential(size=100))
+        right = filled(rng.exponential(size=100) * 10.0)
+        with pytest.raises(HistogramError, match="rebin=True"):
+            left.merge(right)
+
+    def test_merge_with_rebin_preserves_totals_and_moments(self, rng):
+        left_values = rng.exponential(size=400)
+        right_values = rng.exponential(size=300) * 3.0
+        left = filled(left_values)
+        right = filled(right_values)
+        left.merge(right, rebin=True)
+        combined = np.concatenate([left_values, right_values])
+        assert left.count == len(combined)
+        assert left.mean == pytest.approx(float(np.mean(combined)))
+        assert left.std == pytest.approx(float(np.std(combined)))
+        assert left.min_seen == pytest.approx(float(np.min(combined)))
+        assert left.max_seen == pytest.approx(float(np.max(combined)))
+
+    def test_rebin_quantile_error_bounded_by_source_bin(self, rng):
+        values = rng.exponential(size=5000)
+        source = filled(values, bins=200)
+        coarse = BinScheme(low=0.0, high=float(np.max(values)) * 2, bins=64)
+        rebinned = source.rebin_to(coarse)
+        for q in (0.5, 0.9, 0.99):
+            assert rebinned.quantile(q) == pytest.approx(
+                source.quantile(q), abs=coarse.width + source.scheme.width
+            )
+
+    def test_payload_truncated_counts_rejected(self, rng):
+        # Regression: a short counts list silently merged as a prefix,
+        # desynchronizing count from the bin masses.
+        histogram = filled(rng.exponential(size=200))
+        payload = filled(
+            rng.exponential(size=50), scheme=histogram.scheme
+        ).to_payload()
+        payload["counts"] = payload["counts"][:-3]
+        before = histogram.to_payload()
+        with pytest.raises(HistogramError, match="partial merge"):
+            histogram.merge_payload(payload)
+        assert histogram.to_payload() == before  # rejected before mutation
+
+    def test_payload_count_invariant_enforced(self, rng):
+        histogram = filled(rng.exponential(size=200))
+        payload = filled(
+            rng.exponential(size=50), scheme=histogram.scheme
+        ).to_payload()
+        payload["count"] += 7
+        with pytest.raises(HistogramError, match="invariant"):
+            histogram.merge_payload(payload)
+
+    def test_payload_scheme_mismatch_rejected(self, rng):
+        histogram = filled(rng.exponential(size=200))
+        payload = filled(rng.exponential(size=50) * 10.0).to_payload()
+        with pytest.raises(HistogramError, match="scheme"):
+            histogram.merge_payload(payload)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        order=st.permutations(list(range(4))),
+    )
+    def test_property_payload_merge_order_independent(self, seed, order):
+        # The master reduce must not care which slave reports first.
+        rng = np.random.default_rng(seed)
+        scheme = BinScheme(low=0.0, high=10.0, bins=32)
+        payloads = [
+            filled(rng.exponential(size=80), scheme=scheme).to_payload()
+            for _ in range(4)
+        ]
+        base = Histogram(scheme)
+        for payload in payloads:
+            base.merge_payload(payload)
+        permuted = Histogram(scheme)
+        for index in order:
+            permuted.merge_payload(payloads[index])
+        assert permuted.count == base.count
+        assert permuted.underflow == base.underflow
+        assert permuted.overflow == base.overflow
+        assert np.array_equal(permuted.counts, base.counts)
+        assert permuted.mean == pytest.approx(base.mean, rel=1e-12)
+        assert permuted.std == pytest.approx(base.std, rel=1e-9)
+        assert permuted.min_seen == base.min_seen
+        assert permuted.max_seen == base.max_seen

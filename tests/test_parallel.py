@@ -322,3 +322,118 @@ class TestProcessBackend:
         )
         with pytest.raises(ParallelError, match="slave .* (died|is gone)"):
             simulation.run()
+
+
+def one_dead_factory(seed, master_seed=11):
+    """Master and slave 0 build fine; slave 1 crashes on construction.
+
+    Module-level (picklable) so the process backend can fork it.
+    """
+    if seed == slave_seed(master_seed, 1):
+        raise RuntimeError("slave 1 crashed")
+    return factory(seed, accuracy=0.1)
+
+
+class TestDegradedRuns:
+    def test_partial_slave_death_degrades_instead_of_raising(self):
+        # Regression: any single dead slave used to abort the whole run.
+        # With survivors left, the master finishes on them and flags the
+        # result degraded.
+        simulation = ParallelSimulation(
+            one_dead_factory, n_slaves=2, master_seed=11, backend="process",
+            chunk_size=2000,
+        )
+        result = simulation.run()
+        assert result.converged
+        assert result.degraded
+        assert result.dead_slaves == [1]
+        assert result.slave_events[0] > 0
+
+    def test_healthy_run_is_not_degraded(self):
+        result = ParallelSimulation(
+            factory, n_slaves=2, master_seed=7, backend="serial",
+            chunk_size=2000,
+        ).run()
+        assert not result.degraded
+        assert result.dead_slaves == []
+
+
+class FakePipe:
+    def __init__(self, broken=False):
+        self.sent = []
+        self.broken = broken
+
+    def send(self, message):
+        if self.broken:
+            raise BrokenPipeError("pipe closed")
+        self.sent.append(message)
+
+    def close(self):
+        pass
+
+
+class FakeProcess:
+    """Stand-in slave that dies only at a chosen escalation level."""
+
+    def __init__(self, dies_on="join"):
+        self.dies_on = dies_on
+        self.signals = []
+        self._alive = dies_on != "join"
+
+    def join(self, timeout=None):
+        pass
+
+    def is_alive(self):
+        return self._alive
+
+    def terminate(self):
+        self.signals.append("terminate")
+        if self.dies_on == "terminate":
+            self._alive = False
+
+    def kill(self):
+        self.signals.append("kill")
+        if self.dies_on == "kill":
+            self._alive = False
+
+
+class TestShutdownEscalation:
+    def shutdown(self, processes, pipes=None, **kwargs):
+        if pipes is None:
+            pipes = [FakePipe() for _ in processes]
+        return ParallelSimulation._shutdown_slaves(
+            processes, pipes, join_timeout=0.01, escalation_timeout=0.01,
+            **kwargs,
+        )
+
+    def test_clean_exit_needs_no_escalation(self):
+        processes = [FakeProcess("join"), FakeProcess("join")]
+        assert self.shutdown(processes) == []
+        assert all(process.signals == [] for process in processes)
+
+    def test_stubborn_slave_gets_terminated(self):
+        processes = [FakeProcess("join"), FakeProcess("terminate")]
+        assert self.shutdown(processes) == [(1, "terminate")]
+        assert processes[1].signals == ["terminate"]
+
+    def test_sigterm_ignoring_slave_gets_killed(self):
+        process = FakeProcess("kill")
+        assert self.shutdown([process]) == [(0, "kill")]
+        assert process.signals == ["terminate", "kill"]
+
+    def test_broken_pipe_does_not_abort_shutdown(self):
+        # The stop message may race the slave's own death; shutdown must
+        # proceed to the join/terminate ladder regardless.
+        processes = [FakeProcess("terminate")]
+        escalations = self.shutdown(processes, pipes=[FakePipe(broken=True)])
+        assert escalations == [(0, "terminate")]
+
+    def test_escalations_are_traced(self):
+        from repro.observability import Tracer
+
+        tracer = Tracer.to_memory()
+        self.shutdown([FakeProcess("kill")], tracer=tracer)
+        records = tracer.lines()
+        assert len(records) == 1
+        assert records[0]["name"] == "shutdown_escalation"
+        assert records[0]["fields"] == {"slave": 0, "action": "kill"}

@@ -4,12 +4,17 @@ import numpy as np
 import pytest
 
 from repro.core.runs_test import (
+    INCONCLUSIVE,
     KNUTH_B,
+    MAX_TIE_FRACTION,
     MIN_RUNS_SAMPLE,
     find_lag,
     runs_up_counts,
     runs_up_passes,
     runs_up_statistic,
+    runs_up_test,
+    select_lag,
+    tie_fraction,
 )
 
 
@@ -114,3 +119,90 @@ class TestFindLag:
     def test_bad_max_lag_rejected(self, rng):
         with pytest.raises(ValueError):
             find_lag(rng.random(5000), max_lag=0)
+
+
+def misleading_monotone(n=4096, seed=7):
+    """Monotone non-decreasing sequence that *passed* the naive test.
+
+    Strictly increasing data is one long run — a decisive FAIL.  But if
+    the long ascents are broken only by ties, and the tie positions are
+    drawn so the resulting run lengths follow the KNUTH_B expectation,
+    the naive chi-square verdict is a clean PASS on a sequence with
+    total serial dependence.  This is the regression case behind the
+    MAX_TIE_FRACTION inconclusive regime.
+    """
+    rng = np.random.default_rng(seed)
+    values = []
+    value = 0.0
+    first = True
+    while len(values) < n:
+        length = int(rng.choice(np.arange(1, 7), p=KNUTH_B / KNUTH_B.sum()))
+        if first:
+            for _ in range(length):
+                value += 1.0
+                values.append(value)
+            first = False
+        else:
+            values.append(value)  # the tie ends the previous run
+            for _ in range(max(0, length - 1)):
+                value += 1.0
+                values.append(value)
+    return np.asarray(values[:n])
+
+
+class TestInconclusiveRegimes:
+    def test_short_sequence_is_inconclusive_not_a_verdict(self, rng):
+        result = runs_up_test(rng.random(MIN_RUNS_SAMPLE - 1))
+        assert result.outcome == INCONCLUSIVE
+        assert not result.passed
+        assert not result.conclusive
+        assert "short" in result.reason
+
+    def test_constant_sequence_is_inconclusive(self):
+        result = runs_up_test([2.0] * 500)
+        assert result.outcome == INCONCLUSIVE
+        assert result.tie_fraction == 1.0
+
+    def test_misleading_monotone_with_ties_is_inconclusive(self):
+        # Regression: pre-fix, runs_up_passes() returned True on this
+        # totally dependent sequence (V ~ 8.4 < critical 12.6).
+        sequence = misleading_monotone()
+        assert tie_fraction(sequence) > MAX_TIE_FRACTION
+        result = runs_up_test(sequence)
+        assert result.outcome == INCONCLUSIVE
+        assert not runs_up_passes(sequence)
+
+    def test_iid_sequence_is_conclusive(self, rng):
+        result = runs_up_test(rng.exponential(size=5000))
+        assert result.conclusive
+        assert result.statistic is not None
+
+    def test_tie_fraction_measurement(self):
+        assert tie_fraction([1.0, 1.0, 2.0, 3.0]) == pytest.approx(1 / 3)
+        assert tie_fraction([1.0]) == 0.0
+
+
+class TestSelectLag:
+    def test_misleading_sequence_never_accepts_lag_one(self):
+        # Regression: find_lag() returned 1 here pre-fix; the lag must
+        # grow instead of accepting an inconclusive tie-heavy pass.
+        selection = select_lag(misleading_monotone(), max_lag=10)
+        assert selection.lag > 1
+        assert not selection.conclusive
+
+    def test_small_sample_grows_to_max_lag_without_raising(self, rng):
+        selection = select_lag(rng.random(10), max_lag=25)
+        assert selection.lag == 25
+        assert not selection.conclusive
+        assert "too small" in selection.reason
+
+    def test_iid_selects_small_conclusive_lag(self, rng):
+        selection = select_lag(rng.exponential(size=5000))
+        assert selection.conclusive
+        assert selection.lag <= 5
+
+    def test_find_lag_still_raises_on_small_sample(self, rng):
+        # The legacy entry point keeps its contract; select_lag is the
+        # non-raising calibration-phase API.
+        with pytest.raises(ValueError):
+            find_lag(rng.random(10))

@@ -260,6 +260,104 @@ class TestFloatTimeEqRule:
         assert findings == []
 
 
+class TestTraceInHotLoopRule:
+    def test_unguarded_loop_emit_fires(self):
+        findings = findings_for(
+            """
+            def run(self):
+                while True:
+                    self._tracer.counter("events", 1, component="engine")
+            """,
+            rel="engine/simulation.py",
+        )
+        assert rule_ids(findings) == ["trace-in-hot-loop"]
+
+    def test_for_loop_local_tracer_fires(self):
+        findings = findings_for(
+            """
+            def drain(tracer, jobs):
+                for job in jobs:
+                    tracer.event("job", component="engine")
+            """,
+            rel="core/example.py",
+        )
+        assert rule_ids(findings) == ["trace-in-hot-loop"]
+
+    def test_guarded_emit_allowed(self):
+        findings = findings_for(
+            """
+            def run(self):
+                tracer = self._tracer
+                while True:
+                    if tracer is not None:
+                        tracer.counter("events", 1, component="engine")
+            """,
+            rel="engine/simulation.py",
+        )
+        assert findings == []
+
+    def test_enabled_guard_allowed(self):
+        findings = findings_for(
+            """
+            def run(tracer, jobs):
+                for job in jobs:
+                    if tracer.enabled:
+                        tracer.event("job", component="engine")
+            """,
+            rel="core/example.py",
+        )
+        assert findings == []
+
+    def test_guard_does_not_leak_to_else(self):
+        findings = findings_for(
+            """
+            def run(tracer, jobs):
+                for job in jobs:
+                    if tracer is None:
+                        pass
+                    else:
+                        tracer.event("job", component="engine")
+            """,
+            rel="core/example.py",
+        )
+        # A lexical rule cannot tell `is None` from `is not None`; both
+        # branches count as guarded by a tracer-mentioning test.
+        assert findings == []
+
+    def test_emit_outside_loop_allowed(self):
+        findings = findings_for(
+            """
+            def finish(self):
+                self._tracer.event("done", component="statistic")
+            """,
+            rel="core/statistic.py",
+        )
+        assert findings == []
+
+    def test_boundary_layers_exempt(self):
+        findings = findings_for(
+            """
+            def rounds(tracer, reports):
+                for report in reports:
+                    tracer.event("report", component="slave")
+            """,
+            rel="parallel/master.py",
+        )
+        assert findings == []
+
+    def test_nested_def_resets_loop_context(self):
+        findings = findings_for(
+            """
+            def outer(tracer, jobs):
+                for job in jobs:
+                    def callback():
+                        tracer.event("cb", component="engine")
+            """,
+            rel="engine/example.py",
+        )
+        assert findings == []
+
+
 class TestParallelLambdaRule:
     def test_lambda_in_parallel_package_fires(self):
         findings = findings_for(
@@ -400,6 +498,7 @@ class TestCli:
             "prefetch-contract",
             "event-mutation",
             "float-time-eq",
+            "trace-in-hot-loop",
             "parallel-lambda",
         }
 

@@ -198,3 +198,34 @@ class TestEstimateObject:
         assert estimate.quantile(0.95) == estimate.quantiles[0.95]
         with pytest.raises(KeyError):
             estimate.quantile(0.5)
+
+
+class TestLagSelectionIntegration:
+    def test_small_calibration_sample_completes_instead_of_crashing(self, rng):
+        # Regression: calibration_samples < MIN_RUNS_SAMPLE made
+        # find_lag() raise ValueError mid-observe(), killing the run.
+        # The calibration must instead grow the lag to max_lag and
+        # carry on, flagged inconclusive.
+        statistic = make_stat(
+            calibration_samples=32, max_lag=20, mean_accuracy=0.2,
+            quantiles=None, min_accepted=20,
+        )
+        feed_iid(statistic, rng, 5000)
+        assert statistic.phase in (Phase.MEASUREMENT, Phase.CONVERGED)
+        assert statistic.lag == 20
+        assert statistic.lag_selection is not None
+        assert not statistic.lag_selection.conclusive
+        assert "too small" in statistic.lag_selection.reason
+
+    def test_normal_calibration_records_conclusive_selection(self, rng):
+        statistic = make_stat()
+        feed_iid(statistic, rng, 5000)
+        assert statistic.lag_selection is not None
+        assert statistic.lag_selection.conclusive
+        assert statistic.lag == statistic.lag_selection.lag
+
+    def test_convergence_checks_counted(self, rng):
+        statistic = make_stat(mean_accuracy=0.1, quantiles=None)
+        feed_iid(statistic, rng, 20_000)
+        assert statistic.converged
+        assert statistic.convergence_checks >= 1

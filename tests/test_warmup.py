@@ -1,9 +1,11 @@
 """Tests for MSER warm-up detection."""
 
+import math
+
 import numpy as np
 import pytest
 
-from repro.core.warmup import mser, mser5, suggest_warmup
+from repro.core.warmup import NO_RESULT, mser, mser5, suggest_warmup
 
 
 def transient_then_steady(rng, transient=200, steady=2000, gap=5.0):
@@ -27,9 +29,20 @@ class TestMSER:
 
     def test_validation(self, rng):
         with pytest.raises(ValueError):
-            mser([1.0] * 5)
-        with pytest.raises(ValueError):
             mser(rng.normal(size=100), max_fraction=0.0)
+
+    def test_short_sample_returns_sentinel(self):
+        # Degenerate *data* is a sentinel, not an exception: the rule is
+        # advisory and pilot pipelines must not abort over a thin pilot.
+        assert mser([1.0] * 5) == NO_RESULT
+        assert mser([]) == NO_RESULT
+        d, score = mser([1.0] * 5)
+        assert d == 0 and math.isinf(score)
+
+    def test_constant_sequence_is_zero_cut_zero_score(self):
+        d, score = mser([3.0] * 100)
+        assert d == 0
+        assert score == 0.0
 
     def test_score_is_marginal_standard_error(self, rng):
         values = rng.normal(0, 1, 100)
@@ -47,9 +60,15 @@ class TestMSER5:
 
     def test_validation(self, rng):
         with pytest.raises(ValueError):
-            mser5(rng.normal(size=20), batch=5)  # only 4 batches
-        with pytest.raises(ValueError):
             mser5(rng.normal(size=100), batch=0)
+
+    def test_too_few_batches_returns_sentinel(self, rng):
+        assert mser5(rng.normal(size=20), batch=5) == NO_RESULT  # 4 batches
+
+    def test_tiny_pilot_suggests_no_warmup(self, rng):
+        # suggest_warmup inherits the sentinel: a near-empty pilot is
+        # "no evidence a warm-up is needed", not a crash.
+        assert suggest_warmup(rng.normal(size=20)) == 0
 
 
 class TestSuggestWarmup:
