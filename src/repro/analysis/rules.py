@@ -551,6 +551,91 @@ class TraceInHotLoopRule(Rule):
 
 
 @register_rule
+class SwallowExceptionRule(Rule):
+    """No silently swallowed exceptions in the fault-handling layers.
+
+    The fault-tolerance contract is that every slave death gets a cause
+    code and every suppressed error leaves a trace (see
+    docs/robustness.md).  A bare ``except:`` — or an over-broad
+    ``except Exception`` / ``except BaseException`` — whose handler
+    neither re-raises nor *uses* the caught exception turns a real
+    failure (a crashed slave, a corrupt checkpoint, a broken pipe) into
+    silence, which in this codebase means a statistically degraded run
+    that looks healthy.  Narrow handlers (``except OSError: pass``
+    around a best-effort close) stay legal: they suppress one
+    anticipated failure, not "anything".
+
+    Scope: ``parallel/`` and ``faults/`` — the layers whose whole job
+    is attributing failures.  A handler passes by doing any of:
+    re-raising (bare or chained ``raise``), binding the exception
+    (``as error``) and referencing it (recording it in a cause code,
+    message, or trace), or narrowing the caught type.
+    """
+
+    id = "swallow-exception"
+    summary = (
+        "no bare/over-broad except blocks in parallel/ or faults/ that "
+        "drop the exception without re-raising or recording it"
+    )
+
+    #: Catch types considered over-broad.
+    broad = frozenset({"Exception", "BaseException"})
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.rel.startswith(("parallel/", "faults/"))
+
+    def _is_broad(self, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:  # bare except:
+            return True
+        types = (
+            list(handler.type.elts)
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        for node in types:
+            dotted = dotted_name(node)
+            if dotted and dotted.split(".")[-1] in self.broad:
+                return True
+        return False
+
+    def _handles(self, handler: ast.ExceptHandler) -> bool:
+        """Whether the handler re-raises or references the exception."""
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+        if handler.name:
+            for statement in handler.body:
+                for node in ast.walk(statement):
+                    if (
+                        isinstance(node, ast.Name)
+                        and node.id == handler.name
+                    ):
+                        return True
+        return False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node):
+                continue
+            if self._handles(node):
+                continue
+            what = (
+                "a bare `except:`"
+                if node.type is None
+                else "an over-broad except"
+            )
+            yield ctx.finding(
+                self.id,
+                node,
+                f"{what} swallows the exception without re-raising or "
+                "recording it; narrow the type, or bind the exception "
+                "and attribute it (cause code / trace / message)",
+            )
+
+
+@register_rule
 class ParallelLambdaRule(Rule):
     """No lambdas in objects crossing the pickled parallel protocol.
 

@@ -59,24 +59,49 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("--sanitize and --parallel are mutually exclusive",
               file=sys.stderr)
         return 2
+    if not args.parallel and (
+        args.chaos or args.resume or args.checkpoint or args.respawn
+    ):
+        print(
+            "--chaos/--respawn/--checkpoint/--resume require --parallel N",
+            file=sys.stderr,
+        )
+        return 2
     tracer, progress = _make_observability(args)
     try:
         if args.parallel:
             from repro.parallel.master import ParallelSimulation
 
             config = load_config(args.config)
+            fault_plan = None
+            if args.chaos:
+                from repro.faults import FaultPlan
+
+                fault_plan = FaultPlan.load(args.chaos)
+            respawn = None
+            if args.respawn:
+                from repro.faults import RespawnPolicy
+
+                respawn = RespawnPolicy(
+                    max_restarts_per_slave=args.max_restarts
+                )
             simulation = ParallelSimulation(
                 _config_factory,
                 factory_kwargs={"config": config},
                 n_slaves=args.parallel,
                 master_seed=config.get("seed", 0),
                 backend=args.backend,
+                round_timeout=args.round_timeout,
+                respawn=respawn,
+                fault_plan=fault_plan,
+                checkpoint_path=args.checkpoint,
+                checkpoint_interval=args.checkpoint_interval,
             )
             if tracer is not None:
                 simulation.attach_tracer(tracer)
             if progress is not None:
                 simulation.attach_progress(progress)
-            result = simulation.run()
+            result = simulation.run(resume_from=args.resume)
             if args.metrics and result.telemetry is None:
                 from repro.observability import ExperimentTelemetry
 
@@ -271,6 +296,64 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("serial", "process"),
         default="serial",
         help="slave backend for --parallel (default: serial)",
+    )
+    run.add_argument(
+        "--chaos",
+        metavar="PLAN",
+        default=None,
+        help=(
+            "inject a fault plan into a --parallel run: a JSON file "
+            "path or inline JSON (see docs/robustness.md)"
+        ),
+    )
+    run.add_argument(
+        "--respawn",
+        action="store_true",
+        help=(
+            "replace dead slaves (generation-aware seeds, exponential "
+            "backoff) instead of degrading the run"
+        ),
+    )
+    run.add_argument(
+        "--max-restarts",
+        type=int,
+        metavar="N",
+        default=2,
+        help="per-slave respawn budget for --respawn (default: 2)",
+    )
+    run.add_argument(
+        "--round-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=600.0,
+        help=(
+            "per-round report deadline for the process backend; a "
+            "silent slave is declared dead instead of stalling the "
+            "master (default: 600)"
+        ),
+    )
+    run.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="write a resumable snapshot to PATH every checkpoint interval",
+    )
+    run.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        metavar="ROUNDS",
+        default=1,
+        help="rounds between checkpoints (default: 1)",
+    )
+    run.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help=(
+            "resume a --parallel run from a checkpoint written by "
+            "--checkpoint; the resumed run reproduces the uninterrupted "
+            "result bit-for-bit"
+        ),
     )
     run.set_defaults(handler=_cmd_run)
 

@@ -359,6 +359,23 @@ class Experiment:
             sanitizer=self._probe_snapshot(),
         )
 
+    def replay_chunks(
+        self, chunks: Iterable, max_events: Optional[int] = None
+    ) -> None:
+        """Fast-forward by replaying a logged chunk schedule.
+
+        A slave's state is a pure function of ``(seed, bin scheme,
+        chunk history)`` — nothing else feeds its RNG streams — so a
+        checkpoint never serializes live slaves: resume rebuilds each
+        one and replays the exact sequence of accepted-observation
+        quotas it had completed.  The replay's observations are *not*
+        re-merged (they already live in the checkpointed master
+        histograms); the caller discards the replayed reports and only
+        verifies the landing state.
+        """
+        for chunk in chunks:
+            self.run_until_accepted(chunk, max_events=max_events)
+
     def run_until_accepted(
         self, additional: int, max_events: Optional[int] = None
     ) -> ExperimentResult:

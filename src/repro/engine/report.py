@@ -73,6 +73,13 @@ def parallel_result_to_dict(result) -> dict:
         "rounds": result.rounds,
         "degraded": result.degraded,
         "dead_slaves": list(result.dead_slaves),
+        "failure_causes": {
+            str(slave_id): cause
+            for slave_id, cause in sorted(result.failure_causes.items())
+        },
+        "restarts": result.restarts,
+        "resumed": result.resumed,
+        "merged_digests": dict(result.merged_digests),
         "master_events": result.master_events,
         "slave_events": list(result.slave_events),
         "total_events": result.total_events,

@@ -61,6 +61,10 @@ class Simulation:
 
     def __init__(self, seed: int = 0):
         self.now: float = 0.0
+        #: The root seed, retained so checkpoints and seed-lineage
+        #: audits can identify this clock's stream family without
+        #: reaching into the SeedSequence internals.
+        self.seed = seed
         self.events = EventQueue()
         self.events_processed: int = 0
         #: Events dispatched one-at-a-time through step() rather than the
@@ -154,6 +158,16 @@ class Simulation:
     def probe(self):
         """The attached determinism probe, or None when not sanitizing."""
         return self._probe
+
+    def state_token(self) -> tuple:
+        """``(events_processed, now)`` — a cheap progress fingerprint.
+
+        Deterministic replay of the same seed and workload lands on the
+        identical token; checkpoint resume uses it to verify a rebuilt
+        slave actually reproduced its predecessor's state before any
+        new observations are merged.
+        """
+        return (self.events_processed, self.now)
 
     # -- randomness --------------------------------------------------------
 

@@ -1,0 +1,56 @@
+"""repro.faults — fault injection, recovery policy, and checkpointing.
+
+BigHouse's headline scaling result rests on the master/slave protocol
+surviving long multi-machine runs; this package makes mid-run failure a
+first-class, *testable* input instead of an operational surprise:
+
+- :mod:`~repro.faults.plan` — :class:`FaultPlan`, a seeded,
+  deterministic schedule of injected failures (kill a slave at round N,
+  hang its pipe, drop or corrupt a report) so chaos runs replay
+  bit-identically under the determinism sanitizer;
+- :mod:`~repro.faults.injector` — the slave-side hook object that
+  executes a plan inside the slave loop (process backend: real
+  ``os._exit`` / sleeps; serial backend: raised
+  :class:`InjectedFailure` exceptions the master handles identically);
+- :mod:`~repro.faults.recovery` — :class:`RespawnPolicy` (exponential
+  backoff + deterministic jitter, per-slave and total restart budgets)
+  and :class:`SeedLineage`, the generation-aware seed registry that
+  guarantees a replacement slave draws a fresh unique stream;
+- :mod:`~repro.faults.checkpoint` — atomic JSON-lines experiment
+  snapshots (merged histogram state, per-slave work logs, seed lineage,
+  round counter) and their reader, powering ``repro run --resume``.
+
+See docs/robustness.md for the fault model and recovery semantics.
+"""
+
+from repro.faults.checkpoint import (
+    CheckpointError,
+    CheckpointState,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.faults.injector import FaultInjector, InjectedFailure
+from repro.faults.plan import FAULT_KINDS, FaultError, FaultPlan, FaultSpec
+from repro.faults.recovery import (
+    RespawnPolicy,
+    SeedLineage,
+    backoff_delay,
+    derive_seed,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "CheckpointError",
+    "CheckpointState",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFailure",
+    "RespawnPolicy",
+    "SeedLineage",
+    "backoff_delay",
+    "derive_seed",
+    "read_checkpoint",
+    "write_checkpoint",
+]

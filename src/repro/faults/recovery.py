@@ -1,0 +1,170 @@
+"""Recovery policy: respawn budgets, backoff, and seed lineage.
+
+Two independent concerns live here:
+
+- :class:`RespawnPolicy` — *whether and when* to replace a dead slave:
+  per-slave and run-total restart budgets, exponential backoff with a
+  deterministic seeded jitter (thundering-herd protection that still
+  replays bit-identically in chaos tests).
+- :class:`SeedLineage` — *which stream* the replacement draws:
+  generation-aware seed derivation with an explicit uniqueness
+  registry.  Handing a replacement its predecessor's seed would replay
+  the predecessor's exact draw sequence and double-count the partial
+  observations already merged from it — the classic silent-bias bug
+  this class exists to make structurally impossible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.simulation import seeded_rng
+
+#: Golden-ratio multiplier shared with the original per-slave seed rule.
+_SEED_STRIDE = 0x9E3779B9
+#: A second odd constant decorrelating the generation axis from the
+#: slave-id axis, so (slave, gen) pairs spread over the seed space.
+_GENERATION_STRIDE = 0x85EBCA6B
+_SEED_MASK = 0x7FFFFFFF
+
+
+def derive_seed(master_seed: int, slave_id: int, generation: int = 0) -> int:
+    """Deterministic seed for one slave incarnation.
+
+    Generation 0 reproduces the historical ``slave_seed`` value exactly
+    (so healthy runs are bit-compatible with checkpoints and results
+    recorded before fault tolerance existed); respawns mix in the
+    generation along an independent stride.
+    """
+    return (
+        master_seed
+        + _SEED_STRIDE * (slave_id + 1)
+        + _GENERATION_STRIDE * generation
+    ) & _SEED_MASK
+
+
+class SeedLineage:
+    """Registry of every seed issued during one run.
+
+    The master seed is registered at construction; each
+    :meth:`issue` derives a generation-aware slave seed and asserts it
+    collides with nothing issued before.  A collision (astronomically
+    unlikely, but the whole point of an assertion is the "impossible"
+    case) raises rather than silently correlating two streams.
+    """
+
+    def __init__(self, master_seed: int):
+        self.master_seed = master_seed
+        #: seed -> (slave_id, generation); the master itself is (-1, 0).
+        self._issued: Dict[int, Tuple[int, int]] = {
+            master_seed & _SEED_MASK: (-1, 0)
+        }
+
+    def issue(self, slave_id: int, generation: int = 0) -> int:
+        """Derive, register, and return a unique seed."""
+        seed = derive_seed(self.master_seed, slave_id, generation)
+        holder = self._issued.get(seed)
+        if holder is not None and holder != (slave_id, generation):
+            raise RuntimeError(
+                f"seed lineage collision: seed {seed} for slave "
+                f"{slave_id} gen {generation} already issued to slave "
+                f"{holder[0]} gen {holder[1]}"
+            )
+        self._issued[seed] = (slave_id, generation)
+        return seed
+
+    def issued(self) -> List[Tuple[int, int, int]]:
+        """``[(seed, slave_id, generation), ...]`` in seed order."""
+        return sorted(
+            (seed, slave, gen)
+            for seed, (slave, gen) in self._issued.items()
+        )
+
+    def __len__(self) -> int:
+        return len(self._issued)
+
+    def __contains__(self, seed: int) -> bool:
+        return seed in self._issued
+
+
+def backoff_delay(
+    generation: int,
+    base: float,
+    cap: float,
+    jitter: float,
+    jitter_seed: Optional[int] = None,
+) -> float:
+    """Exponential backoff with deterministic jitter.
+
+    ``generation`` is the incarnation being spawned (1 = first respawn).
+    The jitter fraction is drawn from a generator seeded with
+    ``jitter_seed`` so two runs of the same chaos plan wait identical
+    delays — randomness without nondeterminism.
+    """
+    if generation < 1:
+        return 0.0
+    delay = min(cap, base * (2.0 ** (generation - 1)))
+    if jitter > 0.0 and jitter_seed is not None:
+        fraction = float(seeded_rng(jitter_seed).random())
+        delay *= 1.0 + jitter * fraction
+    return min(cap, delay)
+
+
+@dataclass(frozen=True)
+class RespawnPolicy:
+    """When (and how eagerly) dead slaves are replaced.
+
+    ``max_restarts_per_slave`` bounds each slave id's respawn count;
+    ``max_total_restarts`` (None = unbounded) caps the whole run so a
+    systematically crashing factory cannot respawn forever.  Delays
+    follow ``backoff_base * 2**(generation-1)`` capped at
+    ``backoff_cap``, stretched by up to ``jitter`` (fractional) of
+    seeded noise.
+    """
+
+    max_restarts_per_slave: int = 2
+    max_total_restarts: Optional[int] = None
+    backoff_base: float = 0.25
+    backoff_cap: float = 30.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_restarts_per_slave < 0:
+            raise ValueError(
+                f"max_restarts_per_slave must be >= 0, got "
+                f"{self.max_restarts_per_slave}"
+            )
+        if (
+            self.max_total_restarts is not None
+            and self.max_total_restarts < 0
+        ):
+            raise ValueError(
+                f"max_total_restarts must be >= 0, got "
+                f"{self.max_total_restarts}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def allows(self, restarts_for_slave: int, total_restarts: int) -> bool:
+        """Whether one more respawn fits both budgets."""
+        if restarts_for_slave >= self.max_restarts_per_slave:
+            return False
+        if (
+            self.max_total_restarts is not None
+            and total_restarts >= self.max_total_restarts
+        ):
+            return False
+        return True
+
+    def delay(self, generation: int, jitter_seed: Optional[int] = None) -> float:
+        """Backoff before spawning ``generation`` (1 = first respawn)."""
+        return backoff_delay(
+            generation,
+            self.backoff_base,
+            self.backoff_cap,
+            self.jitter,
+            jitter_seed,
+        )

@@ -103,6 +103,9 @@ class ExperimentTelemetry:
                 "converged": result.converged,
                 "degraded": getattr(result, "degraded", False),
                 "dead_slaves": list(dead_slaves or []),
+                "failure_causes": dict(getattr(result, "failure_causes", {})),
+                "restarts": getattr(result, "restarts", 0),
+                "resumed": getattr(result, "resumed", False),
                 "slave_events": list(result.slave_events),
                 "total_accepted": result.total_accepted,
             },

@@ -20,6 +20,21 @@ later rounds amortize the report/merge overhead on hard ones.  The
 master computes the schedule, so the serial and process backends see
 identical per-round chunk sizes and produce identical merged counts.
 
+**Fault tolerance** (see docs/robustness.md).  The master treats slave
+death as an input, not an exception: every recv carries a per-round
+deadline (a hung slave can no longer stall a round), every death gets a
+machine-readable cause code, and — with a
+:class:`~repro.faults.recovery.RespawnPolicy` — a replacement slave is
+spawned under a fresh generation-aware seed and *re-accumulates* the
+dead slave's unreported quota, so a recovered run converges
+``degraded=False``.  Deaths never erase merged history: everything a
+slave reported in earlier rounds stays valid.  Periodic checkpoints
+(:mod:`repro.faults.checkpoint`) record the merged state plus each
+slave's work log; ``run(resume_from=...)`` rebuilds slaves by replaying
+those logs, bit-for-bit.  A seeded
+:class:`~repro.faults.plan.FaultPlan` injects deterministic failures
+for chaos testing on either backend.
+
 The experiment ``factory`` must be a callable ``factory(seed, **kwargs)
 -> Experiment`` that declares the same metrics every time.  For the
 ``process`` backend it must be picklable (a module-level function).
@@ -36,22 +51,44 @@ from repro.core.convergence import is_converged, summarize_histogram
 from repro.core.histogram import Histogram
 from repro.core.statistic import Estimate, Phase
 from repro.engine.experiment import Experiment
+from repro.faults.checkpoint import (
+    CheckpointError,
+    CheckpointState,
+    SlaveCheckpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.faults.injector import FaultInjector, InjectedFailure
+from repro.faults.plan import FaultPlan
+from repro.faults.recovery import RespawnPolicy, SeedLineage, derive_seed
 from repro.parallel.protocol import (
+    CAUSE_CORRUPT_PAYLOAD,
+    CAUSE_HEARTBEAT_TIMEOUT,
+    CAUSE_INJECTED,
+    CAUSE_PIPE_CLOSED,
+    CAUSE_SEND_FAILED,
     DeltaTracker,
     MetricTargets,
     ParallelError,
     SlaveReport,
+    payload_digest,
     scheme_from_payload,
     scheme_payload,
+    validate_report_payload,
 )
 
-#: Multiplier used to derive distinct slave seeds from the master seed.
-_SEED_STRIDE = 0x9E3779B9
 
+def slave_seed(master_seed: int, slave_id: int, generation: int = 0) -> int:
+    """Deterministic, distinct seed for each slave incarnation.
 
-def slave_seed(master_seed: int, slave_id: int) -> int:
-    """Deterministic, distinct seed for each slave (unique-seed rule)."""
-    return (master_seed + _SEED_STRIDE * (slave_id + 1)) & 0x7FFFFFFF
+    Generation 0 (the original fleet) reproduces the historical
+    unique-seed rule bit-for-bit; respawned replacements mix the
+    generation along an independent stride so a replacement never
+    replays its dead predecessor's stream (which would double-count the
+    partial draws already merged from it).  Uniqueness across a run is
+    enforced by :class:`~repro.faults.recovery.SeedLineage`.
+    """
+    return derive_seed(master_seed, slave_id, generation)
 
 
 def build_slave_experiment(
@@ -107,14 +144,27 @@ def _process_slave_main(
     max_events_per_chunk,
     slave_id,
     delta_reports,
+    faults=(),
+    replay=(),
+    round_offset=0,
 ):
     """Entry point of one slave process: chunked measure/report loop.
 
     Commands arrive as ``("chunk", size)`` tuples (the master owns the
-    chunk schedule) or the string ``"stop"``.
+    chunk schedule) or the string ``"stop"``.  ``faults`` is this
+    incarnation's picklable fault sub-plan; ``replay`` is a logged
+    chunk schedule to fast-forward through on resume (the resulting
+    baseline report is sent for the master to validate and discard);
+    ``round_offset`` maps local command numbering onto master rounds so
+    fault specs address the same round on every backend.
     """
     experiment = build_slave_experiment(factory, factory_kwargs, seed, schemes)
     tracker = DeltaTracker() if delta_reports else None
+    injector = FaultInjector(faults)
+    if replay:
+        experiment.replay_chunks(replay, max_events=max_events_per_chunk)
+        conn.send(_slave_report(experiment, slave_id, tracker))
+    round_number = round_offset
     while True:
         command = conn.recv()
         if command == "stop":
@@ -126,10 +176,16 @@ def _process_slave_main(
             and command[0] == "chunk"
         ):  # pragma: no cover - protocol guard
             raise ParallelError(f"unknown command: {command!r}")
+        round_number += 1
+        injector.on_chunk_start(round_number)
         experiment.run_until_accepted(
             command[1], max_events=max_events_per_chunk
         )
-        conn.send(_slave_report(experiment, slave_id, tracker))
+        report = _slave_report(experiment, slave_id, tracker)
+        report = injector.filter_report(round_number, report)
+        if report is not None:
+            conn.send(report)
+            injector.after_send(round_number)
 
 
 @dataclass
@@ -151,13 +207,24 @@ class ParallelResult:
     #: backends: the master owns the chunk schedule, so slave ``i``
     #: replays the same stream serial or process-parallel.
     slave_digests: Optional[List] = None
-    #: True when one or more slaves died mid-run and the result was
-    #: assembled from the survivors' contributions.  A degraded result
-    #: is statistically valid (every merged observation is real) but
-    #: covers fewer independent replicas than requested.
+    #: True when one or more slaves died and were *not* replaced (no
+    #: respawn policy, or its budget ran out).  A degraded result is
+    #: statistically valid (every merged observation is real) but
+    #: covers fewer independent replicas than requested.  A run whose
+    #: every death was recovered by respawn is NOT degraded.
     degraded: bool = False
-    #: Slave ids that died before the run finished (empty when healthy).
+    #: Slave ids left permanently dead (empty when healthy/recovered).
     dead_slaves: List[int] = field(default_factory=list)
+    #: Machine-readable cause code per permanently dead slave
+    #: (see the CAUSE_* constants in repro.parallel.protocol).
+    failure_causes: Dict[int, str] = field(default_factory=dict)
+    #: Respawns performed across the run (0 for a healthy run).
+    restarts: int = 0
+    #: Final merged-histogram digests per metric: the byte-identity
+    #: fingerprint used by the checkpoint/resume determinism contract.
+    merged_digests: Dict[str, str] = field(default_factory=dict)
+    #: True when this run was restored from a checkpoint.
+    resumed: bool = False
     #: repro.observability.ExperimentTelemetry when telemetry was
     #: collected (tracer attached), else None.
     telemetry: Optional[object] = None
@@ -169,6 +236,110 @@ class ParallelResult:
     def total_events(self) -> int:
         """Events simulated across master + all slaves."""
         return self.master_events + sum(self.slave_events)
+
+
+class _RunBook:
+    """Recovery bookkeeping shared by both backends.
+
+    Tracks, per slave id: the current incarnation's seed and
+    generation, its work log (chunk quotas completed *and merged*), the
+    quota it was commanded but never reported (owed to a replacement),
+    cumulative event/accepted accounting across incarnations, respawn
+    counts, and — for slaves currently or permanently dead — the cause
+    code.  One instance is the single source of truth the checkpoint
+    writer serializes and the resume path restores.
+    """
+
+    def __init__(self, n_slaves: int, master_seed: int):
+        self.lineage = SeedLineage(master_seed)
+        self.generation: Dict[int, int] = {}
+        self.seed: Dict[int, int] = {}
+        self.work_log: Dict[int, List[int]] = {}
+        self.owed: Dict[int, int] = {}
+        self.causes: Dict[int, str] = {}
+        self.restarts: Dict[int, int] = {}
+        self.total_restarts = 0
+        #: Current-incarnation progress (absolute counters from reports).
+        self.events: Dict[int, int] = {}
+        self.accepted: Dict[int, int] = {}
+        #: Accounting inherited from dead predecessor incarnations.
+        self.prior_events: Dict[int, int] = {}
+        self.prior_accepted: Dict[int, int] = {}
+        for slave_id in range(n_slaves):
+            self.generation[slave_id] = 0
+            self.seed[slave_id] = self.lineage.issue(slave_id, 0)
+            self.work_log[slave_id] = []
+            self.owed[slave_id] = 0
+            self.restarts[slave_id] = 0
+            self.events[slave_id] = 0
+            self.accepted[slave_id] = 0
+            self.prior_events[slave_id] = 0
+            self.prior_accepted[slave_id] = 0
+
+    @classmethod
+    def from_checkpoint(cls, state: CheckpointState) -> "_RunBook":
+        book = cls(state.n_slaves, state.master_seed)
+        # Re-issue the recorded lineage so post-resume respawns keep the
+        # uniqueness guarantee against pre-interruption seeds.
+        for _seed, slave_id, generation in state.lineage:
+            if slave_id >= 0:
+                book.lineage.issue(slave_id, generation)
+        for slave in state.slaves:
+            i = slave.slave_id
+            book.generation[i] = slave.generation
+            book.seed[i] = book.lineage.issue(i, slave.generation)
+            book.work_log[i] = list(slave.chunks)
+            book.owed[i] = slave.owed
+            book.restarts[i] = slave.restarts
+            book.events[i] = slave.events_processed
+            book.accepted[i] = slave.total_accepted
+            book.prior_events[i] = slave.prior_events
+            book.prior_accepted[i] = slave.prior_accepted
+        book.causes = dict(state.dead)
+        book.total_restarts = state.total_restarts
+        return book
+
+    # -- per-round transitions ----------------------------------------------
+
+    def command_quota(self, slave_id: int, chunk: int) -> int:
+        """This round's quota: the schedule chunk plus any owed backlog."""
+        return chunk + self.owed.get(slave_id, 0)
+
+    def on_reported(self, slave_id: int, quota: int, report) -> None:
+        """A report for ``quota`` arrived and was merged."""
+        self.work_log[slave_id].append(quota)
+        self.owed[slave_id] = 0
+        self.events[slave_id] = report.events_processed
+        self.accepted[slave_id] = report.total_accepted
+
+    def on_death(self, slave_id: int, cause: str, lost_quota: int) -> None:
+        """Record a death; ``lost_quota`` is owed to the replacement."""
+        self.causes[slave_id] = cause
+        if lost_quota:
+            self.owed[slave_id] = lost_quota
+
+    def respawn(self, slave_id: int) -> int:
+        """Advance to the next generation; returns the fresh seed."""
+        self.prior_events[slave_id] += self.events[slave_id]
+        self.prior_accepted[slave_id] += self.accepted[slave_id]
+        self.events[slave_id] = 0
+        self.accepted[slave_id] = 0
+        self.generation[slave_id] += 1
+        self.restarts[slave_id] += 1
+        self.total_restarts += 1
+        self.work_log[slave_id] = []
+        self.causes.pop(slave_id, None)
+        seed = self.lineage.issue(slave_id, self.generation[slave_id])
+        self.seed[slave_id] = seed
+        return seed
+
+    # -- result accounting ---------------------------------------------------
+
+    def events_total(self, slave_id: int) -> int:
+        return self.prior_events[slave_id] + self.events[slave_id]
+
+    def accepted_total(self, slave_id: int) -> int:
+        return self.prior_accepted[slave_id] + self.accepted[slave_id]
 
 
 class ParallelSimulation:
@@ -199,6 +370,23 @@ class ParallelSimulation:
         ``max_chunk_size``; False keeps every round at ``chunk_size``.
     max_chunk_size:
         Cap for adaptive growth; defaults to ``16 * chunk_size``.
+    round_timeout:
+        Per-round recv deadline in host seconds (process backend).  A
+        slave that produces no report within the deadline is marked
+        dead with cause ``"heartbeat timeout"`` instead of stalling the
+        round forever.  ``None`` disables the deadline (the historical
+        blocking behavior).
+    respawn:
+        A :class:`~repro.faults.recovery.RespawnPolicy` enabling
+        automatic replacement of dead slaves, or ``None`` (default) to
+        keep the detect-and-degrade behavior.
+    fault_plan:
+        A :class:`~repro.faults.plan.FaultPlan` of injected failures
+        for chaos runs, or ``None``.
+    checkpoint_path / checkpoint_interval:
+        When ``checkpoint_path`` is set, an atomic resumable snapshot
+        is written there every ``checkpoint_interval`` rounds; restore
+        with ``run(resume_from=checkpoint_path)``.
     """
 
     def __init__(
@@ -214,6 +402,11 @@ class ParallelSimulation:
         delta_reports: bool = True,
         adaptive_chunking: bool = True,
         max_chunk_size: Optional[int] = None,
+        round_timeout: Optional[float] = 600.0,
+        respawn: Optional[RespawnPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        checkpoint_path=None,
+        checkpoint_interval: int = 1,
     ):
         if n_slaves < 1:
             raise ParallelError(f"need >= 1 slave, got {n_slaves}")
@@ -225,6 +418,14 @@ class ParallelSimulation:
             raise ParallelError(
                 f"max_chunk_size ({max_chunk_size}) must be >= "
                 f"chunk_size ({chunk_size})"
+            )
+        if round_timeout is not None and round_timeout <= 0:
+            raise ParallelError(
+                f"round_timeout must be > 0 or None, got {round_timeout}"
+            )
+        if checkpoint_interval < 1:
+            raise ParallelError(
+                f"checkpoint_interval must be >= 1, got {checkpoint_interval}"
             )
         self.factory = factory
         self.factory_kwargs = dict(factory_kwargs or {})
@@ -239,8 +440,14 @@ class ParallelSimulation:
         self.max_chunk_size = (
             max_chunk_size if max_chunk_size is not None else 16 * chunk_size
         )
+        self.round_timeout = round_timeout
+        self.respawn = respawn
+        self.fault_plan = fault_plan
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_interval = checkpoint_interval
         self._tracer = None
         self._progress = None
+        self._master_events = 0
 
     # -- observability ---------------------------------------------------------
 
@@ -248,11 +455,12 @@ class ParallelSimulation:
         """Attach a :class:`repro.observability.Tracer` to the master.
 
         The master emits ``master/*`` records (merge spans when the
-        tracer carries a host clock, round counters, dead-slave events)
-        and ``slave/*`` report events.  The calibration experiment also
-        inherits the tracer, so a traced parallel run covers engine,
-        statistic, master, and slave components.  The parallel layer is
-        the boundary: host-clock use is legitimate here.
+        tracer carries a host clock, round counters, dead-slave /
+        respawn / checkpoint events) and ``slave/*`` report events.
+        The calibration experiment also inherits the tracer, so a
+        traced parallel run covers engine, statistic, master, and slave
+        components.  The parallel layer is the boundary: host-clock use
+        is legitimate here.
         """
         self._tracer = tracer
 
@@ -273,6 +481,25 @@ class ParallelSimulation:
                 round=round_number,
                 events=report.events_processed,
                 accepted=report.total_accepted,
+            )
+
+    def _trace_event(self, name: str, component: str = "master", **fields) -> None:
+        if self._tracer is not None:
+            self._tracer.event(name, component=component, **fields)
+
+    def _trace_scheduled_faults(self, round_number: int) -> None:
+        """Emit the plan's entries for this round (chaos audit trail)."""
+        if self.fault_plan is None or self._tracer is None:
+            return
+        for spec in self.fault_plan.at_round(round_number):
+            self._trace_event(
+                "fault_scheduled",
+                component="faults",
+                slave=spec.slave_id,
+                round=spec.round,
+                kind=spec.kind,
+                generation=spec.generation,
+                phase=spec.phase,
             )
 
     def _merge_round(self, merged, reports, schemes, round_number: int):
@@ -395,20 +622,209 @@ class ParallelSimulation:
             estimates[name] = estimate
         return estimates
 
+    # -- report validation / fault handling -------------------------------------
+
+    def _report_problem(
+        self, report, slave_id: int, schemes: Dict[str, tuple]
+    ) -> Optional[str]:
+        """Why a received report must be rejected, or None when clean."""
+        if not isinstance(report, SlaveReport):
+            return f"expected a SlaveReport, got {type(report).__name__}"
+        if report.slave_id != slave_id:
+            return (
+                f"report claims slave {report.slave_id}, "
+                f"expected {slave_id}"
+            )
+        for name, payload in report.histograms.items():
+            if name not in schemes:
+                return f"report carries unknown metric {name!r}"
+            problem = validate_report_payload(payload, schemes[name])
+            if problem is not None:
+                return f"{name}: {problem}"
+        return None
+
+    def _slave_faults(self, slave_id: int, generation: int) -> tuple:
+        """The picklable fault sub-plan for one incarnation."""
+        if self.fault_plan is None:
+            return ()
+        return self.fault_plan.for_slave(slave_id, generation)
+
+    def _mark_dead(
+        self,
+        book: _RunBook,
+        slave_id: int,
+        round_number: int,
+        cause: str,
+        lost_quota: int,
+    ) -> None:
+        book.on_death(slave_id, cause, lost_quota)
+        self._trace_event(
+            "dead",
+            component="slave",
+            slave=slave_id,
+            round=round_number,
+            cause=cause,
+            generation=book.generation[slave_id],
+        )
+
+    def _respawn_candidates(self, book: _RunBook, dead: List[int]) -> List[int]:
+        """Dead slaves the policy will replace this round (budget check)."""
+        if self.respawn is None:
+            return []
+        chosen = []
+        total = book.total_restarts
+        for slave_id in sorted(dead):
+            if self.respawn.allows(book.restarts[slave_id], total):
+                chosen.append(slave_id)
+                total += 1
+        return chosen
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def _checkpoint_state(
+        self,
+        book: _RunBook,
+        schemes: Dict[str, tuple],
+        targets: Dict[str, MetricTargets],
+        merged: Dict[str, Histogram],
+        round_number: int,
+        dead: List[int],
+    ) -> CheckpointState:
+        slaves = [
+            SlaveCheckpoint(
+                slave_id=slave_id,
+                seed=book.seed[slave_id],
+                generation=book.generation[slave_id],
+                chunks=list(book.work_log[slave_id]),
+                owed=book.owed.get(slave_id, 0),
+                events_processed=book.events[slave_id],
+                total_accepted=book.accepted[slave_id],
+                restarts=book.restarts[slave_id],
+                prior_events=book.prior_events[slave_id],
+                prior_accepted=book.prior_accepted[slave_id],
+            )
+            for slave_id in range(self.n_slaves)
+            if slave_id not in dead
+        ]
+        return CheckpointState(
+            master_seed=self.master_seed,
+            n_slaves=self.n_slaves,
+            chunk_size=self.chunk_size,
+            adaptive_chunking=self.adaptive_chunking,
+            max_chunk_size=self.max_chunk_size,
+            delta_reports=self.delta_reports,
+            round=round_number,
+            master_events=self._master_events,
+            schemes=dict(schemes),
+            targets={
+                name: {
+                    "mean_accuracy": target.mean_accuracy,
+                    "quantile_targets": [
+                        list(pair) for pair in target.quantile_targets
+                    ],
+                    "confidence": target.confidence,
+                    "min_accepted": target.min_accepted,
+                }
+                for name, target in targets.items()
+            },
+            merged={
+                name: histogram.to_payload()
+                for name, histogram in merged.items()
+            },
+            slaves=slaves,
+            dead={slave_id: book.causes[slave_id] for slave_id in dead},
+            lineage=book.lineage.issued(),
+            total_restarts=book.total_restarts,
+        )
+
+    def _maybe_checkpoint(
+        self, book, schemes, targets, merged, round_number, dead
+    ) -> None:
+        if self.checkpoint_path is None:
+            return
+        if round_number % self.checkpoint_interval != 0:
+            return
+        write_checkpoint(
+            self.checkpoint_path,
+            self._checkpoint_state(
+                book, schemes, targets, merged, round_number, dead
+            ),
+        )
+        self._trace_event("checkpoint", round=round_number)
+
+    def _validate_resume(self, state: CheckpointState) -> None:
+        """A checkpoint must match this run's deterministic schedule."""
+        expected = {
+            "master_seed": self.master_seed,
+            "n_slaves": self.n_slaves,
+            "chunk_size": self.chunk_size,
+            "adaptive_chunking": self.adaptive_chunking,
+            "max_chunk_size": self.max_chunk_size,
+            "delta_reports": self.delta_reports,
+        }
+        for key, value in expected.items():
+            found = getattr(state, key)
+            if found != value:
+                raise CheckpointError(
+                    f"checkpoint is incompatible: {key} is {found!r}, "
+                    f"this run is configured with {value!r}"
+                )
+
+    @staticmethod
+    def _restore_merged(state: CheckpointState) -> Dict[str, Histogram]:
+        merged = {}
+        for name, payload in state.merged.items():
+            merged[name] = Histogram.from_payload(payload)
+        return merged
+
+    @staticmethod
+    def _restore_targets(state: CheckpointState) -> Dict[str, MetricTargets]:
+        targets = {}
+        for name, fields_ in state.targets.items():
+            targets[name] = MetricTargets(
+                name=name,
+                mean_accuracy=fields_["mean_accuracy"],
+                quantile_targets=tuple(
+                    tuple(pair) for pair in fields_["quantile_targets"]
+                ),
+                confidence=fields_["confidence"],
+                min_accepted=fields_["min_accepted"],
+            )
+        return targets
+
     # -- backends -------------------------------------------------------------------
 
-    def run(self) -> ParallelResult:
-        """Execute the full master/slave protocol."""
+    def run(self, resume_from=None) -> ParallelResult:
+        """Execute the full master/slave protocol.
+
+        With ``resume_from`` set to a checkpoint path, calibration is
+        skipped (schemes and targets come from the checkpoint), slaves
+        are rebuilt by replaying their logged chunk schedules, and the
+        run continues from the checkpointed round — producing merged
+        histograms byte-identical to an uninterrupted run.
+        """
         started = time.perf_counter()
-        master, schemes, targets = self._calibrate_master()
-        master_wall = time.perf_counter() - started
-        if self.backend == "serial":
-            result = self._run_serial(schemes, targets)
+        resume_state = None
+        if resume_from is not None:
+            resume_state = read_checkpoint(resume_from)
+            self._validate_resume(resume_state)
+            schemes = dict(resume_state.schemes)
+            targets = self._restore_targets(resume_state)
+            self._master_events = resume_state.master_events
+            master_wall = 0.0
+            self._trace_event("resume", round=resume_state.round)
         else:
-            result = self._run_process(schemes, targets)
-        result.master_events = master.simulation.events_processed
+            master, schemes, targets = self._calibrate_master()
+            self._master_events = master.simulation.events_processed
+            master_wall = time.perf_counter() - started
+        if self.backend == "serial":
+            result = self._run_serial(schemes, targets, resume_state)
+        else:
+            result = self._run_process(schemes, targets, resume_state)
+        result.master_events = self._master_events
         result.master_wall_time = master_wall
         result.wall_time = time.perf_counter() - started
+        result.resumed = resume_state is not None
         if self._tracer is not None:
             from repro.observability.telemetry import ExperimentTelemetry
 
@@ -417,48 +833,30 @@ class ParallelSimulation:
             )
         return result
 
-    def _run_serial(self, schemes, targets) -> ParallelResult:
-        slaves = [
-            build_slave_experiment(
-                self.factory,
-                self.factory_kwargs,
-                slave_seed(self.master_seed, slave_id),
-                schemes,
-            )
-            for slave_id in range(self.n_slaves)
-        ]
-        trackers = [
-            DeltaTracker() if self.delta_reports else None
-            for _ in range(self.n_slaves)
-        ]
-        rounds = 0
-        converged = False
-        reports: List[SlaveReport] = []
-        merged: Dict[str, Histogram] = self._merge_reports([], schemes)
-        while rounds < self.max_rounds and not converged:
-            rounds += 1
-            chunk = self._round_chunk(rounds)
-            reports = []
-            for slave_id, slave in enumerate(slaves):
-                slave.run_until_accepted(
-                    chunk, max_events=self.max_events_per_chunk
-                )
-                reports.append(
-                    _slave_report(slave, slave_id, trackers[slave_id])
-                )
-            self._trace_round(rounds, reports)
-            merged = self._merge_round(merged, reports, schemes, rounds)
-            converged = self._all_converged(merged, targets)
-            if self._progress is not None:
-                self._progress.parallel_update(rounds, merged, targets)
+    def _result(
+        self,
+        book: _RunBook,
+        merged: Dict[str, Histogram],
+        targets: Dict[str, MetricTargets],
+        converged: bool,
+        rounds: int,
+        reports: List[SlaveReport],
+        dead: List[int],
+    ) -> ParallelResult:
         return ParallelResult(
             estimates=self._estimates(merged, targets, converged),
             converged=converged,
             n_slaves=self.n_slaves,
             rounds=rounds,
             master_events=0,
-            slave_events=[report.events_processed for report in reports],
-            total_accepted=sum(report.total_accepted for report in reports),
+            slave_events=[
+                book.events_total(slave_id)
+                for slave_id in range(self.n_slaves)
+            ],
+            total_accepted=sum(
+                book.accepted_total(slave_id)
+                for slave_id in range(self.n_slaves)
+            ),
             wall_time=0.0,
             master_wall_time=0.0,
             slave_digests=(
@@ -466,7 +864,166 @@ class ParallelSimulation:
                 if any(report.digest is not None for report in reports)
                 else None
             ),
+            degraded=bool(dead),
+            dead_slaves=sorted(dead),
+            failure_causes={
+                slave_id: book.causes[slave_id] for slave_id in sorted(dead)
+            },
+            restarts=book.total_restarts,
+            merged_digests={
+                name: payload_digest(histogram.to_payload())
+                for name, histogram in merged.items()
+            },
         )
+
+    # -- serial backend ---------------------------------------------------------
+
+    def _build_serial_slave(self, slave_id: int, book: _RunBook, schemes):
+        experiment = build_slave_experiment(
+            self.factory, self.factory_kwargs, book.seed[slave_id], schemes
+        )
+        tracker = DeltaTracker() if self.delta_reports else None
+        injector = FaultInjector(
+            self._slave_faults(slave_id, book.generation[slave_id]),
+            raise_instead=True,
+        )
+        return experiment, tracker, injector
+
+    def _run_serial(self, schemes, targets, resume=None) -> ParallelResult:
+        book = (
+            _RunBook.from_checkpoint(resume)
+            if resume is not None
+            else _RunBook(self.n_slaves, self.master_seed)
+        )
+        dead: List[int] = sorted(resume.dead) if resume is not None else []
+        slaves: Dict[int, Experiment] = {}
+        trackers: Dict[int, Optional[DeltaTracker]] = {}
+        injectors: Dict[int, FaultInjector] = {}
+        for slave_id in range(self.n_slaves):
+            if slave_id in dead:
+                continue
+            experiment, tracker, injector = self._build_serial_slave(
+                slave_id, book, schemes
+            )
+            if resume is not None and book.work_log[slave_id]:
+                experiment.replay_chunks(
+                    book.work_log[slave_id],
+                    max_events=self.max_events_per_chunk,
+                )
+                baseline = _slave_report(experiment, slave_id, tracker)
+                self._check_replay(book, slave_id, baseline)
+            slaves[slave_id] = experiment
+            trackers[slave_id] = tracker
+            injectors[slave_id] = injector
+        rounds = resume.round if resume is not None else 0
+        reports: List[SlaveReport] = []
+        merged: Dict[str, Histogram] = (
+            self._restore_merged(resume)
+            if resume is not None
+            else self._merge_reports([], schemes)
+        )
+        # A checkpoint taken on the converged round resumes as a no-op.
+        converged = (
+            self._all_converged(merged, targets)
+            if resume is not None
+            else False
+        )
+        while rounds < self.max_rounds and not converged:
+            rounds += 1
+            chunk = self._round_chunk(rounds)
+            self._trace_scheduled_faults(rounds)
+            reports = []
+            dead_this_round: List[int] = []
+            for slave_id in sorted(slaves):
+                quota = book.command_quota(slave_id, chunk)
+                injector = injectors[slave_id]
+                slave = slaves[slave_id]
+                try:
+                    injector.on_chunk_start(rounds)
+                    slave.run_until_accepted(
+                        quota, max_events=self.max_events_per_chunk
+                    )
+                    report = injector.filter_report(
+                        rounds, _slave_report(slave, slave_id,
+                                              trackers[slave_id])
+                    )
+                except InjectedFailure as failure:
+                    self._mark_dead(
+                        book, slave_id, rounds,
+                        f"{CAUSE_INJECTED}: {failure.spec.kind}", quota,
+                    )
+                    dead_this_round.append(slave_id)
+                    continue
+                problem = self._report_problem(report, slave_id, schemes)
+                if problem is not None:
+                    self._mark_dead(
+                        book, slave_id, rounds,
+                        f"{CAUSE_CORRUPT_PAYLOAD}: {problem}", quota,
+                    )
+                    dead_this_round.append(slave_id)
+                    continue
+                reports.append(report)
+                book.on_reported(slave_id, quota, report)
+                try:
+                    injector.after_send(rounds)
+                except InjectedFailure:  # pragma: no cover - defensive
+                    # Serial post_report kills are deferred by the
+                    # injector to the next round's on_chunk_start so
+                    # both backends detect the death in the same round.
+                    pass
+            for slave_id in dead_this_round:
+                slaves.pop(slave_id)
+                trackers.pop(slave_id)
+                injectors.pop(slave_id)
+                dead.append(slave_id)
+            self._trace_round(rounds, reports)
+            merged = self._merge_round(merged, reports, schemes, rounds)
+            converged = self._all_converged(merged, targets)
+            if self._progress is not None:
+                self._progress.parallel_update(rounds, merged, targets)
+            if not converged:
+                for slave_id in self._respawn_candidates(book, dead):
+                    book.respawn(slave_id)
+                    experiment, tracker, injector = self._build_serial_slave(
+                        slave_id, book, schemes
+                    )
+                    slaves[slave_id] = experiment
+                    trackers[slave_id] = tracker
+                    injectors[slave_id] = injector
+                    dead.remove(slave_id)
+                    self._trace_event(
+                        "respawn",
+                        slave=slave_id,
+                        round=rounds,
+                        generation=book.generation[slave_id],
+                        seed=book.seed[slave_id],
+                    )
+            if not slaves:
+                raise ParallelError(
+                    f"every slave has died ({self.n_slaves} started, "
+                    f"last loss in round {rounds}); no survivors to "
+                    "finish the run"
+                )
+            self._maybe_checkpoint(
+                book, schemes, targets, merged, rounds, dead
+            )
+        return self._result(
+            book, merged, targets, converged, rounds, reports, dead
+        )
+
+    def _check_replay(self, book: _RunBook, slave_id: int, baseline) -> None:
+        """Replayed slave state must land exactly on the checkpoint."""
+        expected = (book.events[slave_id], book.accepted[slave_id])
+        found = (baseline.events_processed, baseline.total_accepted)
+        if found != expected:
+            raise ParallelError(
+                f"resume replay diverged for slave {slave_id}: expected "
+                f"(events, accepted) = {expected}, replay landed on "
+                f"{found}; the factory or its workload is not "
+                "deterministic in the seed"
+            )
+
+    # -- process backend --------------------------------------------------------
 
     @staticmethod
     def _shutdown_slaves(
@@ -517,117 +1074,238 @@ class ParallelSimulation:
                 )
         return escalations
 
-    def _run_process(self, schemes, targets) -> ParallelResult:
-        context = multiprocessing.get_context("fork")
-        pipes = []
-        processes = []
-        for slave_id in range(self.n_slaves):
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(
-                target=_process_slave_main,
-                args=(
-                    child_conn,
-                    self.factory,
-                    self.factory_kwargs,
-                    slave_seed(self.master_seed, slave_id),
-                    schemes,
-                    self.max_events_per_chunk,
-                    slave_id,
-                    self.delta_reports,
-                ),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            pipes.append(parent_conn)
-            processes.append(process)
-        rounds = 0
-        converged = False
-        reports: List[SlaveReport] = []
-        merged: Dict[str, Histogram] = self._merge_reports([], schemes)
-        alive: Dict[int, object] = dict(enumerate(pipes))
-        dead: List[int] = []
-        # Last-known cumulative progress per slave, so a mid-run death
-        # does not erase its (already merged) contribution from the
-        # result's accounting.
-        last_events: Dict[int, int] = {i: 0 for i in alive}
-        last_accepted: Dict[int, int] = {i: 0 for i in alive}
+    @staticmethod
+    def _reap(process, timeout: float = 5.0) -> None:
+        """Ensure one dead-or-condemned slave process is truly gone."""
+        process.join(timeout=0.0 if not process.is_alive() else timeout)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=timeout)
+        if process.is_alive():  # pragma: no cover - stuck in kernel
+            kill = getattr(process, "kill", process.terminate)
+            kill()
+            process.join(timeout=timeout)
 
-        def mark_dead(slave_id: int, round_number: int, cause: str) -> None:
-            # A dead slave's delta for the current round is lost, but
-            # everything it reported in earlier rounds is already merged:
-            # the run continues on the survivors and the result is
-            # flagged degraded.
-            alive.pop(slave_id, None)
-            dead.append(slave_id)
-            if self._tracer is not None:
-                self._tracer.event(
-                    "dead",
-                    component="slave",
-                    slave=slave_id,
-                    round=round_number,
-                    cause=cause,
-                )
+    @staticmethod
+    def _recv_with_deadline(pipe, deadline: Optional[float]):
+        """``("ok", obj)`` | ``("timeout", None)`` | ``("eof", None)``.
+
+        Replaces the historical bare ``pipe.recv()``: a slave that
+        hangs *without* closing its pipe used to stall the master
+        forever; polling against the shared round deadline bounds the
+        wait, while a closed/reset pipe still surfaces immediately.
+        """
         try:
+            if deadline is None:
+                remaining = None
+            else:
+                remaining = max(0.0, deadline - time.monotonic())
+            if not pipe.poll(remaining):
+                return ("timeout", None)
+            return ("ok", pipe.recv())
+        except (EOFError, ConnectionResetError, BrokenPipeError, OSError):
+            return ("eof", None)
+
+    def _spawn_process_slave(
+        self, context, slave_id: int, book: _RunBook, schemes,
+        replay=(), round_offset=0,
+    ):
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(
+            target=_process_slave_main,
+            args=(
+                child_conn,
+                self.factory,
+                self.factory_kwargs,
+                book.seed[slave_id],
+                schemes,
+                self.max_events_per_chunk,
+                slave_id,
+                self.delta_reports,
+                self._slave_faults(slave_id, book.generation[slave_id]),
+                tuple(replay),
+                round_offset,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return parent_conn, process
+
+    def _run_process(self, schemes, targets, resume=None) -> ParallelResult:
+        context = multiprocessing.get_context("fork")
+        book = (
+            _RunBook.from_checkpoint(resume)
+            if resume is not None
+            else _RunBook(self.n_slaves, self.master_seed)
+        )
+        dead: List[int] = sorted(resume.dead) if resume is not None else []
+        rounds = resume.round if resume is not None else 0
+        pipes: Dict[int, object] = {}
+        processes: Dict[int, object] = {}
+        resumed_replay: Dict[int, int] = {}
+        for slave_id in range(self.n_slaves):
+            if slave_id in dead:
+                continue
+            replay = (
+                book.work_log[slave_id] if resume is not None else ()
+            )
+            pipe, process = self._spawn_process_slave(
+                context, slave_id, book, schemes,
+                replay=replay, round_offset=rounds,
+            )
+            pipes[slave_id] = pipe
+            processes[slave_id] = process
+            if replay:
+                resumed_replay[slave_id] = len(replay)
+        reports: List[SlaveReport] = []
+        merged: Dict[str, Histogram] = (
+            self._restore_merged(resume)
+            if resume is not None
+            else self._merge_reports([], schemes)
+        )
+        # A checkpoint taken on the converged round resumes as a no-op.
+        converged = (
+            self._all_converged(merged, targets)
+            if resume is not None
+            else False
+        )
+
+        def drop_slave(slave_id: int) -> None:
+            """Forget a dead/condemned slave's endpoints and reap it."""
+            pipe = pipes.pop(slave_id, None)
+            if pipe is not None:
+                try:
+                    pipe.close()
+                except OSError:  # pragma: no cover
+                    pass
+            process = processes.pop(slave_id, None)
+            if process is not None:
+                self._reap(process)
+
+        try:
+            # Resumed slaves replay their work logs and send a baseline
+            # report; validate it lands exactly on the checkpoint state.
+            if resumed_replay:
+                deadline = None
+                if self.round_timeout is not None:
+                    deadline = time.monotonic() + self.round_timeout * max(
+                        1, max(resumed_replay.values())
+                    )
+                for slave_id in sorted(resumed_replay):
+                    status, baseline = self._recv_with_deadline(
+                        pipes[slave_id], deadline
+                    )
+                    if status != "ok":
+                        raise ParallelError(
+                            f"slave {slave_id} is gone: died during "
+                            f"resume replay ({status})"
+                        )
+                    self._check_replay(book, slave_id, baseline)
             while rounds < self.max_rounds and not converged:
                 rounds += 1
                 chunk = self._round_chunk(rounds)
-                commanded = []
-                for slave_id, pipe in list(alive.items()):
+                self._trace_scheduled_faults(rounds)
+                commanded: Dict[int, int] = {}
+                dead_this_round: List[int] = []
+                for slave_id in sorted(pipes):
+                    quota = book.command_quota(slave_id, chunk)
                     try:
-                        pipe.send(("chunk", chunk))
-                        commanded.append(slave_id)
+                        pipes[slave_id].send(("chunk", quota))
+                        commanded[slave_id] = quota
                     except (BrokenPipeError, OSError) as error:
-                        mark_dead(slave_id, rounds, f"send failed: {error}")
+                        self._mark_dead(
+                            book, slave_id, rounds,
+                            f"{CAUSE_SEND_FAILED}: {error}", quota,
+                        )
+                        dead_this_round.append(slave_id)
                 reports = []
-                for slave_id in commanded:
-                    pipe = alive.get(slave_id)
-                    if pipe is None:  # pragma: no cover - defensive
+                deadline = (
+                    time.monotonic() + self.round_timeout
+                    if self.round_timeout is not None
+                    else None
+                )
+                for slave_id, quota in commanded.items():
+                    status, report = self._recv_with_deadline(
+                        pipes[slave_id], deadline
+                    )
+                    if status == "timeout":
+                        self._mark_dead(
+                            book, slave_id, rounds,
+                            CAUSE_HEARTBEAT_TIMEOUT, quota,
+                        )
+                        dead_this_round.append(slave_id)
                         continue
-                    try:
-                        report = pipe.recv()
-                    except (EOFError, ConnectionResetError):
-                        # A dead slave closes (EOFError) or resets
-                        # (ConnectionResetError) its pipe end; without
-                        # this the master would block forever waiting on
-                        # the remaining recv()s after a partial round.
-                        mark_dead(slave_id, rounds, "no report")
+                    if status == "eof":
+                        # A dead slave closes (EOFError) or resets its
+                        # pipe end; without this the master would block
+                        # forever after a partial round.
+                        self._mark_dead(
+                            book, slave_id, rounds,
+                            CAUSE_PIPE_CLOSED, quota,
+                        )
+                        dead_this_round.append(slave_id)
+                        continue
+                    problem = self._report_problem(report, slave_id, schemes)
+                    if problem is not None:
+                        self._mark_dead(
+                            book, slave_id, rounds,
+                            f"{CAUSE_CORRUPT_PAYLOAD}: {problem}", quota,
+                        )
+                        dead_this_round.append(slave_id)
                         continue
                     reports.append(report)
-                    last_events[slave_id] = report.events_processed
-                    last_accepted[slave_id] = report.total_accepted
-                if not alive:
-                    raise ParallelError(
-                        f"every slave has died ({self.n_slaves} started, "
-                        f"last loss in round {rounds}); no survivors to "
-                        "finish the run"
-                    )
+                    book.on_reported(slave_id, quota, report)
+                for slave_id in dead_this_round:
+                    drop_slave(slave_id)
+                    dead.append(slave_id)
                 self._trace_round(rounds, reports)
                 merged = self._merge_round(merged, reports, schemes, rounds)
                 converged = self._all_converged(merged, targets)
                 if self._progress is not None:
                     self._progress.parallel_update(rounds, merged, targets)
+                if not converged:
+                    for slave_id in self._respawn_candidates(book, dead):
+                        generation = book.generation[slave_id] + 1
+                        delay = self.respawn.delay(
+                            generation,
+                            jitter_seed=slave_seed(
+                                self.master_seed, slave_id, generation
+                            ),
+                        )
+                        if delay > 0.0:
+                            time.sleep(delay)
+                        book.respawn(slave_id)
+                        pipe, process = self._spawn_process_slave(
+                            context, slave_id, book, schemes,
+                            round_offset=rounds,
+                        )
+                        pipes[slave_id] = pipe
+                        processes[slave_id] = process
+                        dead.remove(slave_id)
+                        self._trace_event(
+                            "respawn",
+                            slave=slave_id,
+                            round=rounds,
+                            generation=book.generation[slave_id],
+                            seed=book.seed[slave_id],
+                            backoff=delay,
+                        )
+                if not pipes:
+                    raise ParallelError(
+                        f"every slave has died ({self.n_slaves} started, "
+                        f"last loss in round {rounds}); no survivors to "
+                        "finish the run"
+                    )
+                self._maybe_checkpoint(
+                    book, schemes, targets, merged, rounds, dead
+                )
         finally:
             self._shutdown_slaves(
-                processes, list(alive.values()), tracer=self._tracer
+                [processes[i] for i in sorted(processes)],
+                [pipes[i] for i in sorted(pipes)],
+                tracer=self._tracer,
             )
-        return ParallelResult(
-            estimates=self._estimates(merged, targets, converged),
-            converged=converged,
-            n_slaves=self.n_slaves,
-            rounds=rounds,
-            master_events=0,
-            slave_events=[
-                last_events[slave_id] for slave_id in sorted(last_events)
-            ],
-            total_accepted=sum(last_accepted.values()),
-            wall_time=0.0,
-            master_wall_time=0.0,
-            slave_digests=(
-                [report.digest for report in reports]
-                if any(report.digest is not None for report in reports)
-                else None
-            ),
-            degraded=bool(dead),
-            dead_slaves=sorted(dead),
+        return self._result(
+            book, merged, targets, converged, rounds, reports, dead
         )

@@ -22,6 +22,8 @@ agree to float tolerance.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -31,6 +33,62 @@ from repro.core.statistic import Statistic
 
 class ParallelError(RuntimeError):
     """Raised for parallel-protocol failures."""
+
+
+# -- cause codes ----------------------------------------------------------
+#
+# Every slave death is attributed with one of these machine-readable
+# cause codes; they appear in trace records, on
+# ``ParallelResult.failure_causes``, and in checkpoints.  Free-form
+# detail (the OS error text, the fault spec) is appended after ": ".
+
+#: The slave's pipe closed or reset before its report arrived.
+CAUSE_PIPE_CLOSED = "pipe closed"
+#: Sending the round's chunk command failed (slave already gone).
+CAUSE_SEND_FAILED = "send failed"
+#: No report within the round deadline; the pipe is still open (a hung,
+#: wedged, or silently dropped slave).
+CAUSE_HEARTBEAT_TIMEOUT = "heartbeat timeout"
+#: The report arrived but its histogram payload failed validation.
+CAUSE_CORRUPT_PAYLOAD = "corrupt payload"
+#: A FaultPlan injection surfaced directly (serial backend).
+CAUSE_INJECTED = "injected fault"
+
+
+def validate_report_payload(
+    payload: dict, scheme: Tuple[float, float, int]
+) -> Optional[str]:
+    """Why one reported histogram payload must not be merged, or None.
+
+    The master calls this *before* folding a report so that a corrupt
+    payload is attributed to its slave (cause ``corrupt payload``) and
+    excluded, instead of surfacing later as an unattributed
+    :class:`~repro.core.histogram.HistogramError` mid-merge.  Checks
+    mirror ``Histogram.merge_payload``'s reject-before-mutate contract:
+    scheme identity, counts length, non-negative masses (cumulative bin
+    counts can only grow, so even a *delta* payload is non-negative),
+    and the count invariant.
+    """
+    try:
+        if tuple(payload["scheme"]) != tuple(scheme):
+            return f"scheme mismatch: {payload['scheme']} vs {scheme}"
+        counts = payload["counts"]
+        if len(counts) != scheme[2]:
+            return (
+                f"expected {scheme[2]} bin counts, got {len(counts)}"
+            )
+        underflow, overflow = payload["underflow"], payload["overflow"]
+        if underflow < 0 or overflow < 0 or any(c < 0 for c in counts):
+            return "negative bin mass"
+        total = sum(counts) + underflow + overflow
+        if total != payload["count"]:
+            return (
+                f"count invariant violated: bins+under+over = {total} "
+                f"but count = {payload['count']}"
+            )
+    except (KeyError, TypeError, ValueError) as error:
+        return f"malformed payload: {error!r}"
+    return None
 
 
 @dataclass(frozen=True)
@@ -118,6 +176,19 @@ def histogram_delta(current: dict, previous: Optional[dict]) -> dict:
         "min_seen": current["min_seen"],
         "max_seen": current["max_seen"],
     }
+
+
+def payload_digest(payload: dict) -> str:
+    """Short stable digest of one histogram payload.
+
+    Canonical-JSON + BLAKE2: two payloads digest equal iff their bin
+    counts, moments, and extrema are identical — the "byte-identical
+    merged histograms" check the checkpoint/resume contract is verified
+    against (an interrupted+resumed run must digest equal to an
+    uninterrupted one).
+    """
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.blake2b(canonical.encode(), digest_size=16).hexdigest()
 
 
 class DeltaTracker:

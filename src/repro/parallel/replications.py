@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.confidence import z_value
 from repro.engine.experiment import Experiment
+from repro.faults.recovery import derive_seed
 
 
 @dataclass
@@ -67,6 +68,9 @@ class ReplicationResult:
     all_converged: bool
     total_events: int
     seeds: List[int] = field(default_factory=list)
+    #: Seeds whose replication raised and was retried (or abandoned);
+    #: empty for a fault-free study.
+    failed_seeds: List[int] = field(default_factory=list)
 
     def __getitem__(self, name: str) -> ReplicatedEstimate:
         return self.estimates[name]
@@ -80,12 +84,21 @@ def run_replications(
     metric_value: str = "mean",
     quantile: Optional[float] = None,
     max_events: Optional[int] = None,
+    max_retries: int = 0,
 ) -> ReplicationResult:
     """Run ``factory(seed, **kwargs)`` to convergence R times and combine.
 
     ``metric_value`` selects what is extracted per replication: the
     metric ``"mean"`` (default) or ``"quantile"`` (then ``quantile``
     names which one).
+
+    ``max_retries`` extra attempts are made per replication when the
+    factory or the run itself raises: each retry draws a fresh seed
+    derived from the failed one (generation-style, via
+    :func:`repro.faults.recovery.derive_seed`) so a seed-dependent
+    crash is not simply replayed.  Failed seeds are reported on
+    ``ReplicationResult.failed_seeds``; a replication that exhausts its
+    attempts re-raises its last error.
     """
     if replications < 2:
         raise ValueError(f"need >= 2 replications, got {replications}")
@@ -93,18 +106,29 @@ def run_replications(
         raise ValueError(f"unknown metric_value {metric_value!r}")
     if metric_value == "quantile" and quantile is None:
         raise ValueError("metric_value='quantile' needs quantile=")
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
     kwargs = dict(factory_kwargs or {})
     values: Dict[str, List[float]] = {}
     seeds = []
+    failed_seeds: List[int] = []
     all_converged = True
     total_events = 0
     confidence = 0.95
     for replication in range(replications):
         seed = base_seed + 7919 * (replication + 1)  # distinct primes apart
+        for attempt in range(max_retries + 1):
+            try:
+                experiment = factory(seed=seed, **kwargs)
+                result = experiment.run(max_events=max_events)
+                break
+            except Exception:
+                failed_seeds.append(seed)
+                if attempt == max_retries:
+                    raise
+                seed = derive_seed(seed, replication, attempt + 1)
         seeds.append(seed)
-        experiment = factory(seed=seed, **kwargs)
         confidence = experiment.confidence
-        result = experiment.run(max_events=max_events)
         all_converged = all_converged and result.converged
         total_events += result.events_processed
         for name, estimate in result.estimates.items():
@@ -127,4 +151,5 @@ def run_replications(
         all_converged=all_converged,
         total_events=total_events,
         seeds=seeds,
+        failed_seeds=failed_seeds,
     )

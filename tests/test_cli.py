@@ -170,6 +170,55 @@ class TestRunObservability:
         ) == 2
         assert "mutually exclusive" in capsys.readouterr().err
 
+    def test_fault_flags_require_parallel(self, tmp_path, capsys):
+        config = write_config(tmp_path)
+        assert main(["run", str(config), "--respawn"]) == 2
+        assert "--parallel" in capsys.readouterr().err
+
+    def test_chaos_respawn_recovers(self, tmp_path, capsys):
+        # Tight enough accuracy that the run outlives the detection
+        # round — respawn only fires when the round's merge has not
+        # already converged.
+        config = write_config(
+            tmp_path,
+            metrics=[{"kind": "response_time", "mean_accuracy": 0.03}],
+        )
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "faults": [{"kind": "kill", "slave_id": 1, "round": 1,
+                        "phase": "pre_report"}],
+        }))
+        assert main([
+            "run", str(config), "--parallel", "2",
+            "--chaos", str(plan), "--respawn",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["converged"] is True
+        assert payload["degraded"] is False
+        assert payload["restarts"] == 1
+
+    def test_checkpoint_and_resume_bit_identical(self, tmp_path, capsys):
+        config = write_config(tmp_path)
+        assert main(["run", str(config), "--parallel", "2"]) == 0
+        uninterrupted = json.loads(capsys.readouterr().out)
+
+        # Resuming from a converged checkpoint is a no-op that must
+        # reproduce the digests bit-for-bit (mid-run interruption is
+        # covered in tests/test_faults.py where the cut is controlled).
+        checkpoint = tmp_path / "ck.jsonl"
+        assert main([
+            "run", str(config), "--parallel", "2",
+            "--checkpoint", str(checkpoint),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "run", str(config), "--parallel", "2",
+            "--resume", str(checkpoint),
+        ]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["resumed"] is True
+        assert resumed["merged_digests"] == uninterrupted["merged_digests"]
+
     def test_trace_validator_cli(self, tmp_path):
         from repro.observability.__main__ import main as validate_main
 

@@ -6,6 +6,18 @@ from repro.parallel import run_replications
 from repro.parallel.replications import ReplicatedEstimate
 
 
+#: Seeds the flaky factory has refused so far (reset per test).
+_REFUSED = []
+
+
+def flaky_factory(seed, fail_seeds=(), **kwargs):
+    """Factory that crashes for the given seeds (retry-path testing)."""
+    if seed in fail_seeds:
+        _REFUSED.append(seed)
+        raise RuntimeError(f"replication seed {seed} refused to build")
+    return factory(seed, **kwargs)
+
+
 def factory(seed, load=0.5, accuracy=0.1):
     from repro import Experiment, Server
     from repro.workloads import web
@@ -61,6 +73,42 @@ class TestRunReplications:
         # p95 exceeds the mean for any right-skewed response distribution.
         means = run_replications(factory, replications=2, base_seed=7)
         assert estimate.mean > means["response_time"].mean
+
+    def test_retry_replaces_failed_seed(self):
+        from repro.faults.recovery import derive_seed
+
+        _REFUSED.clear()
+        bad = 5 + 7919  # replication 0's seed under base_seed=5
+        result = run_replications(
+            flaky_factory, replications=2, base_seed=5,
+            factory_kwargs={"fail_seeds": (bad,)}, max_retries=1,
+        )
+        assert result.all_converged
+        assert result.failed_seeds == [bad]
+        assert _REFUSED == [bad]
+        # The retry drew a derived (not reused, not shifted) seed.
+        retry_seed = derive_seed(bad, 0, 1)
+        assert result.seeds[0] == retry_seed
+        assert len(result["response_time"].values) == 2
+
+    def test_exhausted_retries_reraise(self):
+        from repro.faults.recovery import derive_seed
+
+        bad = 5 + 7919
+        fail = (bad, derive_seed(bad, 0, 1))
+        with pytest.raises(RuntimeError, match="refused to build"):
+            run_replications(
+                flaky_factory, replications=2, base_seed=5,
+                factory_kwargs={"fail_seeds": fail}, max_retries=1,
+            )
+
+    def test_no_retries_by_default(self):
+        bad = 5 + 2 * 7919  # replication 1's seed
+        with pytest.raises(RuntimeError, match="refused to build"):
+            run_replications(
+                flaky_factory, replications=2, base_seed=5,
+                factory_kwargs={"fail_seeds": (bad,)},
+            )
 
     def test_cross_checks_in_run_ci(self):
         """The across-replication CI and the in-run (lag-spaced) CI must

@@ -376,6 +376,100 @@ class TestParallelLambdaRule:
         assert findings == []
 
 
+class TestSwallowExceptionRule:
+    def test_bare_except_fires(self):
+        findings = findings_for(
+            """\
+            def f():
+                try:
+                    work()
+                except:
+                    pass
+            """,
+            rel="parallel/example.py",
+        )
+        assert rule_ids(findings) == ["swallow-exception"]
+
+    def test_broad_except_dropping_exception_fires(self):
+        findings = findings_for(
+            """\
+            def f():
+                try:
+                    work()
+                except Exception:
+                    return None
+            """,
+            rel="faults/example.py",
+        )
+        assert rule_ids(findings) == ["swallow-exception"]
+
+    def test_broad_except_in_tuple_fires(self):
+        findings = findings_for(
+            """\
+            def f():
+                try:
+                    work()
+                except (OSError, Exception):
+                    pass
+            """,
+            rel="parallel/example.py",
+        )
+        assert rule_ids(findings) == ["swallow-exception"]
+
+    def test_reraise_allowed(self):
+        findings = findings_for(
+            """\
+            def f():
+                try:
+                    work()
+                except Exception:
+                    cleanup()
+                    raise
+            """,
+            rel="parallel/example.py",
+        )
+        assert findings == []
+
+    def test_recording_the_exception_allowed(self):
+        findings = findings_for(
+            """\
+            def f(causes):
+                try:
+                    work()
+                except Exception as error:
+                    causes[0] = f"send failed: {error}"
+            """,
+            rel="parallel/example.py",
+        )
+        assert findings == []
+
+    def test_narrow_except_allowed(self):
+        findings = findings_for(
+            """\
+            def f():
+                try:
+                    pipe.close()
+                except (BrokenPipeError, OSError):
+                    pass
+            """,
+            rel="parallel/example.py",
+        )
+        assert findings == []
+
+    def test_out_of_scope_package_allowed(self):
+        findings = findings_for(
+            """\
+            def f():
+                try:
+                    work()
+                except Exception:
+                    pass
+            """,
+            rel="workloads/example.py",
+        )
+        assert findings == []
+
+
 class TestSuppressions:
     def test_same_line_suppression(self):
         findings = findings_for(
@@ -499,6 +593,7 @@ class TestCli:
             "event-mutation",
             "float-time-eq",
             "trace-in-hot-loop",
+            "swallow-exception",
             "parallel-lambda",
         }
 
