@@ -139,6 +139,21 @@ class FaultPlan:
                     f"{spec.slave_id} gen {spec.generation} round {spec.round}"
                 )
             seen.add(key)
+        # A drop_report suppresses the very send a post_report kill is
+        # anchored to, so combining them on one (slave, generation,
+        # round) cannot execute the same way on both backends (serial
+        # raises on the drop before after_send ever runs).  Reject the
+        # contradiction up front instead of diverging at run time.
+        for spec in self.specs:
+            if spec.kind != "kill" or spec.phase != "post_report":
+                continue
+            slot = (spec.slave_id, spec.generation, spec.round)
+            if (*slot, "drop_report") in seen:
+                raise FaultError(
+                    f"contradictory faults for slave {spec.slave_id} gen "
+                    f"{spec.generation} round {spec.round}: drop_report "
+                    "suppresses the send a post_report kill fires after"
+                )
 
     def __len__(self) -> int:
         return len(self.specs)
@@ -195,20 +210,43 @@ class FaultPlan:
         rng = seeded_rng(seed)
         specs: List[FaultSpec] = []
         taken = set()
-        for _ in range(n_faults):
-            for _ in range(64):  # rejection-sample around duplicates
+        drops = set()       # slots holding a drop_report
+        post_kills = set()  # slots holding a kill/post_report
+        for index in range(n_faults):
+            # Rejection-sample around duplicates and contradictions
+            # (drop_report vs kill/post_report on one slot).
+            for _ in range(64):
                 kind = kinds[int(rng.integers(len(kinds)))]
                 slave = int(rng.integers(n_slaves))
                 round_number = int(rng.integers(1, max_round + 1))
+                phase = KILL_PHASES[int(rng.integers(len(KILL_PHASES)))]
                 key = (slave, 0, round_number, kind)
-                if key not in taken:
-                    taken.add(key)
-                    phase = KILL_PHASES[int(rng.integers(len(KILL_PHASES)))]
-                    specs.append(
-                        FaultSpec(kind=kind, slave_id=slave,
-                                  round=round_number, phase=phase)
-                    )
-                    break
+                slot = (slave, 0, round_number)
+                if key in taken:
+                    continue
+                if kind == "drop_report" and slot in post_kills:
+                    continue
+                if kind == "kill" and phase == "post_report" and slot in drops:
+                    continue
+                taken.add(key)
+                if kind == "drop_report":
+                    drops.add(slot)
+                elif kind == "kill" and phase == "post_report":
+                    post_kills.add(slot)
+                specs.append(
+                    FaultSpec(kind=kind, slave_id=slave,
+                              round=round_number, phase=phase)
+                )
+                break
+            else:
+                # Silently yielding fewer specs would let a fuzz run
+                # believe it injected faults it never placed.
+                raise FaultError(
+                    f"could not place fault {index + 1} of {n_faults} "
+                    f"after 64 attempts; the n_slaves={n_slaves} x "
+                    f"max_round={max_round} x {len(kinds)}-kind space "
+                    "is too small for the requested plan"
+                )
         return cls(specs=tuple(specs), seed=seed)
 
     # -- (de)serialization ---------------------------------------------------

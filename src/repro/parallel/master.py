@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+from multiprocessing.connection import wait as _wait_ready
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -183,6 +184,10 @@ def _process_slave_main(
         )
         report = _slave_report(experiment, slave_id, tracker)
         report = injector.filter_report(round_number, report)
+        # A dropped report skips after_send: there was no send for a
+        # post_report kill to follow.  FaultPlan rejects plans pairing
+        # drop_report with a post_report kill on one slot, so the two
+        # backends cannot diverge here (serial raises on the drop).
         if report is not None:
             conn.send(report)
             injector.after_send(round_number)
@@ -690,6 +695,13 @@ class ParallelSimulation:
         round_number: int,
         dead: List[int],
     ) -> CheckpointState:
+        # Every slave gets a record, dead ones included: a dead slave's
+        # generation, restart count, owed quota, and accounting must
+        # survive a resume, or a post-resume respawn would reset its
+        # budget and re-issue a seed the lineage already spent on the
+        # dead predecessor — double-counting the draws its reports
+        # contributed to the checkpointed merged histograms.  Which
+        # slaves are (permanently) dead is the separate cause map below.
         slaves = [
             SlaveCheckpoint(
                 slave_id=slave_id,
@@ -704,7 +716,6 @@ class ParallelSimulation:
                 prior_accepted=book.prior_accepted[slave_id],
             )
             for slave_id in range(self.n_slaves)
-            if slave_id not in dead
         ]
         return CheckpointState(
             master_seed=self.master_seed,
@@ -1225,37 +1236,72 @@ class ParallelSimulation:
                     if self.round_timeout is not None
                     else None
                 )
-                for slave_id, quota in commanded.items():
-                    status, report = self._recv_with_deadline(
-                        pipes[slave_id], deadline
+                # Wait on every outstanding pipe at once: a single hung
+                # slave must not consume the other slaves' share of the
+                # round deadline (sequential recvs would poll the
+                # slaves after it with ~0 time left and falsely declare
+                # them dead).  Any report that arrives within the round
+                # window counts, whatever the arrival order.
+                pending: Dict[int, int] = dict(commanded)
+                received: Dict[int, object] = {}
+                while pending:
+                    remaining = (
+                        max(0.0, deadline - time.monotonic())
+                        if deadline is not None
+                        else None
                     )
-                    if status == "timeout":
-                        self._mark_dead(
-                            book, slave_id, rounds,
-                            CAUSE_HEARTBEAT_TIMEOUT, quota,
-                        )
-                        dead_this_round.append(slave_id)
-                        continue
-                    if status == "eof":
-                        # A dead slave closes (EOFError) or resets its
-                        # pipe end; without this the master would block
-                        # forever after a partial round.
-                        self._mark_dead(
-                            book, slave_id, rounds,
-                            CAUSE_PIPE_CLOSED, quota,
-                        )
-                        dead_this_round.append(slave_id)
-                        continue
+                    ready = _wait_ready(
+                        [pipes[slave_id] for slave_id in sorted(pending)],
+                        timeout=remaining,
+                    )
+                    if not ready:
+                        # Round deadline expired with reports missing:
+                        # everyone still pending is hung.
+                        for slave_id in sorted(pending):
+                            self._mark_dead(
+                                book, slave_id, rounds,
+                                CAUSE_HEARTBEAT_TIMEOUT, pending[slave_id],
+                            )
+                            dead_this_round.append(slave_id)
+                        break
+                    by_pipe = {
+                        id(pipes[slave_id]): slave_id
+                        for slave_id in pending
+                    }
+                    for conn in ready:
+                        slave_id = by_pipe[id(conn)]
+                        quota = pending.pop(slave_id)
+                        try:
+                            received[slave_id] = conn.recv()
+                        except (
+                            EOFError, ConnectionResetError,
+                            BrokenPipeError, OSError,
+                        ):
+                            # A dead slave closes (EOFError) or resets
+                            # its pipe end; without this the master
+                            # would block forever after a partial round.
+                            self._mark_dead(
+                                book, slave_id, rounds,
+                                CAUSE_PIPE_CLOSED, quota,
+                            )
+                            dead_this_round.append(slave_id)
+                # Validate and merge in slave-id order regardless of
+                # arrival order: float accumulation is not associative,
+                # and merged digests must stay bit-identical run-to-run
+                # and backend-to-backend.
+                for slave_id in sorted(received):
+                    report = received[slave_id]
                     problem = self._report_problem(report, slave_id, schemes)
                     if problem is not None:
                         self._mark_dead(
                             book, slave_id, rounds,
-                            f"{CAUSE_CORRUPT_PAYLOAD}: {problem}", quota,
+                            f"{CAUSE_CORRUPT_PAYLOAD}: {problem}",
+                            commanded[slave_id],
                         )
                         dead_this_round.append(slave_id)
                         continue
                     reports.append(report)
-                    book.on_reported(slave_id, quota, report)
+                    book.on_reported(slave_id, commanded[slave_id], report)
                 for slave_id in dead_this_round:
                     drop_slave(slave_id)
                     dead.append(slave_id)

@@ -99,6 +99,24 @@ class TestFaultPlan:
         assert a.specs == b.specs
         assert len(a) == 3
 
+    def test_random_raises_instead_of_underdelivering(self):
+        # One slave x one round x one kind is a single slot; asking for
+        # two faults must fail loudly, not silently yield a 1-spec plan.
+        with pytest.raises(FaultError, match="could not place"):
+            FaultPlan.random(seed=0, n_slaves=1, max_round=1,
+                             n_faults=2, kinds=("kill",))
+
+    def test_drop_report_conflicts_with_post_report_kill(self):
+        # drop_report suppresses the send a post_report kill fires
+        # after; the combination executes differently on the two
+        # backends, so the plan is rejected up front.
+        with pytest.raises(FaultError, match="contradictory"):
+            FaultPlan(specs=(
+                FaultSpec(kind="drop_report", slave_id=0, round=2),
+                FaultSpec(kind="kill", slave_id=0, round=2,
+                          phase="post_report"),
+            ))
+
     def test_save_load_roundtrip(self, tmp_path):
         plan = FaultPlan.single("drop_report", slave_id=1, round=2)
         path = plan.save(tmp_path / "plan.json")
@@ -432,6 +450,19 @@ class TestRecovery:
         assert result.dead_slaves == [2]
         assert result.failure_causes[2] == "heartbeat timeout"
 
+    def test_hung_slave_does_not_starve_survivors(self):
+        # The master waits on all outstanding pipes concurrently: slave
+        # 0 hanging for the whole round window must not consume slaves
+        # 1-2's share of the deadline and cascade into false deaths.
+        plan = FaultPlan.single("hang", slave_id=0, round=1, delay=60.0)
+        result = ParallelSimulation(
+            factory, fault_plan=plan, round_timeout=3.0,
+            **{**KW, "backend": "process"},
+        ).run()
+        assert result.converged
+        assert result.dead_slaves == [0]
+        assert result.failure_causes == {0: "heartbeat timeout"}
+
     def test_all_slaves_dead_still_raises(self):
         plan = FaultPlan(specs=tuple(
             FaultSpec(kind="kill", slave_id=i, round=1, phase="pre_run")
@@ -490,6 +521,56 @@ class TestResume:
             ParallelSimulation(
                 factory, **{**KW, "chunk_size": 999}
             ).run(resume_from=path)
+
+    def test_dead_slave_state_survives_checkpoint(self, tmp_path):
+        # A permanently dead slave's generation, restart count, and
+        # accounting must be checkpointed too: resetting them on resume
+        # would refill the respawn budget and re-issue a seed the
+        # lineage already spent on the dead predecessor, replaying draws
+        # the checkpointed merged histograms already contain.
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="kill", slave_id=1, round=1, phase="pre_report"),
+            FaultSpec(kind="kill", slave_id=1, round=2, generation=1),
+        ))
+        policy = RespawnPolicy(max_restarts_per_slave=1,
+                               backoff_base=0.0, jitter=0.0)
+        path = tmp_path / "ck.jsonl"
+        ParallelSimulation(
+            factory, max_rounds=2, checkpoint_path=path,
+            fault_plan=plan, respawn=policy, **KW
+        ).run()
+        state = read_checkpoint(path)
+        recorded = {s.slave_id: s for s in state.slaves}
+        assert set(recorded) == {0, 1, 2}  # dead slave 1 included
+        assert recorded[1].generation == 1
+        assert recorded[1].restarts == 1
+        assert 1 in state.dead
+        resumed = ParallelSimulation(
+            factory, respawn=policy, **KW
+        ).run(resume_from=path)
+        # The spent budget survives the resume: slave 1 stays dead.
+        assert resumed.degraded
+        assert resumed.dead_slaves == [1]
+        assert resumed.restarts == 1
+
+    def test_resumed_degraded_run_keeps_dead_slave_accounting(self, tmp_path):
+        # Slave 1 reports round 1, then dies: its merged contribution
+        # and accepted/event counters must survive interrupt + resume.
+        plan = FaultPlan.single("kill", slave_id=1, round=1,
+                                phase="post_report")
+        uninterrupted = ParallelSimulation(
+            factory, fault_plan=plan, **KW
+        ).run()
+        path = tmp_path / "ck.jsonl"
+        ParallelSimulation(
+            factory, max_rounds=2, checkpoint_path=path,
+            fault_plan=plan, **KW
+        ).run()
+        resumed = ParallelSimulation(factory, **KW).run(resume_from=path)
+        assert resumed.degraded and resumed.dead_slaves == [1]
+        assert resumed.merged_digests == uninterrupted.merged_digests
+        assert resumed.total_accepted == uninterrupted.total_accepted
+        assert resumed.slave_events[1] == uninterrupted.slave_events[1] > 0
 
     def test_resume_after_chaos_respawn(self, tmp_path):
         # Interrupt a run whose slave 1 died and was respawned; the
