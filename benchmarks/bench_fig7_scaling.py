@@ -6,18 +6,21 @@ linearly", across the four departmental workloads, because the dominant
 cost is maintaining the enlarged discrete-event state while the required
 sample size stays roughly constant.
 
+Ported onto :mod:`repro.sweep`: the (workload x size) grid is a
+``SweepSpec`` executed over a persistent worker pool, so regeneration
+shares one fleet across all points instead of paying warm-up per point
+(``repro sweep`` regenerates it from the CLI the same way).  Points pin
+``base_seed`` through ``factory_kwargs`` to keep the figure's historical
+seeding; the lineage seed each point receives is ignored by design.
+
 Default sweep: 5 / 10 / 20 / 40 servers per workload (the paper's
 10 -> 10,000 sweep takes hours; set REPRO_BENCH_FULL=1 to extend to 100).
 The assertions check the scaling *shape*: wall time grows, sub-quadratic
 in cluster size, while the converged sample size stays flat.
 """
 
-import time
-
-import pytest
-
 from conftest import full_scale, save_rows
-from repro.casestudies import build_capped_cluster
+from repro.sweep import SweepRunner, SweepSpec
 
 WORKLOADS = ("dns", "mail", "shell", "web")
 
@@ -26,38 +29,49 @@ def sizes():
     return (5, 10, 20, 40, 100) if full_scale() else (5, 10, 20, 40)
 
 
-def run_point(workload, n_servers, seed=31):
-    cluster = build_capped_cluster(
+def fig7_point(seed, workload="web", n_servers=5, base_seed=31):
+    """One capped-cluster scaling point (module-level for the pool)."""
+    from repro.casestudies import build_capped_cluster
+
+    return build_capped_cluster(
         n_servers=n_servers,
         workload=workload,
         load=0.5,
         accuracy=0.1,
-        seed=seed,
+        seed=base_seed,
         cap_fraction=0.8,
         warmup_samples=300,
         calibration_samples=2000,
     )
-    started = time.perf_counter()
-    result = cluster.run(max_events=30_000_000)
-    wall = time.perf_counter() - started
-    return wall, result
 
 
-def sweep():
+def fig7_spec(base_seed=31):
+    return SweepSpec(
+        name="fig7-scaling",
+        kind="factory",
+        seed=31,
+        factory="bench_fig7_scaling:fig7_point",
+        factory_kwargs={"base_seed": base_seed},
+        axes={"workload": list(WORKLOADS), "n_servers": list(sizes())},
+        max_events=30_000_000,
+    )
+
+
+def sweep(backend="pool", jobs=4):
+    result = SweepRunner(fig7_spec(), backend=backend, jobs=jobs).run()
     rows = []
-    for workload in WORKLOADS:
-        for n_servers in sizes():
-            wall, result = run_point(workload, n_servers)
-            rows.append(
-                (
-                    workload,
-                    n_servers,
-                    wall,
-                    result.events_processed,
-                    result["response_time"].accepted,
-                    result.converged,
-                )
+    for point in result.points:
+        estimate = point.estimate("response_time")
+        rows.append(
+            (
+                point.params["workload"],
+                point.params["n_servers"],
+                point.payload["point_wall_time"],
+                point.payload["events_processed"],
+                estimate["accepted"],
+                point.converged,
             )
+        )
     return rows
 
 
@@ -96,6 +110,18 @@ def test_fig7_scaling(benchmark):
 
 def test_fig7_events_scale_with_servers():
     """Event count (not sample size) is what grows with the cluster."""
-    _, small = run_point("web", 5, seed=37)
-    _, large = run_point("web", 40, seed=37)
-    assert large.events_processed > 2 * small.events_processed
+    spec = SweepSpec(
+        name="fig7-events",
+        kind="factory",
+        seed=37,
+        factory="bench_fig7_scaling:fig7_point",
+        factory_kwargs={"base_seed": 37, "workload": "web"},
+        axes={"n_servers": [5, 40]},
+        max_events=30_000_000,
+    )
+    result = SweepRunner(spec, backend="serial").run()
+    small, large = result.points
+    assert (
+        large.payload["events_processed"]
+        > 2 * small.payload["events_processed"]
+    )

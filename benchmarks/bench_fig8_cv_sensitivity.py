@@ -5,21 +5,30 @@ coefficient of variation and tracks how many simulated events are needed
 to reach accuracy E = 0.05 on response time: higher Cv inflates output
 variance and, via Eq. 2, the required sample grows with sigma^2 — a
 disproportionate increase that only bites at tight accuracies.
+
+Ported onto :mod:`repro.sweep`: the (Cv x accuracy) grid is a
+``SweepSpec`` over :func:`fig8_point`, runnable from the CLI via
+``repro sweep`` (see ``examples/sweeps/fig8_cv.toml``).  Points pin
+``base_seed`` through ``factory_kwargs`` so the figure keeps its
+historical single-seed statistics.
 """
 
 import pytest
 
 from conftest import save_rows
-from repro import Experiment, Server, Workload
-from repro.distributions import Exponential, fit_mean_cv
+from repro.sweep import SweepRunner, SweepSpec
 
 CV_VALUES = (1.0, 2.0, 4.0)
 SERVICE_MEAN = 0.05
 LOAD = 0.5
 
 
-def events_to_converge(cv, accuracy, seed=41):
-    experiment = Experiment(seed=seed, warmup_samples=300,
+def fig8_point(seed, cv=1.0, accuracy=0.1, base_seed=41):
+    """One Cv-sensitivity point (module-level for the pool)."""
+    from repro import Experiment, Server, Workload
+    from repro.distributions import Exponential, fit_mean_cv
+
+    experiment = Experiment(seed=base_seed, warmup_samples=300,
                             calibration_samples=2000)
     server = Server(cores=1)
     workload = Workload(
@@ -30,17 +39,55 @@ def events_to_converge(cv, accuracy, seed=41):
     experiment.add_source(workload, target=server)
     experiment.track_response_time(server, mean_accuracy=accuracy,
                                    quantiles=None)
-    result = experiment.run(max_events=40_000_000)
-    statistic = experiment.stats["response_time"]
-    return result.events_processed, statistic.accepted, result.converged
+    return experiment
 
 
-def sweep():
+def fig8_spec(base_seed=41):
+    return SweepSpec(
+        name="fig8-cv-sensitivity",
+        kind="factory",
+        seed=41,
+        factory="bench_fig8_cv_sensitivity:fig8_point",
+        factory_kwargs={"base_seed": base_seed},
+        axes={"cv": list(CV_VALUES), "accuracy": [0.2, 0.1, 0.05]},
+        max_events=40_000_000,
+    )
+
+
+def events_to_converge(cv, accuracy, seed=41):
+    """One point through the same sweep path (single-point spec)."""
+    spec = SweepSpec(
+        name="fig8-point",
+        kind="factory",
+        seed=seed,
+        factory="bench_fig8_cv_sensitivity:fig8_point",
+        factory_kwargs={"base_seed": seed},
+        grid=({"cv": cv, "accuracy": accuracy},),
+        max_events=40_000_000,
+    )
+    point = SweepRunner(spec, backend="serial").run().points[0]
+    estimate = point.estimate("response_time")
+    return (
+        point.payload["events_processed"],
+        estimate["accepted"],
+        point.converged,
+    )
+
+
+def sweep(backend="pool", jobs=4):
+    result = SweepRunner(fig8_spec(), backend=backend, jobs=jobs).run()
     rows = []
-    for cv in CV_VALUES:
-        for accuracy in (0.2, 0.1, 0.05):
-            events, accepted, converged = events_to_converge(cv, accuracy)
-            rows.append((cv, accuracy, events, accepted, converged))
+    for point in result.points:
+        estimate = point.estimate("response_time")
+        rows.append(
+            (
+                point.params["cv"],
+                point.params["accuracy"],
+                point.payload["events_processed"],
+                estimate["accepted"],
+                point.converged,
+            )
+        )
     return rows
 
 

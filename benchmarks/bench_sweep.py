@@ -1,0 +1,182 @@
+"""Sweep-engine benchmark: persistent pool vs per-point fleet spawn.
+
+The historical way to regenerate a figure was a hand-rolled loop that
+spun up a fresh ``ParallelSimulation`` slave fleet for every point —
+paying process spawn, warm-up, and calibration *per slave per point*
+(the fig10 ``run_point`` pattern).  ``repro.sweep`` instead keeps one
+persistent pool alive across the whole sweep: each point runs whole on
+one worker, so warm-up and calibration are paid once per point and
+process startup once per sweep.
+
+This benchmark runs the same 8-point fig7-style sweep (a web-workload
+cluster at sizes 2-9, response time on the observed server) through:
+
+- **spawn loop** — fresh ``ParallelSimulation`` fleet of ``JOBS`` slaves
+  per point, torn down after each (the historical loop);
+- **pool, cold** — ``SweepRunner`` pool backend, ``JOBS`` persistent
+  workers, empty content-addressed cache;
+- **pool, warm** — the identical run again: every point must come from
+  the cache with bit-identical per-metric histogram digests.
+
+Acceptance bars (checked here, recorded in ``BENCH_sweep.json`` at the
+repo root): pool >= 2x faster than the spawn loop; warm rerun < 5% of
+the cold pool time with identical digests.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py
+    PYTHONPATH=src python benchmarks/bench_sweep.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from repro.parallel import ParallelSimulation  # noqa: E402
+from repro.sweep import SweepCache, SweepRunner, SweepSpec  # noqa: E402
+
+JOBS = 4
+SIZES = (2, 3, 4, 5, 6, 7, 8, 9)  # 8 points
+WARMUP = 300
+CALIBRATION = 2000
+
+
+def sweep_point(seed, n_servers=4, accuracy=0.1):
+    """One fig7-style point (module-level so pool workers can import it)."""
+    from repro import Experiment, Server
+    from repro.workloads import by_name
+
+    experiment = Experiment(seed=seed, warmup_samples=WARMUP,
+                            calibration_samples=CALIBRATION)
+    workload = by_name("web").at_load(0.5)
+    servers = [Server(cores=1, name=f"s{index}") for index in range(n_servers)]
+    for server in servers:
+        experiment.add_source(workload, target=server)
+    experiment.track_response_time(servers[0], mean_accuracy=accuracy)
+    return experiment
+
+
+def sweep_spec(smoke: bool = False) -> SweepSpec:
+    return SweepSpec(
+        name="bench-sweep",
+        kind="factory",
+        seed=71,
+        factory="bench_sweep:sweep_point",
+        factory_kwargs={"accuracy": 0.2 if smoke else 0.1},
+        axes={"n_servers": list(SIZES)},
+        max_events=30_000_000,
+    )
+
+
+def spawn_loop(spec: SweepSpec) -> float:
+    """The historical loop: one fresh slave fleet per point."""
+    started = time.perf_counter()
+    for point in spec.points():
+        kwargs = dict(spec.factory_kwargs)
+        kwargs.update(point.params)
+        simulation = ParallelSimulation(
+            sweep_point,
+            factory_kwargs=kwargs,
+            n_slaves=JOBS,
+            master_seed=point.seed,
+            backend="process",
+            chunk_size=2000,
+        )
+        result = simulation.run()
+        if not result.converged:
+            raise RuntimeError(f"spawn-loop point {point.params} diverged")
+    return time.perf_counter() - started
+
+
+def timed_pool(spec: SweepSpec, cache: SweepCache):
+    started = time.perf_counter()
+    result = SweepRunner(spec, backend="pool", jobs=JOBS, cache=cache).run()
+    return time.perf_counter() - started, result
+
+
+def git_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="loose-accuracy points for a quick sanity run")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_sweep.json"))
+    args = parser.parse_args(argv)
+
+    spec = sweep_spec(smoke=args.smoke)
+    cache_root = Path(tempfile.mkdtemp(prefix="bench-sweep-cache-"))
+    try:
+        print(f"spawn loop: {len(spec.points())} points x {JOBS}-slave "
+              "fleets, fresh per point ...")
+        spawn_wall = spawn_loop(spec)
+
+        print(f"pool, cold cache: {JOBS} persistent workers ...")
+        cold_wall, cold_result = timed_pool(spec, SweepCache(cache_root))
+
+        print("pool, warm cache ...")
+        warm_wall, warm_result = timed_pool(spec, SweepCache(cache_root))
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    digests = cold_result.digests()
+    speedup = spawn_wall / cold_wall
+    warm_fraction = warm_wall / cold_wall
+    identical = warm_result.digests() == digests
+
+    report = {
+        "commit": git_commit(),
+        "python": platform.python_version(),
+        "smoke": args.smoke,
+        "points": len(spec.points()),
+        "jobs": JOBS,
+        "spawn_loop_wall_seconds": round(spawn_wall, 4),
+        "pool_cold_wall_seconds": round(cold_wall, 4),
+        "pool_warm_wall_seconds": round(warm_wall, 4),
+        "pool_speedup_vs_spawn": round(speedup, 2),
+        "warm_fraction_of_cold": round(warm_fraction, 4),
+        "warm_cache_hits": warm_result.cache_hits,
+        "digests_bit_identical": identical,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+    failures = []
+    if not identical:
+        failures.append("histogram digests differ between cold and warm runs")
+    if warm_result.cache_hits != len(spec.points()):
+        failures.append(
+            f"warm run recomputed points ({warm_result.cache_hits} hits)"
+        )
+    if speedup < 2.0:
+        failures.append(f"pool speedup {speedup:.2f}x < 2x")
+    if warm_fraction > 0.05:
+        failures.append(
+            f"warm rerun took {warm_fraction:.1%} of cold (>= 5%)"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,31 +5,58 @@ service distributions for DNS, Mail, Shell, Google, and Web.  Our
 workloads are synthesized to those moments exactly (analytic fits) and
 approximately (empirical CDF materialization); this benchmark regenerates
 the table from both paths and times the empirical materialization.
+
+Ported onto :mod:`repro.sweep` via the ``task`` point kind: each table
+row is a pure computation point, so the table regenerates through the
+same spec/cache/pool machinery as the experiment figures.
 """
 
-import numpy as np
 import pytest
 
 from conftest import save_rows
+from repro.sweep import SweepRunner, SweepSpec
 from repro.workloads import TABLE1_SPECS, by_name
 
 
+def table1_point(seed, name="web", empirical=False):
+    """Moments of one workload model (the 'task' sweep kind)."""
+    workload = by_name(name, empirical=empirical)
+    return {
+        "name": name,
+        "ia_mean": workload.interarrival.mean(),
+        "ia_std": workload.interarrival.std(),
+        "ia_cv": workload.interarrival.cv(),
+        "svc_mean": workload.service.mean(),
+        "svc_std": workload.service.std(),
+        "svc_cv": workload.service.cv(),
+    }
+
+
+def table1_spec(empirical=False):
+    return SweepSpec(
+        name="table1-moments",
+        kind="task",
+        seed=1,
+        factory="bench_table1_workloads:table1_point",
+        factory_kwargs={"empirical": empirical},
+        axes={"name": list(TABLE1_SPECS)},
+    )
+
+
 def regenerate_table1(empirical: bool = False):
-    rows = []
-    for name, spec in TABLE1_SPECS.items():
-        workload = by_name(name, empirical=empirical)
-        rows.append(
-            (
-                name,
-                workload.interarrival.mean(),
-                workload.interarrival.std(),
-                workload.interarrival.cv(),
-                workload.service.mean(),
-                workload.service.std(),
-                workload.service.cv(),
-            )
+    result = SweepRunner(table1_spec(empirical), backend="serial").run()
+    return [
+        (
+            point.task["name"],
+            point.task["ia_mean"],
+            point.task["ia_std"],
+            point.task["ia_cv"],
+            point.task["svc_mean"],
+            point.task["svc_std"],
+            point.task["svc_cv"],
         )
-    return rows
+        for point in result.points
+    ]
 
 
 HEADER = [

@@ -9,7 +9,10 @@ a launcher — without writing any Python:
 - ``characterize <trace.txt>`` — distill a two-column
   ``arrival_time size`` trace into empirical distribution files (the
   Fig. 1 "offline benchmarking" path);
-- ``theory mm1|mmk|mg1 ...`` — closed-form baselines for quick checks.
+- ``theory mm1|mmk|mg1 ...`` — closed-form baselines for quick checks;
+- ``sweep <spec.toml|spec.json>`` — run a whole parameter sweep over a
+  persistent worker pool with content-addressed caching (see
+  ``docs/sweeps.md``).
 """
 
 from __future__ import annotations
@@ -238,6 +241,70 @@ def _cmd_theory(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import SweepRunner, SweepSpec
+
+    try:
+        spec = SweepSpec.load(args.spec)
+    except Exception as error:  # surface as a CLI error, not a traceback
+        print(f"sweep: cannot load {args.spec}: {error}", file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.chaos:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.load(args.chaos)
+    respawn = None
+    if args.respawn:
+        from repro.faults import RespawnPolicy
+
+        respawn = RespawnPolicy(max_restarts_per_slave=args.max_restarts)
+    tracer, progress = _make_observability(args)
+
+    def on_point(point):
+        if progress is not None:
+            status = "cached" if point.cached else (
+                "ok" if point.converged else "UNCONVERGED"
+            )
+            print(
+                f"sweep {spec.name}: point {point.name} [{status}] "
+                f"digest={point.digest}",
+                file=sys.stderr,
+            )
+
+    runner = SweepRunner(
+        spec,
+        backend=args.backend,
+        jobs=args.jobs,
+        cache=args.cache,
+        force=args.force,
+        respawn=respawn,
+        fault_plan=fault_plan,
+        job_timeout=args.point_timeout,
+        tracer=tracer,
+        on_point=on_point,
+    )
+    try:
+        result = runner.run()
+    finally:
+        if tracer is not None:
+            tracer.close()
+    document = result.to_dict()
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(
+            f"sweep {spec.name}: {len(result.points)} points "
+            f"({result.cache_hits} cached, {result.computed} computed) "
+            f"in {result.wall_time:.2f}s -> {args.out}"
+        )
+    else:
+        json.dump(document, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    return 0 if result.converged else 3
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -383,6 +450,66 @@ def build_parser() -> argparse.ArgumentParser:
     theory.add_argument("--cv", type=float, default=1.0,
                         help="service Cv (mg1)")
     theory.set_defaults(handler=_cmd_theory)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="run a parameter sweep over a persistent worker pool",
+    )
+    sweep.add_argument("spec", help="sweep spec (.toml or .json)")
+    sweep.add_argument(
+        "--jobs", type=int, metavar="N", default=None,
+        help="persistent pool width (default: up to 4 workers)",
+    )
+    sweep.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help=(
+            "content-addressed point cache; re-runs serve unchanged "
+            "points from here and recompute only edited ones"
+        ),
+    )
+    sweep.add_argument(
+        "--force", action="store_true",
+        help="recompute every point even on a cache hit",
+    )
+    sweep.add_argument(
+        "--backend", choices=("pool", "spawn", "serial"), default="pool",
+        help=(
+            "pool = persistent workers (default); spawn = fresh process "
+            "per point; serial = in-process"
+        ),
+    )
+    sweep.add_argument(
+        "--chaos", metavar="PLAN", default=None,
+        help="inject a fault plan into the pool workers (JSON path or inline)",
+    )
+    sweep.add_argument(
+        "--respawn", action="store_true",
+        help="replace dead pool workers instead of degrading the pool",
+    )
+    sweep.add_argument(
+        "--max-restarts", type=int, metavar="N", default=2,
+        help="per-worker respawn budget for --respawn (default: 2)",
+    )
+    sweep.add_argument(
+        "--point-timeout", type=float, metavar="SECONDS", default=600.0,
+        help=(
+            "per-point deadline; a silent worker is declared dead and "
+            "its point requeued (default: 600)"
+        ),
+    )
+    sweep.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a JSON-lines trace (per-point events, pool records)",
+    )
+    sweep.add_argument(
+        "--progress", type=float, metavar="SECONDS", default=None,
+        help="report per-point completion to stderr",
+    )
+    sweep.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the sweep result document to PATH instead of stdout",
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
     return parser
 
 

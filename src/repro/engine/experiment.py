@@ -380,7 +380,13 @@ class Experiment:
         self, additional: int, max_events: Optional[int] = None
     ) -> ExperimentResult:
         """Run until ``additional`` more observations have been accepted
-        across all metrics (a slave measurement chunk, Fig. 3)."""
+        across all metrics (a slave measurement chunk, Fig. 3).
+
+        Also stops once every metric has locally converged: a converged
+        statistic ignores further observations, so past that point the
+        quota is unreachable and extra events change nothing about the
+        report — they would only burn wall-clock until ``max_events``.
+        """
         if additional < 1:
             raise ValueError(f"additional must be >= 1, got {additional}")
         target = self.stats.total_accepted + additional
@@ -388,6 +394,7 @@ class Experiment:
         self._run_loop(
             stop_when=self._stop_condition(
                 lambda: self.stats.total_accepted >= target
+                or self.stats.all_converged
             ),
             max_events=max_events,
         )

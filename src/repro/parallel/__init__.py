@@ -16,6 +16,10 @@ bottleneck that limits speedup beyond ~16 slaves (Fig. 10).
 
 Backends: ``serial`` (in-process, deterministic, used in tests) and
 ``process`` (one OS process per slave via :mod:`multiprocessing`).
+:mod:`repro.parallel.pool` adds the reusable-pool mode — persistent
+workers that accept successive ``configure`` messages instead of dying
+after one experiment — used by :mod:`repro.sweep` to amortize spawn
+cost across a whole parameter sweep.
 """
 
 from repro.parallel.protocol import (
@@ -26,6 +30,7 @@ from repro.parallel.protocol import (
     histogram_delta,
 )
 from repro.parallel.master import ParallelResult, ParallelSimulation
+from repro.parallel.pool import PoolError, PoolJobError, PoolStats, WorkerPool
 from repro.parallel.replications import (
     ReplicatedEstimate,
     ReplicationResult,
@@ -40,6 +45,10 @@ __all__ = [
     "ParallelError",
     "ParallelResult",
     "ParallelSimulation",
+    "PoolError",
+    "PoolJobError",
+    "PoolStats",
+    "WorkerPool",
     "ReplicatedEstimate",
     "ReplicationResult",
     "run_replications",

@@ -1,0 +1,443 @@
+"""A persistent, reusable slave pool for multi-experiment orchestration.
+
+The classic master (:mod:`repro.parallel.master`) spawns slaves for
+*one* experiment and tears them down when it converges.  A sweep — a
+family of tens of experiment points — would pay that full process
+spawn cost per point and share nothing.  :class:`WorkerPool` is the
+reusable-pool mode: slaves are spawned once and accept successive
+``("configure", job_id, payload)`` messages, each building and running
+a complete experiment point before reporting its result and waiting for
+the next configure — so interpreter start-up, imports, and fork cost
+are paid once per *sweep*, not once per *point*.
+
+Scheduling is dynamic (work stealing in the master-queue sense): every
+idle worker immediately pulls the next pending point, so a slow point
+on one worker never serializes the rest of the grid behind it.  The
+result of a point is a pure function of its job payload, so scheduling
+order cannot affect results — determinism is preserved by construction.
+
+Fault tolerance mirrors the master's contract: every recv carries a
+deadline, every death gets a machine-readable cause code from
+:mod:`repro.parallel.protocol`, a dead worker's in-flight point is
+requeued (a death costs one point's recompute, not the sweep), and a
+:class:`~repro.faults.recovery.RespawnPolicy` replaces the worker under
+a fresh generation.  A seeded :class:`~repro.faults.plan.FaultPlan`
+injects deterministic failures for chaos tests; ``round`` in a spec
+addresses the n-th configure of one worker incarnation (1-based).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from multiprocessing.connection import wait as _wait_ready
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.faults.injector import KILL_EXIT_STATUS
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.recovery import RespawnPolicy, derive_seed
+from repro.parallel.protocol import (
+    CAUSE_CORRUPT_PAYLOAD,
+    CAUSE_HEARTBEAT_TIMEOUT,
+    CAUSE_PIPE_CLOSED,
+    CAUSE_SEND_FAILED,
+    ParallelError,
+)
+
+
+class PoolError(ParallelError):
+    """Raised when the pool cannot finish the submitted work."""
+
+
+class PoolJobError(PoolError):
+    """A job raised inside a worker (deterministic; never retried)."""
+
+
+# -- worker-side fault execution ----------------------------------------------
+
+
+def _find_fault(
+    specs: Tuple[FaultSpec, ...], round_number: int, kind: str,
+    phase: Optional[str] = None,
+) -> Optional[FaultSpec]:
+    for spec in specs:
+        if spec.round != round_number or spec.kind != kind:
+            continue
+        if phase is not None and spec.phase != phase:
+            continue
+        return spec
+    return None
+
+
+def corrupt_result(payload: dict) -> dict:
+    """Deterministically mangle a result payload.
+
+    Mirrors the shapes real corruption takes on the wire: the integrity
+    digest no longer matches and a required key is truncated away, so
+    the master-side validator must catch it before the result is
+    accepted (never silently served).
+    """
+    mangled = dict(payload)
+    mangled["point_digest"] = "0" * 32
+    mangled.pop("converged", None)
+    return mangled
+
+
+def _pool_worker_main(conn, worker_id, runner, faults=()):
+    """One pool slave: configure → run → report, until told to stop."""
+    rounds = 0
+    while True:
+        message = conn.recv()
+        if message == "stop":
+            conn.close()
+            return
+        if not (
+            isinstance(message, tuple)
+            and len(message) == 3
+            and message[0] == "configure"
+        ):  # pragma: no cover - protocol guard
+            raise PoolError(f"unknown pool command: {message!r}")
+        _, job_id, job = message
+        rounds += 1
+        if _find_fault(faults, rounds, "kill", phase="pre_run") is not None:
+            os._exit(KILL_EXIT_STATUS)
+        hang = _find_fault(faults, rounds, "hang")
+        if hang is not None:
+            time.sleep(hang.delay)
+        try:
+            payload = runner(job)
+        except Exception as error:  # simlint: disable=swallow-exception
+            # Deliberate boundary: the exception is serialized to the
+            # master, which raises PoolJobError with this context.
+            conn.send(("error", job_id, f"{type(error).__name__}: {error}"))
+            continue
+        if _find_fault(faults, rounds, "kill", phase="pre_report") is not None:
+            os._exit(KILL_EXIT_STATUS)
+        if _find_fault(faults, rounds, "drop_report") is not None:
+            continue  # silent: the master's deadline must catch it
+        if _find_fault(faults, rounds, "corrupt_payload") is not None:
+            payload = corrupt_result(payload)
+        conn.send(("result", job_id, payload))
+        if _find_fault(faults, rounds, "kill", phase="post_report") is not None:
+            os._exit(KILL_EXIT_STATUS)
+
+
+# -- master side --------------------------------------------------------------
+
+
+@dataclass
+class PoolStats:
+    """Health accounting for one pool lifetime."""
+
+    n_workers: int = 0
+    jobs_completed: int = 0
+    jobs_requeued: int = 0
+    deaths: int = 0
+    restarts: int = 0
+    #: worker id -> cause code for workers left permanently dead.
+    failure_causes: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one dead worker was never replaced."""
+        return bool(self.failure_causes)
+
+
+class WorkerPool:
+    """A fleet of persistent experiment workers.
+
+    Parameters
+    ----------
+    runner:
+        Module-level (picklable) ``runner(job: dict) -> dict`` executed
+        for every configured job inside the worker process.
+    n_workers:
+        Fleet size.
+    master_seed:
+        Seeds the deterministic respawn-backoff jitter.
+    job_timeout:
+        Per-job report deadline in host seconds; a worker silent past
+        it is declared dead (cause ``heartbeat timeout``) and its job
+        requeued.  ``None`` disables the deadline.
+    respawn:
+        :class:`RespawnPolicy` for replacing dead workers, or ``None``
+        to shrink the fleet on each death (the sweep still finishes on
+        survivors; ``PoolError`` only if every worker dies).
+    fault_plan:
+        Injected failures for chaos runs; specs address
+        ``(worker id, generation, n-th configure)``.
+    validate:
+        Optional master-side ``validate(job, payload) -> Optional[str]``
+        returning a rejection reason; a rejected result condemns the
+        worker (cause ``corrupt payload``) and requeues the job.
+    tracer:
+        Optional :class:`repro.observability.Tracer`; the pool emits
+        ``pool/*`` events (spawn, dead, respawn, drain).
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[dict], dict],
+        n_workers: int = 4,
+        master_seed: int = 0,
+        job_timeout: Optional[float] = 600.0,
+        respawn: Optional[RespawnPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        validate: Optional[Callable[[dict, dict], Optional[str]]] = None,
+        tracer=None,
+        context: str = "fork",
+    ):
+        if n_workers < 1:
+            raise PoolError(f"need >= 1 worker, got {n_workers}")
+        if job_timeout is not None and job_timeout <= 0:
+            raise PoolError(
+                f"job_timeout must be > 0 or None, got {job_timeout}"
+            )
+        self.runner = runner
+        self.n_workers = n_workers
+        self.master_seed = master_seed
+        self.job_timeout = job_timeout
+        self.respawn = respawn
+        self.fault_plan = fault_plan
+        self.validate = validate
+        self.tracer = tracer
+        self._context = get_context(context)
+        self._pipes: Dict[int, object] = {}
+        self._processes: Dict[int, object] = {}
+        self._generation: Dict[int, int] = {}
+        self._restarts: Dict[int, int] = {}
+        self._started = False
+        self.stats = PoolStats(n_workers=n_workers)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "WorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def _trace(self, name: str, **fields) -> None:
+        if self.tracer is not None:
+            self.tracer.event(name, component="pool", **fields)
+
+    def _worker_faults(self, worker_id: int, generation: int):
+        if self.fault_plan is None:
+            return ()
+        return self.fault_plan.for_slave(worker_id, generation)
+
+    def _spawn(self, worker_id: int) -> None:
+        generation = self._generation.setdefault(worker_id, 0)
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_pool_worker_main,
+            args=(
+                child_conn,
+                worker_id,
+                self.runner,
+                self._worker_faults(worker_id, generation),
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._pipes[worker_id] = parent_conn
+        self._processes[worker_id] = process
+        self._trace("spawn", worker=worker_id, generation=generation)
+
+    def start(self) -> None:
+        """Spawn the fleet (idempotent)."""
+        if self._started:
+            return
+        for worker_id in range(self.n_workers):
+            self._restarts.setdefault(worker_id, 0)
+            self._spawn(worker_id)
+        self._started = True
+
+    def shutdown(self) -> None:
+        """Stop every worker, escalating join → terminate → kill."""
+        if not self._started and not self._processes:
+            return
+        # Reuse the master's escalation path: a wedged worker must not
+        # hang the sweep's exit.
+        from repro.parallel.master import ParallelSimulation
+
+        ParallelSimulation._shutdown_slaves(
+            [self._processes[i] for i in sorted(self._processes)],
+            [self._pipes[i] for i in sorted(self._pipes)],
+            tracer=self.tracer,
+        )
+        self._pipes.clear()
+        self._processes.clear()
+        self._started = False
+
+    @property
+    def alive_workers(self) -> List[int]:
+        """Worker ids currently accepting configures."""
+        return sorted(self._pipes)
+
+    # -- failure handling ----------------------------------------------------
+
+    def _condemn(
+        self, worker_id: int, cause: str,
+        pending: deque, busy: Dict[int, tuple],
+    ) -> None:
+        """Drop one worker; requeue its in-flight job; maybe respawn."""
+        self.stats.deaths += 1
+        assignment = busy.pop(worker_id, None)
+        if assignment is not None:
+            # The dead worker costs exactly its one in-flight point.
+            pending.appendleft(assignment[0])
+            self.stats.jobs_requeued += 1
+        pipe = self._pipes.pop(worker_id, None)
+        if pipe is not None:
+            try:
+                pipe.close()
+            except OSError:  # pragma: no cover
+                pass
+        process = self._processes.pop(worker_id, None)
+        if process is not None:
+            from repro.parallel.master import ParallelSimulation
+
+            ParallelSimulation._reap(process)
+        generation = self._generation[worker_id]
+        self._trace(
+            "dead", worker=worker_id, cause=cause, generation=generation
+        )
+        if self.respawn is not None and self.respawn.allows(
+            self._restarts[worker_id], self.stats.restarts
+        ):
+            next_generation = generation + 1
+            delay = self.respawn.delay(
+                next_generation,
+                jitter_seed=derive_seed(
+                    self.master_seed, worker_id, next_generation
+                ),
+            )
+            if delay > 0.0:
+                time.sleep(delay)
+            self._generation[worker_id] = next_generation
+            self._restarts[worker_id] += 1
+            self.stats.restarts += 1
+            self._spawn(worker_id)
+            self._trace(
+                "respawn", worker=worker_id, generation=next_generation,
+                backoff=delay,
+            )
+        else:
+            self.stats.failure_causes[worker_id] = cause
+
+    # -- the scheduling loop -------------------------------------------------
+
+    def map(self, jobs: List[Tuple[object, dict]]) -> Dict[object, dict]:
+        """Run every ``(job_id, payload)`` job; return results by id.
+
+        Idle workers pull pending jobs as soon as they report, so the
+        schedule load-balances itself.  Worker deaths requeue their
+        in-flight job; a job that *raises* inside a worker surfaces as
+        :class:`PoolJobError` immediately (it would fail identically on
+        any worker).
+        """
+        self.start()
+        pending: deque = deque(jobs)
+        busy: Dict[int, tuple] = {}  # worker -> ((job_id, payload), deadline)
+        results: Dict[object, dict] = {}
+        while pending or busy:
+            if not self._pipes:
+                raise PoolError(
+                    f"every pool worker has died "
+                    f"({self.n_workers} started); causes: "
+                    f"{self.stats.failure_causes}"
+                )
+            # Feed every idle worker before blocking.
+            for worker_id in sorted(self._pipes):
+                if not pending:
+                    break
+                if worker_id in busy:
+                    continue
+                job = pending.popleft()
+                try:
+                    self._pipes[worker_id].send(("configure", job[0], job[1]))
+                except (BrokenPipeError, OSError) as error:
+                    # The job never started, so it goes straight back to
+                    # the queue without counting as a requeue.
+                    pending.appendleft(job)
+                    self._condemn(
+                        worker_id, f"{CAUSE_SEND_FAILED}: {error}",
+                        pending, busy,
+                    )
+                    continue
+                deadline = (
+                    time.monotonic() + self.job_timeout
+                    if self.job_timeout is not None
+                    else None
+                )
+                busy[worker_id] = (job, deadline)
+            if not busy:
+                continue  # all survivors were condemned while feeding
+            deadlines = [d for _, d in busy.values() if d is not None]
+            remaining = (
+                max(0.0, min(deadlines) - time.monotonic())
+                if deadlines
+                else None
+            )
+            ready = _wait_ready(
+                [self._pipes[w] for w in sorted(busy)], timeout=remaining
+            )
+            if not ready:
+                now = time.monotonic()
+                for worker_id in sorted(busy):
+                    deadline = busy[worker_id][1]
+                    if deadline is not None and now >= deadline:
+                        self._condemn(
+                            worker_id, CAUSE_HEARTBEAT_TIMEOUT, pending, busy
+                        )
+                continue
+            by_pipe = {id(self._pipes[w]): w for w in busy}
+            for conn in ready:
+                worker_id = by_pipe[id(conn)]
+                job = busy[worker_id][0]
+                try:
+                    message = conn.recv()
+                except (
+                    EOFError, ConnectionResetError, BrokenPipeError, OSError,
+                ):
+                    self._condemn(
+                        worker_id, CAUSE_PIPE_CLOSED, pending, busy
+                    )
+                    continue
+                tag = message[0] if isinstance(message, tuple) else None
+                if tag == "error":
+                    raise PoolJobError(
+                        f"job {message[1]!r} failed in worker "
+                        f"{worker_id}: {message[2]}"
+                    )
+                if tag != "result" or message[1] != job[0]:
+                    self._condemn(
+                        worker_id,
+                        f"{CAUSE_CORRUPT_PAYLOAD}: unexpected message "
+                        f"{tag!r}",
+                        pending, busy,
+                    )
+                    continue
+                payload = message[2]
+                problem = (
+                    self.validate(job[1], payload)
+                    if self.validate is not None
+                    else None
+                )
+                if problem is not None:
+                    self._condemn(
+                        worker_id,
+                        f"{CAUSE_CORRUPT_PAYLOAD}: {problem}",
+                        pending, busy,
+                    )
+                    continue
+                busy.pop(worker_id)
+                results[job[0]] = payload
+                self.stats.jobs_completed += 1
+        return results

@@ -11,6 +11,17 @@ rows; ``python -m repro.validation`` prints them as a report.  The test
 suite asserts every case passes within its tolerance.
 """
 
+from repro.validation.acceptance import (
+    FULL_POINTS,
+    SMOKE_POINTS,
+    build_acceptance_spec,
+    evaluate,
+    format_acceptance_table,
+    queue_point_factory,
+    run_acceptance,
+    theoretical_value,
+    write_acceptance_table,
+)
 from repro.validation.suite import (
     ValidationCase,
     run_validation_suite,
@@ -21,10 +32,19 @@ from repro.validation.suite import (
 )
 
 __all__ = [
+    "FULL_POINTS",
+    "SMOKE_POINTS",
     "ValidationCase",
+    "build_acceptance_spec",
+    "evaluate",
+    "format_acceptance_table",
+    "queue_point_factory",
+    "run_acceptance",
     "run_validation_suite",
+    "theoretical_value",
     "validate_mm1",
     "validate_mmk",
     "validate_mg1",
     "validate_ps",
+    "write_acceptance_table",
 ]

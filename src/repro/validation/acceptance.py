@@ -1,0 +1,287 @@
+"""Statistical acceptance harness: a sweep over closed-form queues.
+
+The single validation path: every sim-vs-theory comparison — the
+classic :mod:`repro.validation.suite` validators *and* the acceptance
+grid exercised by ``tests/test_acceptance_theory.py`` — runs through
+one :class:`repro.sweep.SweepSpec` over :func:`queue_point_factory` and
+is judged by one rule, CI-aware:
+
+    pass  ⇔  converged  and  |sim − theory| ≤ tol·|theory| + half_width
+
+where ``half_width`` comes from the statistics package's own confidence
+interval for that estimate.  A converged-but-noisy run widens its own
+budget instead of flaking; a tight run is held to the tolerance.
+
+Grid points are plain dicts (model, rho, cv, k, metric, quantiles), so
+they slot directly into a sweep ``grid`` and are content-addressed like
+any other point — the acceptance grid caches, parallelizes, and
+resumes exactly like a figure sweep.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.sweep import SweepResult, SweepRunner, SweepSpec
+
+#: Default per-server service rate; lam is derived as rho * k * mu.
+DEFAULT_MU = 20.0
+
+#: The always-on smoke subset: one point per model family.
+SMOKE_POINTS = (
+    {"model": "mm1", "rho": 0.5, "metric": "response",
+     "quantiles": [0.95, 0.99]},
+    {"model": "mmk", "rho": 0.75, "k": 4, "metric": "waiting"},
+    {"model": "mg1", "rho": 0.5, "cv": 2.0, "metric": "waiting"},
+)
+
+#: The full acceptance grid (superset of the smoke subset).
+FULL_POINTS = SMOKE_POINTS + (
+    {"model": "mm1", "rho": 0.3, "metric": "response",
+     "quantiles": [0.95, 0.99]},
+    {"model": "mm1", "rho": 0.7, "metric": "response",
+     "quantiles": [0.95, 0.99]},
+    {"model": "mm1", "rho": 0.9, "metric": "response"},
+    {"model": "mmk", "rho": 0.5, "k": 4, "metric": "waiting"},
+    {"model": "mmk", "rho": 0.9, "k": 4, "metric": "waiting"},
+    {"model": "mg1", "rho": 0.5, "cv": 0.0, "metric": "waiting"},
+    {"model": "mg1", "rho": 0.5, "cv": 4.0, "metric": "waiting"},
+    {"model": "mg1", "rho": 0.7, "cv": 2.0, "metric": "waiting"},
+    {"model": "ps", "rho": 0.5, "cv": 3.0, "metric": "response"},
+)
+
+#: Tolerance (x accuracy target) per model family; on top of these the
+#: CI half-width widens each budget (see module docstring).
+TOLERANCE_FACTORS = {"mm1": 3.0, "mmk": 5.0, "mg1": 6.0, "ps": 6.0}
+#: Quantile estimates are noisier than means.
+QUANTILE_FACTOR = 4.0
+
+
+def queue_point_factory(
+    seed: int,
+    model: str = "mm1",
+    rho: float = 0.5,
+    cv: float = 1.0,
+    k: int = 1,
+    mu: float = DEFAULT_MU,
+    metric: str = "response",
+    quantiles: Sequence[float] = (),
+    accuracy: float = 0.02,
+    warmup_samples: int = 500,
+    calibration_samples: int = 3000,
+):
+    """Build the experiment for one acceptance grid point.
+
+    Module-level and picklable, so pool workers can rebuild it from a
+    job payload.  ``model`` selects the queueing family: ``mm1``/``mmk``
+    (exponential service on a ``k``-core station), ``mg1`` (service
+    fitted to ``cv`` — deterministic, Gamma, or hyperexponential), and
+    ``ps`` (processor sharing, Cv-insensitive).
+    """
+    from repro.datacenter.processor_sharing import ProcessorSharingServer
+    from repro.datacenter.server import Server
+    from repro.distributions import Exponential, fit_mean_cv
+    from repro.engine.experiment import Experiment
+    from repro.workloads.workload import Workload
+
+    lam = rho * k * mu
+    if model in ("mm1", "mmk"):
+        service = Exponential(rate=mu)
+    else:
+        service = fit_mean_cv(1.0 / mu, cv)
+    if model == "ps":
+        station = ProcessorSharingServer()
+    else:
+        station = Server(cores=k)
+    workload = Workload(model, Exponential(rate=lam), service)
+    experiment = Experiment(
+        seed=seed,
+        warmup_samples=warmup_samples,
+        calibration_samples=calibration_samples,
+    )
+    experiment.add_source(workload, target=station)
+    quantile_targets = {float(q): accuracy for q in quantiles} or None
+    if metric == "response":
+        experiment.track_response_time(
+            station, mean_accuracy=accuracy, quantiles=quantile_targets
+        )
+    else:
+        experiment.track_waiting_time(
+            station, mean_accuracy=accuracy, quantiles=quantile_targets
+        )
+    return experiment
+
+
+def theoretical_value(
+    model: str,
+    metric: str,
+    rho: float,
+    cv: float = 1.0,
+    k: int = 1,
+    mu: float = DEFAULT_MU,
+    quantile: Optional[float] = None,
+) -> Optional[float]:
+    """Closed-form value for one grid point's statistic, or None when
+    no exact form exists (e.g. M/M/k quantiles)."""
+    from repro import theory
+    from repro.distributions import fit_mean_cv
+
+    lam = rho * k * mu
+    if model == "mm1":
+        if quantile is not None:
+            if metric != "response":
+                return None
+            return theory.mm1_quantile_response(lam, mu, quantile)
+        if metric == "response":
+            return theory.mm1_mean_response(lam, mu)
+        return theory.mm1_mean_waiting(lam, mu)
+    if quantile is not None:
+        return None
+    if model == "mmk":
+        if metric == "response":
+            return theory.mmk_mean_response(lam, mu, k)
+        return theory.mmk_mean_waiting(lam, mu, k)
+    if model == "mg1":
+        service = fit_mean_cv(1.0 / mu, cv)
+        if metric == "response":
+            return theory.mg1_mean_response(lam, service)
+        return theory.mg1_mean_waiting(lam, service)
+    if model == "ps":
+        # M/G/1-PS mean response E[S]/(1-rho), insensitive to Cv.
+        if metric != "response":
+            return None
+        return (1.0 / mu) / (1.0 - rho)
+    raise ValueError(f"unknown model {model!r}")
+
+
+def point_label(entry: dict) -> str:
+    """A human-readable name for one grid entry."""
+    model = entry["model"]
+    pretty = {
+        "mm1": "M/M/1",
+        "mmk": f"M/M/{entry.get('k', 1)}",
+        "mg1": f"M/G/1 Cv={entry.get('cv', 1.0):g}",
+        "ps": f"M/G/1-PS Cv={entry.get('cv', 1.0):g}",
+    }[model]
+    return f"{pretty} rho={entry['rho']:g}"
+
+
+def build_acceptance_spec(
+    points: Iterable[dict] = SMOKE_POINTS,
+    accuracy: float = 0.02,
+    seed: int = 3001,
+    max_events: int = 30_000_000,
+) -> SweepSpec:
+    """The acceptance grid as an ordinary sweep spec."""
+    return SweepSpec(
+        name="acceptance-theory",
+        kind="factory",
+        seed=seed,
+        factory=queue_point_factory,
+        factory_kwargs={"accuracy": accuracy},
+        grid=tuple(dict(entry) for entry in points),
+        max_events=max_events,
+    )
+
+
+def evaluate(result: SweepResult, accuracy: float = 0.02) -> List["ValidationCase"]:
+    """Judge every sweep point against theory; one case per statistic."""
+    from repro.validation.suite import ValidationCase
+
+    cases: List[ValidationCase] = []
+    for point in result.points:
+        entry = point.params
+        model = entry["model"]
+        metric = entry.get("metric", "response")
+        metric_name = f"{metric}_time"
+        estimate = point.estimate(metric_name)
+        factor = TOLERANCE_FACTORS[model]
+        label = point_label(entry)
+        theory_mean = theoretical_value(
+            model, metric, entry["rho"],
+            cv=entry.get("cv", 1.0), k=entry.get("k", 1),
+            mu=entry.get("mu", DEFAULT_MU),
+        )
+        mean_ci = estimate.get("mean_ci")
+        cases.append(
+            ValidationCase(
+                f"{label} mean {metric}",
+                estimate["mean"],
+                theory_mean,
+                tolerance=factor * accuracy,
+                converged=point.converged,
+                ci=tuple(mean_ci) if mean_ci else None,
+            )
+        )
+        for q in entry.get("quantiles", ()):
+            theory_q = theoretical_value(
+                model, metric, entry["rho"],
+                cv=entry.get("cv", 1.0), k=entry.get("k", 1),
+                mu=entry.get("mu", DEFAULT_MU), quantile=q,
+            )
+            if theory_q is None:
+                continue
+            q_ci = estimate["quantile_ci"].get(str(q))
+            cases.append(
+                ValidationCase(
+                    f"{label} p{int(round(q * 100))} {metric}",
+                    estimate["quantiles"][str(q)],
+                    theory_q,
+                    tolerance=QUANTILE_FACTOR * accuracy,
+                    converged=point.converged,
+                    ci=tuple(q_ci) if q_ci else None,
+                )
+            )
+    return cases
+
+
+def run_acceptance(
+    points: Iterable[dict] = SMOKE_POINTS,
+    accuracy: float = 0.02,
+    seed: int = 3001,
+    backend: str = "serial",
+    jobs: Optional[int] = None,
+    cache=None,
+    tracer=None,
+) -> Tuple[SweepResult, List["ValidationCase"]]:
+    """Run the acceptance grid; returns (sweep result, judged cases)."""
+    spec = build_acceptance_spec(points, accuracy=accuracy, seed=seed)
+    result = SweepRunner(
+        spec, backend=backend, jobs=jobs, cache=cache, tracer=tracer
+    ).run()
+    return result, evaluate(result, accuracy=accuracy)
+
+
+def format_acceptance_table(cases: Iterable["ValidationCase"]) -> str:
+    """The acceptance pass table (published as a CI artifact)."""
+    cases = list(cases)
+    width = max(len(case.name) for case in cases) + 2
+    lines = [
+        f"{'case'.ljust(width)}{'simulated':>12} {'theory':>12} "
+        f"{'error':>8} {'ci half-width':>14}  verdict"
+    ]
+    for case in cases:
+        half = f"{case.half_width:.3g}" if case.ci else "-"
+        verdict = "PASS" if case.passed else "FAIL"
+        lines.append(
+            f"{case.name.ljust(width)}{case.simulated:>12.6g} "
+            f"{case.theoretical:>12.6g} {case.relative_error:>7.2%} "
+            f"{half:>14}  {verdict}"
+        )
+    failed = sum(not case.passed for case in cases)
+    lines.append(
+        f"\n{len(cases) - failed}/{len(cases)} cases passed"
+        + (f" ({failed} FAILED)" if failed else "")
+    )
+    return "\n".join(lines) + "\n"
+
+
+def write_acceptance_table(
+    cases: Iterable["ValidationCase"], path: Union[str, Path]
+) -> Path:
+    """Write the pass table to ``path`` (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(format_acceptance_table(cases))
+    return path

@@ -1,0 +1,59 @@
+"""Module-level (picklable) factories for the sweep tests.
+
+Pool workers rebuild points from ``module:qualname`` references, so
+everything a sweep executes must live at module scope — test lambdas
+and closures are rejected by design.
+"""
+
+import time
+
+from repro.datacenter.server import Server
+from repro.distributions import Exponential
+from repro.engine.experiment import Experiment
+from repro.workloads.workload import Workload
+
+
+def mm1_point(
+    seed,
+    rho=0.5,
+    mu=20.0,
+    accuracy=0.2,
+    warmup=100,
+    calibration=500,
+    prefetch=True,
+):
+    """A small M/M/1 experiment point (fast; known closed forms)."""
+    server = Server()
+    workload = Workload(
+        "mm1", Exponential(rate=rho * mu), Exponential(rate=mu)
+    )
+    experiment = Experiment(
+        seed=seed,
+        warmup_samples=warmup,
+        calibration_samples=calibration,
+        prefetch=prefetch,
+    )
+    experiment.add_source(workload, target=server)
+    experiment.track_response_time(server, mean_accuracy=accuracy)
+    return experiment
+
+
+def moment_task(seed, x=1, scale=1.0):
+    """A pure computation point (the 'task' sweep kind)."""
+    return {"seed": seed, "value": x * scale}
+
+
+def failing_task(seed, **params):
+    """Always raises — exercises deterministic-error propagation."""
+    raise ValueError(f"boom (seed={seed})")
+
+
+def scalar_task(seed, **params):
+    """Returns a bare number — exercises the dict-result contract."""
+    return float(seed)
+
+
+def napping_task(seed, delay=0.05, x=0):
+    """Sleeps, then reports — exercises deadlines and load balancing."""
+    time.sleep(delay)
+    return {"seed": seed, "delay": delay, "x": x}

@@ -1,0 +1,103 @@
+"""Statistical acceptance tests: the sweep engine vs closed-form theory.
+
+Drives :mod:`repro.validation.acceptance` — a `repro.sweep` grid over
+M/M/1, M/M/k, and M/G/1 (Pollaczek–Khinchine) (rho, Cv) points — and
+asserts simulated mean/95th/99th-percentile response times land inside
+CI-aware budgets versus `repro.theory` closed forms.  No bare
+relative-error thresholds: every case's budget is tolerance·theory
+*plus the statistics package's own confidence half-width*, so the test
+is exactly as strict as the estimator claims to be.
+
+The 3-point smoke subset always runs; the full grid is ``slow`` and
+runs when ``REPRO_TEST_FULL=1``.  Both write the pass table that CI
+publishes as an artifact.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.validation import (
+    FULL_POINTS,
+    SMOKE_POINTS,
+    run_acceptance,
+    write_acceptance_table,
+)
+
+FULL_SCALE = os.environ.get("REPRO_TEST_FULL") == "1"
+TABLE_PATH = Path(__file__).resolve().parent.parent / (
+    "benchmarks/results/acceptance_grid.txt"
+)
+
+#: Fixed spec seed: the whole grid is reproducible bit-for-bit.
+SEED = 20260806
+ACCURACY = 0.05
+
+
+def assert_cases_pass(cases, result):
+    assert result.converged, "acceptance sweep did not converge"
+    failures = [
+        f"{case.name}: sim={case.simulated:.6g} theory={case.theoretical:.6g} "
+        f"error={case.relative_error:.2%} half_width={case.half_width:.3g}"
+        for case in cases
+        if not case.passed
+    ]
+    assert not failures, "theory mismatch:\n" + "\n".join(failures)
+
+
+class TestSmokeSubset:
+    """One point per model family — always on."""
+
+    @pytest.fixture(scope="class")
+    def smoke(self):
+        result, cases = run_acceptance(
+            SMOKE_POINTS, accuracy=ACCURACY, seed=SEED, backend="serial"
+        )
+        write_acceptance_table(cases, TABLE_PATH)
+        return result, cases
+
+    def test_grid_against_closed_forms(self, smoke):
+        result, cases = smoke
+        assert_cases_pass(cases, result)
+
+    def test_covers_all_three_model_families(self, smoke):
+        _, cases = smoke
+        names = " ".join(case.name for case in cases)
+        assert "M/M/1" in names and "M/M/4" in names and "M/G/1" in names
+
+    def test_quantile_cases_present_with_cis(self, smoke):
+        _, cases = smoke
+        quantile_cases = [c for c in cases if "p95" in c.name or
+                          "p99" in c.name]
+        assert len(quantile_cases) == 2
+        for case in quantile_cases:
+            assert case.ci is not None and case.half_width > 0
+
+    def test_mean_cases_carry_cis(self, smoke):
+        _, cases = smoke
+        for case in cases:
+            assert case.ci is not None, f"{case.name} lost its CI"
+
+    def test_grid_is_reproducible(self):
+        first, _ = run_acceptance(
+            SMOKE_POINTS[:1], accuracy=ACCURACY, seed=SEED
+        )
+        second, _ = run_acceptance(
+            SMOKE_POINTS[:1], accuracy=ACCURACY, seed=SEED
+        )
+        assert first.digests() == second.digests()
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(not FULL_SCALE, reason="set REPRO_TEST_FULL=1")
+class TestFullGrid:
+    """The full (rho, Cv) acceptance grid across all model families."""
+
+    def test_full_grid_against_closed_forms(self):
+        result, cases = run_acceptance(
+            FULL_POINTS, accuracy=ACCURACY, seed=SEED, backend="pool", jobs=4
+        )
+        write_acceptance_table(cases, TABLE_PATH)
+        assert len(result.points) == len(FULL_POINTS)
+        assert_cases_pass(cases, result)

@@ -180,6 +180,24 @@ class TestMultiMetric:
         experiment.run_until_accepted(500)
         assert experiment.stats.total_accepted >= before + 500
 
+    def test_run_until_accepted_stops_once_converged(self):
+        # A converged statistic ignores further observations, so the
+        # quota can become unreachable; the chunk loop must return
+        # instead of burning events to max_events (a loose-accuracy
+        # parallel slave used to spin to its 10M-event cap here).
+        experiment = Experiment(seed=23, warmup_samples=300,
+                                calibration_samples=2000)
+        server = Server()
+        experiment.add_source(web().at_load(0.5), target=server)
+        experiment.track_response_time(server, mean_accuracy=0.2)
+        experiment.run_until_calibrated()
+        while not experiment.stats.all_converged:
+            experiment.run_until_accepted(500, max_events=5_000_000)
+        accepted = experiment.stats.total_accepted
+        result = experiment.run_until_accepted(10_000, max_events=5_000_000)
+        assert experiment.stats.total_accepted == accepted
+        assert result.events_processed < 5_000_000
+
     def test_run_until_accepted_validates(self):
         experiment = Experiment(seed=24)
         server = Server()

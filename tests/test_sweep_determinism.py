@@ -1,0 +1,71 @@
+"""Cross-backend determinism matrix for the sweep engine.
+
+The pool mode joins the repo's determinism contract, it does not weaken
+it: for a fixed seed, the merged histogram digests of every point must
+be bit-identical across {serial, process-per-point, persistent-pool} ×
+{prefetch on, off} × {fresh, cache-hit, resume}.  The serial/fresh/
+prefetch-on cell is the reference; every other cell is compared to it.
+"""
+
+import pytest
+
+from repro.sweep import SweepCache, SweepRunner, SweepSpec
+
+#: Two tiny M/M/1 points — big enough to fill histograms, small enough
+#: to run 18 matrix cells in seconds.
+AXES = {"rho": [0.3, 0.6]}
+
+
+def spec(prefetch=True):
+    return SweepSpec(
+        name="determinism-matrix",
+        kind="factory",
+        seed=17,
+        factory="tests.sweep_factories:mm1_point",
+        factory_kwargs={"prefetch": prefetch},
+        axes=AXES,
+        max_events=500_000,
+    )
+
+
+def run_cell(backend, prefetch, cache_state, tmp_path):
+    """One matrix cell; returns its {point: {metric: digest}} map."""
+    the_spec = spec(prefetch=prefetch)
+    cache = None
+    if cache_state != "fresh":
+        cache = SweepCache(tmp_path / f"{backend}-{prefetch}-{cache_state}")
+        # Warm the cache first so the measured run serves hits...
+        warm = SweepRunner(the_spec, backend=backend, jobs=2,
+                           cache=cache).run()
+        assert warm.computed == len(warm.points)
+        if cache_state == "resume":
+            # ...except one evicted point: the rerun must recompute
+            # exactly it and change nothing else.
+            warm_points = warm.points
+            assert cache.evict(warm_points[0].digest)
+    result = SweepRunner(the_spec, backend=backend, jobs=2, cache=cache).run()
+    if cache_state == "cache-hit":
+        assert result.cache_hits == len(result.points)
+    elif cache_state == "resume":
+        assert result.cache_hits == len(result.points) - 1
+        assert result.computed == 1
+    return result.digests()
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    digests = run_cell(
+        "serial", True, "fresh", tmp_path_factory.mktemp("reference")
+    )
+    for point_digests in digests.values():
+        assert point_digests["response_time"]
+    return digests
+
+
+@pytest.mark.parametrize("cache_state", ["fresh", "cache-hit", "resume"])
+@pytest.mark.parametrize("prefetch", [True, False], ids=["prefetch", "direct"])
+@pytest.mark.parametrize("backend", ["serial", "spawn", "pool"])
+def test_matrix_cell_matches_reference(
+    backend, prefetch, cache_state, reference, tmp_path
+):
+    assert run_cell(backend, prefetch, cache_state, tmp_path) == reference
