@@ -1,0 +1,244 @@
+"""Fastpath engine benchmark: event engine vs vectorized Lindley path.
+
+Runs the three canonical FCFS models through both engines at a matched
+``max_events`` budget and reports events/sec each, plus the speedup:
+
+- **mm1** — M/M/1 at load 0.7: the purest engine-overhead comparison;
+- **gg1_hyperexp** — M/H2/1 with service Cv = 10 (the paper's
+  high-variance regime), where the event engine also pays deep queues;
+- **mmk** — M/M/4 at load 0.8, exercising the code-generated
+  Kiefer-Wolfowitz kernel instead of the closed Lindley form.
+
+Both engines draw from the same distribution objects and feed the same
+statistics pipeline; the fast path accounts two events per job, so the
+budgets bound the same amount of simulated work (see docs/fastpath.md).
+Results are written as JSON (default: ``BENCH_fastpath.json`` at the
+repo root) so successive PRs can track the trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fastpath.py
+    PYTHONPATH=src python benchmarks/bench_fastpath.py --smoke
+    PYTHONPATH=src python benchmarks/bench_fastpath.py \
+        --compare BENCH_fastpath.json --max-regress 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import Experiment, Server  # noqa: E402
+from repro.distributions import Exponential, HyperExponential  # noqa: E402
+from repro.workloads.workload import Workload  # noqa: E402
+
+
+def _mm1():
+    workload = Workload(
+        name="mm1",
+        interarrival=Exponential(rate=0.7),
+        service=Exponential(rate=1.0),
+    )
+    return workload, 1
+
+
+def _gg1_hyperexp():
+    workload = Workload(
+        name="gg1_hyperexp",
+        interarrival=Exponential(rate=0.5),
+        service=HyperExponential.from_mean_cv(mean=1.0, cv=10.0),
+    )
+    return workload, 1
+
+
+def _mmk():
+    workload = Workload(
+        name="mmk",
+        interarrival=Exponential(rate=0.8 * 4),
+        service=Exponential(rate=1.0),
+    )
+    return workload, 4
+
+
+MODELS = {
+    "mm1": _mm1,
+    "gg1_hyperexp": _gg1_hyperexp,
+    "mmk": _mmk,
+}
+
+
+def build(name: str, seed: int, engine: str) -> Experiment:
+    workload, cores = MODELS[name]()
+    # Accuracy far tighter than any budget reaches: both engines run
+    # their full event budget, so events/sec is wall-clock-comparable.
+    experiment = Experiment(
+        seed=seed, engine=engine, warmup_samples=500,
+        calibration_samples=3000,
+    )
+    server = Server(cores=cores)
+    experiment.add_source(workload, target=server)
+    experiment.track_response_time(server, mean_accuracy=0.0001)
+    return experiment
+
+
+def run_one(name: str, engine: str, max_events: int, seed: int,
+            repeats: int) -> dict:
+    """Best-of-``repeats`` throughput for one (model, engine) pair."""
+    best = None
+    for _ in range(repeats):
+        experiment = build(name, seed, engine)
+        started = time.perf_counter()
+        result = experiment.run(max_events=max_events)
+        wall = time.perf_counter() - started
+        events = result.events_processed
+        run = {
+            "events": events,
+            "wall_seconds": round(wall, 4),
+            "events_per_sec": round(events / wall, 1),
+            "mean_estimate": round(result["response_time"].mean, 4),
+        }
+        if best is None or run["events_per_sec"] > best["events_per_sec"]:
+            best = run
+    return best
+
+
+def _git_commit() -> str:
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, text=True, stderr=subprocess.DEVNULL,
+        ).strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=2_000_000,
+                        help="event budget per model+engine (default 2M)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per model+engine; best is reported")
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick CI mode: small budget, single repeat")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="earlier results JSON to embed as 'before'")
+    parser.add_argument("--compare", type=Path, default=None,
+                        help=(
+                            "recorded results JSON to gate against: exit 1 "
+                            "if any model's fastpath events/sec regresses "
+                            "by more than --max-regress"
+                        ))
+    parser.add_argument("--max-regress", type=float, default=0.05,
+                        help=(
+                            "tolerated fractional fastpath events/sec drop "
+                            "vs --compare (default 0.05 = 5%%)"
+                        ))
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help=(
+                            "fail if any model's fastpath/event speedup "
+                            "falls below this floor (default 5.0; the "
+                            "committed full-budget numbers are 14-78x). "
+                            "Unlike --compare this is robust to budget "
+                            "and hardware, so it runs everywhere."
+                        ))
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_fastpath.json")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.events = min(args.events, 100_000)
+        args.repeats = 1
+
+    results = {}
+    for name in MODELS:
+        event = run_one(name, "event", args.events, args.seed, args.repeats)
+        fastpath = run_one(
+            name, "fastpath", args.events, args.seed, args.repeats
+        )
+        speedup = round(
+            fastpath["events_per_sec"] / event["events_per_sec"], 2
+        )
+        results[name] = {
+            "event": event,
+            "fastpath": fastpath,
+            "speedup": speedup,
+        }
+        print(f"{name:14s} event {event['events_per_sec']:>12,.0f} ev/s   "
+              f"fastpath {fastpath['events_per_sec']:>12,.0f} ev/s   "
+              f"{speedup:6.2f}x")
+
+    payload = {
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+        "events_budget": args.events,
+        "models": results,
+    }
+
+    if args.baseline and args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+        before = baseline.get("models", baseline)
+        payload["before"] = before
+        for name in results:
+            if name in before:
+                factor = (results[name]["fastpath"]["events_per_sec"]
+                          / before[name]["fastpath"]["events_per_sec"])
+                print(f"{name:14s} fastpath vs baseline: {factor:.2f}x")
+
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    slow = {name: run["speedup"] for name, run in results.items()
+            if run["speedup"] < args.min_speedup}
+    if slow:
+        for name, speedup in slow.items():
+            print(f"{name:14s} speedup {speedup:.2f}x is below the "
+                  f"{args.min_speedup:.1f}x floor", file=sys.stderr)
+        return 1
+
+    if args.compare and args.compare.exists():
+        # Non-blocking on shared CI runners, enforced on dev machines:
+        # the fast path must not lose its advantage quietly.
+        recorded = json.loads(args.compare.read_text())
+        recorded_budget = recorded.get("events_budget")
+        if recorded_budget is not None and recorded_budget != args.events:
+            # Fastpath throughput scales with the budget (fixed per-run
+            # cost amortizes over more blocks), so cross-budget ev/s
+            # comparisons are meaningless; the --min-speedup floor above
+            # is the budget-robust check.
+            print(f"skipping --compare: recorded budget {recorded_budget:,} "
+                  f"!= current {args.events:,} (events/sec is not "
+                  "comparable across budgets)")
+            return 0
+        recorded = recorded.get("models", recorded)
+        failed = False
+        for name in results:
+            if name not in recorded:
+                continue
+            now = results[name]["fastpath"]["events_per_sec"]
+            then = recorded[name]["fastpath"]["events_per_sec"]
+            change = now / then - 1.0
+            verdict = "ok"
+            if change < -args.max_regress:
+                verdict = "REGRESSION"
+                failed = True
+            print(f"{name:14s} {then:>12,.0f} -> {now:>12,.0f} ev/s  "
+                  f"({change:+.1%}, {verdict})")
+        if failed:
+            print(f"fastpath throughput regressed beyond "
+                  f"{args.max_regress:.0%} of {args.compare}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

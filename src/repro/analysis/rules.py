@@ -636,6 +636,134 @@ class SwallowExceptionRule(Rule):
 
 
 @register_rule
+class ScalarSampleLoopRule(Rule):
+    """No per-draw ``dist.sample(rng)`` loops where block draws apply.
+
+    Every ``Distribution`` exposes ``sample_block(rng, n)`` (and the
+    draw-order-safe ``sample_many``), which amortizes Python dispatch
+    across a whole numpy block — the difference between the event
+    engine's ~600k events/s and the fastpath engine's tens of millions.
+    A ``.sample(rng)`` call lexically inside a loop or comprehension
+    re-pays that dispatch per draw; batch consumers should pull a block
+    instead.
+
+    Exemptions: ``self.sample(...)`` (a distribution's own per-draw
+    fallback *is* the reference implementation the block contracts are
+    defined against) and test modules (which legitimately drive scalar
+    loops to cross-check the block paths).  Event-driven components that
+    genuinely need one draw at a time (one per event) sample outside
+    any lexical loop, so they do not trip this rule; a deliberate
+    in-loop scalar draw takes a ``# simlint: disable=scalar-sample-loop``
+    with a why.
+    """
+
+    id = "scalar-sample-loop"
+    summary = (
+        "no per-draw .sample(rng) calls inside loops/comprehensions; "
+        "draw a block with sample_block/sample_many instead"
+    )
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return not ctx.rel.startswith("tests/")
+
+    def _scalar_sample(self, node: ast.Call) -> bool:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "sample"):
+            return False
+        if not (node.args or node.keywords):
+            # Zero-arg .sample() is some other API (e.g. random.sample
+            # shadowing would be caught by global-rng anyway).
+            return False
+        # The per-draw fallback inside a distribution is the contract
+        # reference, not a missed vectorization.
+        receiver = func.value
+        if isinstance(receiver, ast.Name) and receiver.id == "self":
+            return False
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        findings: list = []
+
+        def flag(call: ast.Call) -> None:
+            findings.append(
+                ctx.finding(
+                    self.id,
+                    call,
+                    "per-draw .sample(rng) inside a loop re-pays Python "
+                    "dispatch per value; draw a block with "
+                    "sample_block(rng, n) (or sample_many for draw-order "
+                    "parity) and iterate the array",
+                )
+            )
+
+        def scan_expr(node: ast.AST, in_loop: bool) -> None:
+            for sub in ast.walk(node):
+                if isinstance(
+                    sub,
+                    (ast.ListComp, ast.SetComp, ast.DictComp,
+                     ast.GeneratorExp),
+                ):
+                    # Walk revisits comprehension bodies below; the
+                    # element expression is per-iteration by definition.
+                    continue
+                if (
+                    in_loop
+                    and isinstance(sub, ast.Call)
+                    and self._scalar_sample(sub)
+                ):
+                    flag(sub)
+
+        def scan_comprehension(node) -> None:
+            bodies = (
+                [node.key, node.value]
+                if isinstance(node, ast.DictComp)
+                else [node.elt]
+            )
+            for body in bodies + [
+                comp.iter for comp in node.generators
+            ] + [
+                cond for comp in node.generators for cond in comp.ifs
+            ]:
+                for sub in ast.walk(body):
+                    if isinstance(sub, ast.Call) and self._scalar_sample(sub):
+                        flag(sub)
+
+        def scan(nodes, in_loop: bool) -> None:
+            for node in nodes:
+                if isinstance(
+                    node,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    scan(node.body, False)
+                elif isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                    scan(node.body, True)
+                    scan(node.orelse, True)
+                elif isinstance(node, ast.If):
+                    scan_expr(node.test, in_loop)
+                    scan(node.body, in_loop)
+                    scan(node.orelse, in_loop)
+                elif isinstance(node, (ast.With, ast.AsyncWith)):
+                    scan(node.body, in_loop)
+                elif isinstance(node, ast.Try):
+                    scan(node.body, in_loop)
+                    for handler in node.handlers:
+                        scan(handler.body, in_loop)
+                    scan(node.orelse, in_loop)
+                    scan(node.finalbody, in_loop)
+                else:
+                    scan_expr(node, in_loop)
+
+        scan(ctx.tree.body, False)
+        for node in ast.walk(ctx.tree):
+            if isinstance(
+                node,
+                (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+            ):
+                scan_comprehension(node)
+        yield from findings
+
+
+@register_rule
 class ParallelLambdaRule(Rule):
     """No lambdas in objects crossing the pickled parallel protocol.
 

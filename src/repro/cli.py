@@ -62,6 +62,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("--sanitize and --parallel are mutually exclusive",
               file=sys.stderr)
         return 2
+    if args.engine and args.engine != "event" and (
+        args.parallel or args.sanitize
+    ):
+        print(
+            "--engine auto/fastpath is single-process only "
+            "(drop --parallel/--sanitize)",
+            file=sys.stderr,
+        )
+        return 2
     if not args.parallel and (
         args.chaos or args.resume or args.checkpoint or args.respawn
     ):
@@ -116,7 +125,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 0 if result.converged else 3
 
         if not args.sanitize:
-            experiment = build_experiment(args.config)
+            experiment = build_experiment(args.config, engine=args.engine)
             if tracer is not None:
                 experiment.attach_tracer(tracer)
             if progress is not None:
@@ -317,6 +326,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("config", help="path to the experiment JSON")
     run.add_argument("--max-events", type=int, default=None,
                      help="safety cap on simulated events")
+    run.add_argument(
+        "--engine",
+        choices=("event", "auto", "fastpath"),
+        default=None,
+        help=(
+            "simulation engine: 'event' (default) is the discrete-event "
+            "loop, 'fastpath' forces the vectorized Lindley engine "
+            "(errors if the model does not qualify), 'auto' picks the "
+            "fast path when eligible and falls back otherwise"
+        ),
+    )
     run.add_argument(
         "--sanitize",
         action="store_true",

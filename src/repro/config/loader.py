@@ -181,12 +181,14 @@ def build_experiment(
     config: Union[dict, str, Path],
     prefetch: bool | None = None,
     sanitize: bool | None = None,
+    engine: str | None = None,
 ) -> Experiment:
     """Build a fully wired experiment from a config dict or file path.
 
-    ``prefetch`` / ``sanitize`` override the config document's keys of
-    the same name (used by ``repro run --sanitize`` and the sanitizer's
-    A/B twins, which rebuild the same config under both prefetch modes).
+    ``prefetch`` / ``sanitize`` / ``engine`` override the config
+    document's keys of the same name (used by ``repro run --sanitize``
+    / ``--engine`` and the sanitizer's A/B twins, which rebuild the
+    same config under both prefetch modes).
     """
     if isinstance(config, (str, Path)):
         config = load_config(config)
@@ -203,6 +205,7 @@ def build_experiment(
         max_events=config.get("max_events", 50_000_000),
         prefetch=config.get("prefetch", True) if prefetch is None else prefetch,
         sanitize=config.get("sanitize", False) if sanitize is None else sanitize,
+        engine=config.get("engine", "event") if engine is None else engine,
     )
     # Load scaling should account for the total core pool by default.
     server_spec = dict(config.get("servers", {}))

@@ -164,6 +164,67 @@ class Histogram:
         for value in values:
             self.insert(value)
 
+    def insert_block(self, values: np.ndarray) -> None:
+        """Record a block of observations, bit-identical to an
+        :meth:`insert` loop over the same values.
+
+        Equivalence is exact, not approximate: the running sums use
+        ``np.add.accumulate`` seeded with the prior totals (sequential
+        left-to-right application, the same rounding sequence as the
+        scalar ``+=`` chain), bin indices use the same elementwise
+        ``(value - low) * inv_width`` truncation, and a non-finite value
+        raises after its finite prefix has been inserted — exactly where
+        the scalar loop would have stopped.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 1:
+            values = values.reshape(-1)
+        if values.size == 0:
+            return
+        finite = np.isfinite(values)
+        if not finite.all():
+            bad = int(np.argmin(finite))
+            if bad:
+                self.insert_block(values[:bad])
+            raise HistogramError(
+                f"cannot insert non-finite value: {values[bad]}"
+            )
+        self.count += values.size
+        self._sum = float(
+            np.add.accumulate(np.concatenate(([self._sum], values)))[-1]
+        )
+        self._sum_sq = float(
+            np.add.accumulate(
+                np.concatenate(([self._sum_sq], values * values))
+            )[-1]
+        )
+        low_value = float(values.min())
+        high_value = float(values.max())
+        if low_value < self.min_seen:
+            self.min_seen = low_value
+        if high_value > self.max_seen:
+            self.max_seen = high_value
+        under = values < self._low
+        over = values >= self._high
+        self.underflow += int(under.sum())
+        self.overflow += int(over.sum())
+        mid = values[~(under | over)]
+        if not mid.size:
+            return
+        scaled = (mid - self._low) * self._inv_width
+        if np.isfinite(scaled).all():
+            indices = scaled.astype(np.int64)
+        else:
+            # Degenerate schemes (subnormal span) overflow the
+            # precomputed reciprocal — same fallback as scalar insert.
+            fraction = (mid - self._low) / (self._high - self._low)
+            indices = (fraction * self._bins).astype(np.int64)
+        np.minimum(indices, self._bins - 1, out=indices)
+        counts = self._counts
+        block_counts = np.bincount(indices, minlength=self._bins)
+        for index in np.nonzero(block_counts)[0]:
+            counts[index] += int(block_counts[index])
+
     # -- moments -----------------------------------------------------------
 
     @property

@@ -23,6 +23,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
 
+import numpy as np
+
 from repro.core.confidence import z_value
 from repro.core.convergence import required_sample_size, summarize_histogram
 from repro.core.histogram import BinScheme, Histogram
@@ -249,46 +251,7 @@ class Statistic:
                 accepted = self.accepted + 1
                 self.accepted = accepted
                 if accepted >= self._next_check:
-                    self.convergence_checks += 1
-                    required = self.required_sample_size()
-                    if self._tracer is not None:
-                        self._tracer.gauge(
-                            "convergence",
-                            accepted,
-                            component="statistic",
-                            metric=self.name,
-                            required=(
-                                None if required == math.inf else required
-                            ),
-                            fraction=(
-                                min(1.0, accepted / required)
-                                if required not in (0, math.inf)
-                                else None
-                            ),
-                        )
-                    if accepted >= required:
-                        self.phase = Phase.CONVERGED
-                        if self._tracer is not None:
-                            self._tracer.event(
-                                "phase",
-                                component="statistic",
-                                metric=self.name,
-                                to="converged",
-                                accepted=accepted,
-                                observed=self.observed,
-                                lag=self.lag,
-                            )
-                    else:
-                        # Not there yet: re-test after 5% of the
-                        # estimated remaining gap (geometric backoff
-                        # while the requirement is still undefined).
-                        if required == math.inf:
-                            gap = accepted
-                        else:
-                            gap = int((required - accepted) * 0.05)
-                        self._next_check = accepted + max(
-                            self.convergence_check_interval, gap
-                        )
+                    self._run_convergence_check()
             return
         if phase is Phase.WARMUP:
             self._warmup_seen += 1
@@ -306,6 +269,161 @@ class Statistic:
                 self._finish_calibration()
             return
         # CONVERGED: further observations are ignored.
+
+    def _run_convergence_check(self) -> bool:
+        """The convergence test scheduled at :attr:`_next_check`.
+
+        Shared by :meth:`observe` and :meth:`observe_block` so both
+        paths make identical decisions at identical accepted counts.
+        Returns True when the metric just converged.
+        """
+        accepted = self.accepted
+        self.convergence_checks += 1
+        required = self.required_sample_size()
+        if self._tracer is not None:
+            self._tracer.gauge(
+                "convergence",
+                accepted,
+                component="statistic",
+                metric=self.name,
+                required=(
+                    None if required == math.inf else required
+                ),
+                fraction=(
+                    min(1.0, accepted / required)
+                    if required not in (0, math.inf)
+                    else None
+                ),
+            )
+        if accepted >= required:
+            self.phase = Phase.CONVERGED
+            if self._tracer is not None:
+                self._tracer.event(
+                    "phase",
+                    component="statistic",
+                    metric=self.name,
+                    to="converged",
+                    accepted=accepted,
+                    observed=self.observed,
+                    lag=self.lag,
+                )
+            return True
+        # Not there yet: re-test after 5% of the estimated remaining
+        # gap (geometric backoff while the requirement is still
+        # undefined).
+        if required == math.inf:
+            gap = accepted
+        else:
+            gap = int((required - accepted) * 0.05)
+        self._next_check = accepted + max(
+            self.convergence_check_interval, gap
+        )
+        return False
+
+    def observe_block(self, values) -> None:
+        """Feed a block of raw observations through the phase machine.
+
+        Exactly equivalent to ``for v in values: self.observe(v)`` —
+        same phase transitions, same accepted/observed counts, same
+        histogram bits, same convergence decisions at the same accepted
+        counts — but vectorized: warm-up consumes quota without touching
+        values, calibration extends its sample in one slice, and
+        measurement selects the lag-thinned positions with a stride and
+        feeds them to :meth:`Histogram.insert_block` in segments split
+        at the scheduled convergence-check boundaries.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 1:
+            values = values.reshape(-1)
+        i = 0
+        n = values.size
+        while i < n:
+            phase = self.phase
+            if phase is Phase.MEASUREMENT:
+                i += self._measure_block(values[i:])
+            elif phase is Phase.WARMUP:
+                i += self._warmup_block(n - i)
+            elif phase is Phase.CALIBRATION:
+                need = self.calibration_samples - len(self._calibration)
+                take = need if need < n - i else n - i
+                self._calibration.extend(values[i:i + take].tolist())
+                self.observed += take
+                i += take
+                if len(self._calibration) >= self.calibration_samples:
+                    self._finish_calibration()
+            else:  # CONVERGED: values are ignored, counts still advance.
+                self.observed += n - i
+                return
+
+    def _warmup_block(self, remaining: int) -> int:
+        """Consume warm-up quota from a block; returns values consumed."""
+        need = self.warmup_samples - self._warmup_seen
+        if need > 0:
+            take = need if need < remaining else remaining
+        elif not self._barrier_lifted and self._warm_hook is None:
+            # Quota met, hook already fired, barrier still held by the
+            # collection: every further observation stays warm-up.
+            take = remaining
+        else:
+            # Degenerate zero-quota start: the first observation is
+            # still consumed by warm-up (scalar semantics).
+            take = 1
+        self._warmup_seen += take
+        self.observed += take
+        if self.warm_ready:
+            if self._barrier_lifted:
+                self._enter_calibration()
+            elif self._warm_hook is not None:
+                hook = self._warm_hook
+                self._warm_hook = None  # fire exactly once
+                hook()
+        return take
+
+    def _measure_block(self, values: np.ndarray) -> int:
+        """Measurement-phase block ingestion; returns values consumed.
+
+        Consumes the whole block unless convergence triggers first, in
+        which case consumption stops right after the accepting
+        observation — the caller routes the rest through CONVERGED.
+        """
+        lag = self.lag
+        since = self._since_accept
+        n = values.size
+        first = lag - 1 - since
+        if first >= n:
+            # No observation reaches the lag boundary in this block.
+            self._since_accept = since + n
+            self.observed += n
+            return n
+        observed_start = self.observed
+        accepted_values = values[first::lag]
+        total = accepted_values.size
+        position = 0
+        while position < total:
+            if self._next_check == math.inf:
+                take = total - position
+            else:
+                until_check = int(self._next_check) - self.accepted
+                take = until_check if until_check < total - position else (
+                    total - position
+                )
+            self.histogram.insert_block(accepted_values[
+                position:position + take
+            ])
+            self.accepted += take
+            position += take
+            if self.accepted >= self._next_check:
+                # Raw observations consumed up to (and including) the
+                # accepting one, so the check sees the same `observed`
+                # the scalar path would.
+                consumed = first + (position - 1) * lag + 1
+                self.observed = observed_start + consumed
+                if self._run_convergence_check():
+                    self._since_accept = 0
+                    return consumed
+        self._since_accept = (since + n) % lag
+        self.observed = observed_start + n
+        return n
 
     def _enter_calibration(self) -> None:
         self.phase = Phase.CALIBRATION

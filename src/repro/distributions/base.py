@@ -70,7 +70,25 @@ class Distribution(abc.ABC):
         """Draw ``n`` values.  Subclasses may override with vectorized draws."""
         if n < 0:
             raise DistributionError(f"cannot draw a negative count: {n}")
+        # The per-draw fallback is the draw-order reference the prefetch
+        # contract is defined against.  # simlint: disable=scalar-sample-loop
         return np.array([self.sample(rng) for _ in range(n)], dtype=float)
+
+    def sample_block(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw a block of ``n`` values for batch consumers.
+
+        This is the *statistical-equivalence* API used by the fastpath
+        engine (:mod:`repro.engine.fastpath`): the returned draws must
+        follow this distribution, but — unlike :meth:`sample_many` under
+        ``prefetch_safe`` — no draw-order contract against per-draw
+        ``sample`` calls is implied.  The base implementation delegates
+        to :meth:`sample_many` (vectorized wherever a subclass provides
+        it, per-draw otherwise), so every existing distribution gets a
+        working block path for free; subclasses whose fastest bulk
+        sampler is not draw-order safe may override this instead of
+        ``sample_many`` without touching the prefetch contract.
+        """
+        return np.asarray(self.sample_many(rng, n), dtype=float)
 
     def empirical_moments(
         self, rng: np.random.Generator, n: int = 100_000

@@ -200,7 +200,9 @@ class PrefetchSampler:
             return np.asarray(buffered[:n], dtype=float)
         missing = n - len(buffered)
         if not self._vectorized:
-            fresh = [float(self.distribution.sample(self.rng))
+            # Per-draw on purpose: this sampler is in verify mode, and
+            # the scalar loop IS the draw-order reference being checked.
+            fresh = [float(self.distribution.sample(self.rng))  # simlint: disable=scalar-sample-loop
                      for _ in range(missing)]
             return np.asarray(buffered + fresh, dtype=float)
         fresh = self.distribution.sample_many(self.rng, missing)

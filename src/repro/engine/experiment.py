@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Union
+from typing import Dict, Iterable, Mapping, NamedTuple, Optional, Union
 
 from repro.core.collection import StatisticsCollection
 from repro.core.statistic import Estimate, Statistic
@@ -44,6 +44,24 @@ class ExperimentResult:
 
     def __contains__(self, name: str) -> bool:
         return name in self.estimates
+
+
+class MetricBinding(NamedTuple):
+    """A declared station metric: which station, which job timing.
+
+    ``track_response_time``/``track_waiting_time`` install opaque
+    closures on the station; this record keeps the declarative facts so
+    the fast path (:mod:`repro.engine.fastpath`) can tell whether a
+    model's observers are exactly the standard timing metrics.
+    """
+
+    kind: str  # "response" | "waiting"
+    station: object
+    name: str
+
+
+#: Engine selection values accepted by :class:`Experiment`.
+ENGINES = ("event", "auto", "fastpath")
 
 
 class Experiment:
@@ -77,7 +95,12 @@ class Experiment:
         convergence_check_interval: int = 256,
         prefetch: bool = True,
         sanitize: bool = False,
+        engine: str = "event",
     ):
+        if engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
+            )
         self.simulation = Simulation(seed)
         self.stats = StatisticsCollection()
         self.seed = seed
@@ -90,7 +113,9 @@ class Experiment:
         self.max_sim_time = max_sim_time
         self.convergence_check_interval = convergence_check_interval
         self.prefetch_default = prefetch
+        self.engine = engine
         self.sources: list = []
+        self._metric_bindings: list = []
         self._has_run = False
         self._tracer = None
         self._progress = None
@@ -187,6 +212,7 @@ class Experiment:
         station.on_complete(
             lambda job, server: record(job.finish_time - job.arrival_time)
         )
+        self._metric_bindings.append(MetricBinding("response", station, name))
         return statistic
 
     def track_waiting_time(
@@ -205,6 +231,7 @@ class Experiment:
         station.on_complete(
             lambda job, server: record(job.start_time - job.arrival_time)
         )
+        self._metric_bindings.append(MetricBinding("waiting", station, name))
         return statistic
 
     # -- observability -------------------------------------------------------
@@ -308,12 +335,32 @@ class Experiment:
         max_events: Optional[int] = None,
         max_sim_time: Optional[float] = None,
     ) -> ExperimentResult:
-        """Run until every tracked metric converges (or a bound trips)."""
+        """Run until every tracked metric converges (or a bound trips).
+
+        With ``engine="fastpath"`` the vectorized Lindley engine is
+        required (raises ``FastpathError`` if the model does not
+        qualify); ``engine="auto"`` uses it when eligible and otherwise
+        falls back to the event engine, bit-identical to
+        ``engine="event"``.
+        """
         if not len(self.stats):
             raise RuntimeError(
                 "experiment has no tracked metrics; call track()/"
                 "track_response_time() before run()"
             )
+        if self.engine != "event":
+            # Deferred import: fastpath pulls in datacenter/numpy layers
+            # that this module otherwise only type-references.
+            from repro.engine import fastpath
+
+            if self.engine == "fastpath":
+                if max_sim_time is not None:
+                    raise fastpath.FastpathError(
+                        "max_sim_time requires the event engine"
+                    )
+                return fastpath.run_fastpath(self, max_events=max_events)
+            if max_sim_time is None and fastpath.qualifies(self):
+                return fastpath.run_fastpath(self, max_events=max_events)
         started = time.perf_counter()
         self._run_loop(
             stop_when=self._stop_condition(lambda: self.stats.all_converged),

@@ -1,0 +1,353 @@
+"""Vectorized Lindley-recurrence fast path for FCFS queues.
+
+For the models where closed recurrences are *exact* — a single open-loop
+source feeding a plain G/G/c FCFS server — the per-event Python dispatch
+of the discrete-event engine is pure overhead: waiting times are a pure
+function of the interarrival and service draws.  This module computes
+them directly:
+
+- **G/G/1**: the Lindley recurrence ``W[i+1] = max(0, W[i] + S[i] -
+  T[i+1])`` has the reflected-random-walk solution ``W[1+j] = X[j] -
+  min(-W[1], min_{i<=j} X[i])`` with ``X = cumsum(S[:-1] - T[1:])``,
+  which vectorizes to three numpy passes per block.
+- **G/G/c (c >= 2)**: the Kiefer–Wolfowitz next-free-server recurrence —
+  each job starts at ``max(arrival, min(core free times))`` — is an
+  inherently sequential scan over c state variables.  A specialized
+  kernel is code-generated per core count (flat unrolled min scan over c
+  locals), which runs ~10x faster than a generic heap-based loop; core
+  counts above :data:`MAX_UNROLLED_CORES` fall back to a ``heapq`` scan.
+
+Draws come in blocks from the **same RNG streams** the event engine
+would use (``Distribution.sample_block`` on the source's arrival and
+service generators), and the resulting waiting/response vectors feed the
+**same statistics pipeline** (``Statistic.observe_block`` — bit-equal to
+the scalar path), so warmup, calibration, convergence decisions, CI
+semantics, and reports are untouched.  Results are *statistically
+equivalent* to the event engine — same distributions, same estimator —
+but not bit-identical: the block sampler does not preserve the event
+engine's draw interleaving, and for c >= 2 observations arrive in
+arrival order rather than completion order.  See ``docs/fastpath.md``.
+
+Eligibility is decided structurally by :func:`qualifies`; callers should
+go through ``Experiment(engine="auto")`` which falls back to the event
+engine (bit-identical to today) whenever a model does not qualify.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datacenter.disciplines import FCFSQueue
+from repro.datacenter.server import Server
+from repro.datacenter.source import Source
+
+#: Jobs simulated per block: large enough to amortize numpy dispatch,
+#: small enough that convergence is checked at a reasonable cadence.
+BLOCK_JOBS = 32768
+
+#: Largest core count that gets a code-generated unrolled kernel; above
+#: this the generic heapq scan is used (the unrolled min scan is O(c)
+#: per job, so very wide servers stop benefiting anyway).
+MAX_UNROLLED_CORES = 16
+
+#: Event-engine cost of one fastpath job (arrival + completion), used to
+#: honour ``max_events`` budgets at parity with the event engine.
+EVENTS_PER_JOB = 2
+
+
+class FastpathError(RuntimeError):
+    """Raised when the fast path is forced on a non-qualifying model."""
+
+
+@dataclass(frozen=True)
+class Qualification:
+    """Outcome of the structural eligibility check.
+
+    Truthy when the model qualifies; otherwise :attr:`reason` says which
+    structural feature requires the event engine.
+    """
+
+    ok: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+_QUALIFIED = Qualification(True)
+
+
+def qualifies(experiment) -> Qualification:
+    """Decide whether ``experiment`` can run on the vectorized fast path.
+
+    The recurrences are exact only for one open-loop synthetic source
+    feeding a plain FCFS server whose only observers are the waiting /
+    response-time metrics — anything that couples to the event clock
+    (tracers, sanitizer probes, governors, forwarding, pause/speed
+    policies, trace replay) disqualifies the model.
+    """
+    if not len(experiment.stats):
+        return Qualification(False, "no tracked metrics")
+    if experiment._tracer is not None:
+        return Qualification(False, "structured tracer requires the event engine")
+    if experiment.collect_telemetry:
+        return Qualification(False, "telemetry collection requires the event engine")
+    sim = experiment.simulation
+    if sim.probe is not None:
+        return Qualification(False, "determinism sanitizer requires the event engine")
+    if experiment.max_sim_time is not None:
+        return Qualification(False, "max_sim_time horizon requires the event clock")
+    if sim.events_processed:
+        return Qualification(False, "experiment already started on the event engine")
+    if len(experiment.sources) != 1:
+        return Qualification(
+            False, f"needs exactly one source, found {len(experiment.sources)}"
+        )
+    source = experiment.sources[0]
+    if type(source) is not Source:
+        return Qualification(
+            False, f"{type(source).__name__} is not a synthetic open-loop Source"
+        )
+    if not source.draw_sizes:
+        return Qualification(False, "source defers service draws to the server")
+    if source.max_jobs is not None:
+        return Qualification(False, "bounded job count (max_jobs) is event-engine only")
+    station = source.target
+    if type(station) is not Server:
+        return Qualification(
+            False, f"target {type(station).__name__} is not a plain Server"
+        )
+    if type(station.queue) is not FCFSQueue:
+        return Qualification(
+            False, f"non-FCFS discipline {type(station.queue).__name__}"
+        )
+    if station.forward_to is not None:
+        return Qualification(False, "multi-tier forwarding attached")
+    if station.service_distribution is not None:
+        return Qualification(False, "server-side service distribution attached")
+    if station.paused:
+        return Qualification(False, "server starts paused")
+    if station._arrival_listeners or station._occupancy_listeners:
+        return Qualification(False, "arrival/occupancy listeners attached")
+    bindings = experiment._metric_bindings
+    names = [binding.name for binding in bindings]
+    if sorted(names) != sorted(statistic.name for statistic in experiment.stats):
+        return Qualification(
+            False, "metrics beyond plain waiting/response-time trackers"
+        )
+    if any(binding.station is not station for binding in bindings):
+        return Qualification(False, "metric tracks a different station")
+    if len(station._complete_listeners) != len(bindings):
+        return Qualification(False, "extra completion listeners attached")
+    if len(sim.events) != 1:
+        return Qualification(
+            False,
+            "event queue holds more than the first arrival "
+            "(governors or custom events scheduled)",
+        )
+    return _QUALIFIED
+
+
+# -- G/G/c sequential kernels -------------------------------------------------
+
+_KERNEL_CACHE: dict = {}
+
+
+def _make_kernel(cores: int) -> Callable:
+    """Code-generate the next-free-server scan specialized for ``cores``.
+
+    The generated function keeps each core's free time in its own local
+    variable, finds the minimum with an unrolled flat scan, and writes
+    the chosen core back through an unrolled if/elif ladder — roughly an
+    order of magnitude faster than a generic list/heap loop because no
+    container indexing or method dispatch survives into the hot loop.
+
+    Signature: ``kernel(arrivals, services, waits, state) -> state`` with
+    ``arrivals``/``services``/``waits`` as equal-length Python lists
+    (``waits`` is filled in place) and ``state`` the tuple of core free
+    times carried between blocks.
+    """
+    frees = [f"f{j}" for j in range(cores)]
+    lines = [
+        "def kernel(arrivals, services, waits, state):",
+        f"    {', '.join(frees)}, = state",
+        "    i = 0",
+        "    for a, s in zip(arrivals, services):",
+        "        f = f0; m = 0",
+    ]
+    for j in range(1, cores):
+        lines.append(f"        if f{j} < f: f = f{j}; m = {j}")
+    lines += [
+        "        if f > a:",
+        "            waits[i] = f - a",
+        "            d = f + s",
+        "        else:",
+        "            d = a + s",
+    ]
+    branch = "if"
+    for j in range(cores - 1):
+        lines.append(f"        {branch} m == {j}: f{j} = d")
+        branch = "elif"
+    if cores == 1:
+        lines.append("        f0 = d")
+    else:
+        lines.append(f"        else: f{cores - 1} = d")
+    lines += [
+        "        i += 1",
+        f"    return ({', '.join(frees)},)",
+    ]
+    namespace: dict = {}
+    exec(  # noqa: S102 - generating the specialized scan above
+        compile("\n".join(lines), f"<fastpath-ggc-kernel-{cores}>", "exec"),
+        namespace,
+    )
+    return namespace["kernel"]
+
+
+def _kernel_for(cores: int) -> Callable:
+    kernel = _KERNEL_CACHE.get(cores)
+    if kernel is None:
+        kernel = _make_kernel(cores)
+        _KERNEL_CACHE[cores] = kernel
+    return kernel
+
+
+def _heap_scan(arrivals, services, waits, state):
+    """Generic G/G/c scan for very wide servers (cores > MAX_UNROLLED_CORES).
+
+    Same recurrence as the generated kernels, but the core free times
+    live in a heap, so cost per job is O(log c) instead of O(c).
+    """
+    free = list(state)
+    heapq.heapify(free)
+    replace = heapq.heapreplace
+    i = 0
+    for a, s in zip(arrivals, services):
+        f = free[0]
+        if f > a:
+            waits[i] = f - a
+            replace(free, f + s)
+        else:
+            replace(free, a + s)
+        i += 1
+    return tuple(free)
+
+
+# -- block recurrences --------------------------------------------------------
+
+def _lindley_block(
+    gaps: np.ndarray,
+    services: np.ndarray,
+    carry: Tuple[float, float],
+) -> Tuple[np.ndarray, Tuple[float, float]]:
+    """Waiting times for one G/G/1 block, with carry across blocks.
+
+    ``carry`` is ``(w_last, s_last)`` — the previous block's final
+    waiting and service time — so the recurrence continues exactly:
+    the first wait is ``max(0, w_last + s_last - gaps[0])`` and the rest
+    follow the reflected-random-walk identity.
+    """
+    w_last, s_last = carry
+    n = gaps.shape[0]
+    waits = np.empty(n, dtype=float)
+    first = w_last + s_last - gaps[0]
+    waits[0] = first if first > 0.0 else 0.0
+    if n > 1:
+        walk = np.cumsum(services[:-1] - gaps[1:])
+        floor = np.minimum.accumulate(walk)
+        np.minimum(floor, -waits[0], out=floor)
+        np.subtract(walk, floor, out=waits[1:])
+    return waits, (float(waits[-1]), float(services[-1]))
+
+
+# -- the engine ---------------------------------------------------------------
+
+def run_fastpath(experiment, max_events: Optional[int] = None):
+    """Run ``experiment`` to convergence on the vectorized fast path.
+
+    Returns an ``ExperimentResult`` shaped exactly like the event
+    engine's: same estimate payloads, ``events_processed`` accounted at
+    two events per job (arrival + completion) so ``max_events`` budgets
+    bound the same amount of simulated work, ``sim_time`` the time of
+    the last generated arrival.
+    """
+    # Imported here: experiment.py imports this module lazily from
+    # run(), so a top-level import back into it would be circular.
+    from repro.engine.experiment import ExperimentResult
+
+    qualification = qualifies(experiment)
+    if not qualification:
+        raise FastpathError(
+            f"model does not qualify for the fast path: {qualification.reason}"
+        )
+    started = time.perf_counter()
+
+    source = experiment.sources[0]
+    station: Server = source.target
+    cores = station.cores
+    speed = station.speed
+    interarrival = source.workload.interarrival
+    service = source.workload.service
+    arrival_rng = source._arrival_rng
+    service_rng = source._service_rng
+
+    # One (observe_block, kind) feed per tracked metric.
+    feeds: List[Tuple[Callable, str]] = [
+        (experiment.stats[binding.name].observe_block, binding.kind)
+        for binding in experiment._metric_bindings
+    ]
+    wants_response = any(kind == "response" for _, kind in feeds)
+
+    budget = max_events if max_events is not None else experiment.max_events
+    jobs_budget = budget // EVENTS_PER_JOB
+    jobs = 0
+    clock = 0.0
+
+    if cores == 1:
+        carry = (0.0, 0.0)
+    else:
+        state = (0.0,) * cores
+        scan = _kernel_for(cores) if cores <= MAX_UNROLLED_CORES else _heap_scan
+
+    stats = experiment.stats
+    while not stats.all_converged:
+        remaining = jobs_budget - jobs
+        if remaining <= 0:
+            break
+        n = BLOCK_JOBS if BLOCK_JOBS < remaining else remaining
+        gaps = interarrival.sample_block(arrival_rng, n)
+        services = service.sample_block(service_rng, n)
+        if speed != 1.0:
+            services = services / speed
+        if cores == 1:
+            waits, carry = _lindley_block(gaps, services, carry)
+            clock += float(gaps.sum())
+        else:
+            arrivals = np.cumsum(gaps)
+            arrivals += clock
+            clock = float(arrivals[-1])
+            wait_list = [0.0] * n
+            state = scan(arrivals.tolist(), services.tolist(), wait_list, state)
+            waits = np.array(wait_list, dtype=float)
+        responses = waits + services if wants_response else None
+        for feed, kind in feeds:
+            feed(responses if kind == "response" else waits)
+        jobs += n
+
+    source.generated += jobs
+    experiment._has_run = True
+    wall = time.perf_counter() - started
+    return ExperimentResult(
+        estimates=stats.report(),
+        converged=stats.all_converged,
+        events_processed=jobs * EVENTS_PER_JOB,
+        sim_time=clock,
+        wall_time=wall,
+        jobs_generated=jobs,
+        extras={"engine": "fastpath"},
+    )

@@ -73,17 +73,22 @@ def run_point(job: dict) -> dict:
             )
         payload = {"task": produced}
     else:
+        # Engine override rides the payload only when non-default (the
+        # digest-stability rule in SweepPoint.job_payload).
+        engine = job.get("engine")
         if kind == "config":
             from repro.config import build_experiment
 
             config = apply_params(job["base"], params)
             config["seed"] = seed
-            experiment = build_experiment(config)
+            experiment = build_experiment(config, engine=engine)
         else:
             factory = resolve_callable(job["factory"])
             experiment = factory(
                 seed=seed, **job.get("factory_kwargs", {}), **params
             )
+            if engine is not None and hasattr(experiment, "engine"):
+                experiment.engine = engine
         from repro.engine.report import result_to_dict
         from repro.parallel.protocol import payload_digest
 

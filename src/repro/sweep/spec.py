@@ -181,6 +181,10 @@ class SweepPoint:
             "seed": self.seed,
             "max_events": spec.max_events,
         }
+        # Included only when non-default so every pre-existing spec's
+        # point digests (and therefore its sweep cache) stay valid.
+        if spec.engine != "event":
+            payload["engine"] = spec.engine
         if spec.kind == "config":
             payload["base"] = canonical(spec.base)
         else:
@@ -225,11 +229,19 @@ class SweepSpec:
     axes: Dict[str, list] = field(default_factory=dict)
     grid: Tuple[dict, ...] = ()
     max_events: Optional[int] = None
+    #: Simulation engine for experiment points ("event" | "auto" |
+    #: "fastpath"); task-kind sweeps ignore it.
+    engine: str = "event"
 
     def __post_init__(self) -> None:
         if self.kind not in POINT_KINDS:
             raise SweepError(
                 f"unknown sweep kind {self.kind!r}; expected {POINT_KINDS}"
+            )
+        if self.engine not in ("event", "auto", "fastpath"):
+            raise SweepError(
+                f"unknown engine {self.engine!r}; "
+                "expected 'event', 'auto', or 'fastpath'"
             )
         if not self.name:
             raise SweepError("sweep needs a non-empty name")
@@ -338,6 +350,8 @@ class SweepSpec:
         }
         if self.max_events is not None:
             payload["sweep"]["max_events"] = self.max_events
+        if self.engine != "event":
+            payload["sweep"]["engine"] = self.engine
         if self.kind == "config":
             payload["base"] = canonical(self.base)
         else:
@@ -360,7 +374,8 @@ class SweepSpec:
         unknown = set(data) - known
         if unknown:
             raise SweepError(f"unknown spec section(s): {sorted(unknown)}")
-        head_known = {"name", "kind", "seed", "max_events", "factory"}
+        head_known = {"name", "kind", "seed", "max_events", "factory",
+                      "engine"}
         head_unknown = set(head) - head_known
         if head_unknown:
             raise SweepError(
@@ -376,6 +391,7 @@ class SweepSpec:
             axes=data.get("axes", {}),
             grid=tuple(data.get("grid", ())),
             max_events=head.get("max_events"),
+            engine=head.get("engine", "event"),
         )
 
     @classmethod

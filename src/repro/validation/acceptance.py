@@ -28,12 +28,22 @@ from repro.sweep import SweepResult, SweepRunner, SweepSpec
 #: Default per-server service rate; lam is derived as rho * k * mu.
 DEFAULT_MU = 20.0
 
-#: The always-on smoke subset: one point per model family.
+#: The always-on smoke subset: one point per model family, plus the
+#: engine axis — the same M/M/1 and M/M/k models re-judged on the
+#: vectorized fastpath engine, so tier-1 always cross-checks the two
+#: engines against the same closed forms.  Fastpath points are appended
+#: *after* the historical ones: each point's derived seed (and so its
+#: digest) is a function of its grid index, and prepending would move
+#: every pre-existing result.
 SMOKE_POINTS = (
     {"model": "mm1", "rho": 0.5, "metric": "response",
      "quantiles": [0.95, 0.99]},
     {"model": "mmk", "rho": 0.75, "k": 4, "metric": "waiting"},
     {"model": "mg1", "rho": 0.5, "cv": 2.0, "metric": "waiting"},
+    {"model": "mm1", "rho": 0.5, "metric": "response",
+     "quantiles": [0.95, 0.99], "engine": "fastpath"},
+    {"model": "mmk", "rho": 0.75, "k": 4, "metric": "waiting",
+     "engine": "fastpath"},
 )
 
 #: The full acceptance grid (superset of the smoke subset).
@@ -49,6 +59,8 @@ FULL_POINTS = SMOKE_POINTS + (
     {"model": "mg1", "rho": 0.5, "cv": 4.0, "metric": "waiting"},
     {"model": "mg1", "rho": 0.7, "cv": 2.0, "metric": "waiting"},
     {"model": "ps", "rho": 0.5, "cv": 3.0, "metric": "response"},
+    {"model": "mg1", "rho": 0.7, "cv": 2.0, "metric": "waiting",
+     "engine": "fastpath"},
 )
 
 #: Tolerance (x accuracy target) per model family; on top of these the
@@ -70,6 +82,7 @@ def queue_point_factory(
     accuracy: float = 0.02,
     warmup_samples: int = 500,
     calibration_samples: int = 3000,
+    engine: str = "event",
 ):
     """Build the experiment for one acceptance grid point.
 
@@ -77,7 +90,9 @@ def queue_point_factory(
     job payload.  ``model`` selects the queueing family: ``mm1``/``mmk``
     (exponential service on a ``k``-core station), ``mg1`` (service
     fitted to ``cv`` — deterministic, Gamma, or hyperexponential), and
-    ``ps`` (processor sharing, Cv-insensitive).
+    ``ps`` (processor sharing, Cv-insensitive).  ``engine`` selects the
+    simulation engine (``"fastpath"`` points are what hold the
+    vectorized engine to the same theory-vs-sim verdicts).
     """
     from repro.datacenter.processor_sharing import ProcessorSharingServer
     from repro.datacenter.server import Server
@@ -99,6 +114,7 @@ def queue_point_factory(
         seed=seed,
         warmup_samples=warmup_samples,
         calibration_samples=calibration_samples,
+        engine=engine,
     )
     experiment.add_source(workload, target=station)
     quantile_targets = {float(q): accuracy for q in quantiles} or None
@@ -164,7 +180,11 @@ def point_label(entry: dict) -> str:
         "mg1": f"M/G/1 Cv={entry.get('cv', 1.0):g}",
         "ps": f"M/G/1-PS Cv={entry.get('cv', 1.0):g}",
     }[model]
-    return f"{pretty} rho={entry['rho']:g}"
+    label = f"{pretty} rho={entry['rho']:g}"
+    engine = entry.get("engine", "event")
+    if engine != "event":
+        label += f" [{engine}]"
+    return label
 
 
 def build_acceptance_spec(

@@ -66,11 +66,19 @@ class TestSmokeSubset:
         names = " ".join(case.name for case in cases)
         assert "M/M/1" in names and "M/M/4" in names and "M/G/1" in names
 
+    def test_covers_both_engines(self, smoke):
+        _, cases = smoke
+        fastpath_cases = [c for c in cases if "[fastpath]" in c.name]
+        assert len(fastpath_cases) >= 2, (
+            "smoke subset must cross-check the fastpath engine"
+        )
+
     def test_quantile_cases_present_with_cis(self, smoke):
         _, cases = smoke
         quantile_cases = [c for c in cases if "p95" in c.name or
                           "p99" in c.name]
-        assert len(quantile_cases) == 2
+        # Two per M/M/1 point: the event-engine one and its fastpath twin.
+        assert len(quantile_cases) == 4
         for case in quantile_cases:
             assert case.ci is not None and case.half_width > 0
 

@@ -358,6 +358,97 @@ class TestTraceInHotLoopRule:
         assert findings == []
 
 
+class TestScalarSampleLoopRule:
+    def test_sample_in_for_loop_fires(self):
+        findings = findings_for(
+            """
+            def drive(dist, rng, n):
+                out = []
+                for _ in range(n):
+                    out.append(dist.sample(rng))
+                return out
+            """
+        )
+        assert rule_ids(findings) == ["scalar-sample-loop"]
+
+    def test_sample_in_while_loop_fires(self):
+        findings = findings_for(
+            """
+            def drain(dist, rng):
+                total = 0.0
+                while total < 10.0:
+                    total += dist.sample(rng)
+                return total
+            """
+        )
+        assert rule_ids(findings) == ["scalar-sample-loop"]
+
+    def test_sample_in_comprehension_fires(self):
+        findings = findings_for(
+            """
+            def draws(dist, rng, n):
+                return [dist.sample(rng) for _ in range(n)]
+            """
+        )
+        assert rule_ids(findings) == ["scalar-sample-loop"]
+
+    def test_single_draw_outside_loop_allowed(self):
+        # One draw per event is the event engine's legitimate pattern.
+        findings = findings_for(
+            """
+            def emit(dist, rng):
+                return dist.sample(rng)
+            """
+        )
+        assert findings == []
+
+    def test_self_sample_reference_loop_allowed(self):
+        # A distribution's own per-draw fallback is the draw-order
+        # reference, not a missed vectorization.
+        findings = findings_for(
+            """
+            class Custom:
+                def sample_many(self, rng, n):
+                    return [self.sample(rng) for _ in range(n)]
+            """,
+            rel="distributions/custom.py",
+        )
+        assert findings == []
+
+    def test_block_draw_in_loop_allowed(self):
+        findings = findings_for(
+            """
+            def drive(dist, rng, blocks, n):
+                out = []
+                for _ in range(blocks):
+                    out.extend(dist.sample_block(rng, n))
+                return out
+            """
+        )
+        assert findings == []
+
+    def test_tests_are_exempt(self):
+        findings = findings_for(
+            """
+            def cross_check(dist, rng, n):
+                return [dist.sample(rng) for _ in range(n)]
+            """,
+            rel="tests/test_example.py",
+        )
+        assert findings == []
+
+    def test_suppression_comment_respected(self):
+        findings = findings_for(
+            "def f(dist, rng, n):\n"
+            "    out = []\n"
+            "    for _ in range(n):\n"
+            "        out.append(dist.sample(rng))"
+            "  # simlint: disable=scalar-sample-loop\n"
+            "    return out\n"
+        )
+        assert findings == []
+
+
 class TestParallelLambdaRule:
     def test_lambda_in_parallel_package_fires(self):
         findings = findings_for(
@@ -594,6 +685,7 @@ class TestCli:
             "float-time-eq",
             "trace-in-hot-loop",
             "swallow-exception",
+            "scalar-sample-loop",
             "parallel-lambda",
         }
 
