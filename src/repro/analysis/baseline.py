@@ -1,0 +1,164 @@
+"""Finding baselines: track legacy findings, gate only new ones.
+
+A whole-program pass grows in power over time; every new rule would
+otherwise be blocked on fixing (or suppressing) every historical
+finding before CI could adopt it.  The baseline file decouples the two:
+findings present in the committed baseline are reported as *baselined*
+(and do not fail the gate), anything not in it is *new* and fails CI.
+
+Fingerprints deliberately exclude line/column numbers — inserting a
+docstring above a legacy finding must not make it "new".  A fingerprint
+hashes ``(rule, path, message, occurrence)``, where ``occurrence``
+disambiguates identical findings within one file (two copies of the
+same hazard are two baseline slots; fixing one retires one).
+
+File format (JSON, committed at the repo root as
+``.simlint-baseline.json``)::
+
+    {
+      "version": 1,
+      "findings": [
+        {"fingerprint": "…", "rule": "…", "path": "…", "message": "…"},
+        …
+      ]
+    }
+
+``path`` and ``message`` are informational (so diffs are reviewable);
+matching is by fingerprint only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.linter import Finding, LintError
+
+BASELINE_VERSION = 1
+
+#: The conventional committed baseline location.
+DEFAULT_BASELINE = ".simlint-baseline.json"
+
+
+def _normalized_path(path: str) -> str:
+    """Stable cross-machine path form: posix separators, no leading ./"""
+    normalized = path.replace("\\", "/")
+    while normalized.startswith("./"):
+        normalized = normalized[2:]
+    return normalized
+
+
+def fingerprint(finding: Finding, occurrence: int = 0) -> str:
+    """Line-number-independent identity of one finding."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(finding.rule.encode())
+    digest.update(b"\x00")
+    digest.update(_normalized_path(finding.path).encode())
+    digest.update(b"\x00")
+    digest.update(finding.message.encode())
+    digest.update(b"\x00")
+    digest.update(str(occurrence).encode())
+    return digest.hexdigest()
+
+
+def fingerprints(findings: Sequence[Finding]) -> List[str]:
+    """Fingerprints for a finding list, occurrence-disambiguated."""
+    counts: Dict[tuple, int] = {}
+    result = []
+    for finding in findings:
+        key = (finding.rule, _normalized_path(finding.path),
+               finding.message)
+        occurrence = counts.get(key, 0)
+        counts[key] = occurrence + 1
+        result.append(fingerprint(finding, occurrence))
+    return result
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of matching findings against a baseline."""
+
+    new: List[Finding]  # not in the baseline: these gate CI
+    baselined: List[Finding]  # tracked legacy findings
+    stale: List[str]  # baseline fingerprints with no matching finding
+
+    @property
+    def clean(self) -> bool:
+        return not self.new
+
+
+def load_baseline(path) -> Dict[str, dict]:
+    """Read a baseline file; returns fingerprint -> entry."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as error:
+        raise LintError(f"cannot read baseline {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise LintError(
+            f"baseline {path} is not valid JSON: {error}"
+        ) from error
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise LintError(
+            f"baseline {path}: expected version {BASELINE_VERSION} "
+            f"document, got {data.get('version') if isinstance(data, dict) else data!r}"
+        )
+    entries = {}
+    for entry in data.get("findings", []):
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise LintError(
+                f"baseline {path}: malformed entry {entry!r}"
+            )
+        entries[entry["fingerprint"]] = entry
+    return entries
+
+
+def write_baseline(findings: Sequence[Finding], path) -> int:
+    """Write the baseline for the given findings; returns entry count.
+
+    Entries are sorted by (path, rule, message) so the committed file
+    diffs deterministically.
+    """
+    ordered = sorted(
+        zip(findings, fingerprints(findings)),
+        key=lambda pair: (
+            _normalized_path(pair[0].path),
+            pair[0].rule,
+            pair[0].message,
+            pair[1],
+        ),
+    )
+    document = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "fingerprint": print_,
+                "rule": finding.rule,
+                "path": _normalized_path(finding.path),
+                "message": finding.message,
+            }
+            for finding, print_ in ordered
+        ],
+    }
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+    return len(ordered)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, dict]
+) -> BaselineResult:
+    """Split findings into new vs baselined; report stale entries."""
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    seen: set = set()
+    for finding, print_ in zip(findings, fingerprints(findings)):
+        if print_ in baseline:
+            baselined.append(finding)
+            seen.add(print_)
+        else:
+            new.append(finding)
+    stale = sorted(set(baseline) - seen)
+    return BaselineResult(new=new, baselined=baselined, stale=stale)

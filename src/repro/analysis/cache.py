@@ -1,0 +1,118 @@
+"""Incremental analysis cache keyed by file content digests.
+
+The whole-program pass re-parses every file on every run; that is fine
+once (< 10 s over this repository) but wasteful in pre-commit, which
+runs on every commit touching two files.  The cache stores:
+
+- **per-file findings** keyed by the file's content digest (plus the
+  analyzer version and active rule set), so per-file rule results for
+  untouched files are served without re-parsing;
+- **whole-program findings** keyed by the digest of *all* file digests
+  — any edit anywhere invalidates the cross-module result, which is
+  the only sound granularity for an interprocedural pass.
+
+Entries are plain JSON under the cache directory; a corrupt or
+version-mismatched entry is treated as a miss and recomputed (the same
+corrupt→recompute policy as the sweep cache).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.linter import Finding
+
+#: Bump when rule semantics change so stale caches self-invalidate.
+ANALYSIS_VERSION = "2"
+
+
+def _finding_to_json(finding: Finding) -> dict:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "end_line": finding.end_line,
+        "severity": finding.severity,
+    }
+
+
+def _finding_from_json(data: dict) -> Finding:
+    return Finding(
+        rule=data["rule"],
+        path=data["path"],
+        line=data["line"],
+        col=data["col"],
+        message=data["message"],
+        end_line=data.get("end_line", 0),
+        severity=data.get("severity", "error"),
+    )
+
+
+def file_digest(source: bytes) -> str:
+    """Content digest of one file's bytes."""
+    return hashlib.blake2b(source, digest_size=16).hexdigest()
+
+
+class AnalysisCache:
+    """On-disk findings cache for the incremental pass."""
+
+    def __init__(self, root, rule_ids: Iterable[str] = ()) -> None:
+        self.root = Path(root)
+        token = hashlib.blake2b(digest_size=8)
+        token.update(ANALYSIS_VERSION.encode())
+        for rule_id in sorted(rule_ids):
+            token.update(b"\x00")
+            token.update(rule_id.encode())
+        #: Version+ruleset discriminator mixed into every key.
+        self.token = token.hexdigest()
+
+    # -- keys -----------------------------------------------------------------
+
+    def file_key(self, digest: str) -> str:
+        return f"file-{self.token}-{digest}"
+
+    def project_key(self, digests: Dict[str, str]) -> str:
+        """One key over the whole project state (rel path -> digest)."""
+        rollup = hashlib.blake2b(digest_size=16)
+        for rel in sorted(digests):
+            rollup.update(rel.encode())
+            rollup.update(b"\x00")
+            rollup.update(digests[rel].encode())
+            rollup.update(b"\x00")
+        return f"project-{self.token}-{rollup.hexdigest()}"
+
+    # -- storage --------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[List[Finding]]:
+        """Cached findings for ``key``, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(entry, dict) or entry.get("key") != key:
+            return None
+        try:
+            return [
+                _finding_from_json(item) for item in entry["findings"]
+            ]
+        except (KeyError, TypeError):
+            return None
+
+    def put(self, key: str, findings: Sequence[Finding]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "key": key,
+            "findings": [_finding_to_json(f) for f in findings],
+        }
+        tmp = self._path(key).with_suffix(".tmp")
+        tmp.write_text(json.dumps(entry, sort_keys=True))
+        tmp.replace(self._path(key))

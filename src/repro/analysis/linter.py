@@ -44,6 +44,12 @@ _SUPPRESSION = re.compile(
 )
 
 
+#: Finding severities, most severe first.  ``error`` findings gate CI;
+#: ``warning`` findings flag probable-but-unproven hazards; ``note``
+#: findings are informational forecasts (e.g. fastpath eligibility).
+SEVERITIES = ("error", "warning", "note")
+
+
 @dataclass(frozen=True)
 class Finding:
     """One rule violation at a specific location."""
@@ -54,10 +60,15 @@ class Finding:
     col: int
     message: str
     end_line: int = 0  # last physical line of the flagged statement
+    severity: str = "error"
 
     def location(self) -> str:
         """``path:line:col`` rendering used by the text reporter."""
         return f"{self.path}:{self.line}:{self.col}"
+
+    def sort_key(self) -> tuple:
+        """The canonical report order: (path, line, col, rule)."""
+        return (self.path, self.line, self.col, self.rule)
 
     def to_dict(self) -> dict:
         """JSON-safe form for ``--format json``."""
@@ -66,6 +77,7 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "col": self.col,
+            "severity": self.severity,
             "message": self.message,
         }
 
@@ -79,7 +91,13 @@ class ModuleContext:
     tree: ast.AST
     lines: List[str] = field(default_factory=list)
 
-    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+    def finding(
+        self,
+        rule_id: str,
+        node: ast.AST,
+        message: str,
+        severity: str = "error",
+    ) -> Finding:
         """Build a finding anchored at ``node``."""
         line = getattr(node, "lineno", 1)
         return Finding(
@@ -89,6 +107,7 @@ class ModuleContext:
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
             end_line=getattr(node, "end_lineno", line) or line,
+            severity=severity,
         )
 
 
@@ -178,7 +197,7 @@ def lint_source(
             if finding.rule in suppressed or "all" in suppressed:
                 continue
             findings.append(finding)
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    findings.sort(key=Finding.sort_key)
     return findings
 
 
@@ -224,11 +243,22 @@ def lint_paths(
 ) -> tuple:
     """Lint every ``*.py`` file under ``paths``.
 
-    Returns ``(findings, files_scanned)``.
+    Returns ``(findings, files_scanned)``.  The finding list is sorted
+    globally by ``(path, line, col, rule)`` — not by filesystem
+    iteration order — so text/JSON/SARIF reports and baseline diffs are
+    byte-stable across machines and path-argument orderings.
     """
     findings: List[Finding] = []
     scanned = 0
+    seen: set = set()
     for path in iter_python_files(paths):
+        # Overlapping path arguments (e.g. `src src/repro`) must not
+        # double-report a file.
+        resolved = Path(path).resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
         findings.extend(lint_file(path, select=select, disable=disable))
         scanned += 1
+    findings.sort(key=Finding.sort_key)
     return findings, scanned

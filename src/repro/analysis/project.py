@@ -1,0 +1,238 @@
+"""The whole-program analysis driver.
+
+``analyze_project`` is the single entry point behind
+``python -m repro.analysis --whole-program``: it runs the per-file
+rules over every file (served from the incremental cache when
+unchanged), builds the project symbol table and call graph once, and
+layers the cross-module passes on top:
+
+- :mod:`~repro.analysis.dataflow` — RNG / host-clock taint across
+  function and module boundaries;
+- :mod:`~repro.analysis.races` — module-level mutable state mutated
+  from slave/worker-reachable code.
+
+Whole-program findings honor the same ``# simlint: disable=RULE``
+per-line suppressions as per-file rules, and the same deterministic
+``(path, line, col, rule)`` report order.
+
+Test modules are excluded from the cross-module passes by default
+(tests legitimately build fixed-seed generators and poke shared
+fixtures); a fixture corpus *of* hazards analyzes itself by passing
+``project_root`` so its files index as library code.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.cache import AnalysisCache, file_digest
+from repro.analysis.callgraph import build_callgraph, default_worker_entries
+from repro.analysis.dataflow import analyze_taint
+from repro.analysis.linter import (
+    Finding,
+    LintError,
+    iter_python_files,
+    lint_source,
+    relative_module_path,
+    suppressed_rules,
+)
+from repro.analysis.races import analyze_races
+from repro.analysis.rules import RULES
+from repro.analysis.symbols import ProjectIndex, parse_module
+
+#: Whole-program rule catalog: id -> one-line summary (the analogue of
+#: ``RULES`` for passes that need the full project, not one module).
+WHOLE_PROGRAM_RULES: Dict[str, str] = {
+    "rng-taint": (
+        "no unseeded/global RNG value reaching a sampling, event, or "
+        "merge path, across function and module boundaries"
+    ),
+    "clock-taint": (
+        "no host-clock value reaching a sampling, event, merge, or "
+        "seed-derivation path, across function and module boundaries"
+    ),
+    "shared-state-race": (
+        "no module-level mutable state (or closure capture) mutated "
+        "from code reachable by slave/worker entry points"
+    ),
+}
+
+
+def all_rule_ids() -> List[str]:
+    """Every known rule id: per-file registry + whole-program passes."""
+    return sorted(set(RULES) | set(WHOLE_PROGRAM_RULES))
+
+
+def _split_rule_ids(
+    ids: Optional[Iterable[str]],
+) -> Tuple[Optional[List[str]], Optional[List[str]]]:
+    """Split a user rule-id list into (per-file, whole-program) parts.
+
+    Unknown ids raise :class:`LintError` against the *combined*
+    catalog, so ``--select rng-taint`` is legal even though the id is
+    not in the per-file registry.
+    """
+    if ids is None:
+        return None, None
+    ids = list(ids)
+    unknown = [
+        rule_id
+        for rule_id in ids
+        if rule_id not in RULES and rule_id not in WHOLE_PROGRAM_RULES
+    ]
+    if unknown:
+        raise LintError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(all_rule_ids())}"
+        )
+    per_file = [rule_id for rule_id in ids if rule_id in RULES]
+    whole = [rule_id for rule_id in ids if rule_id in WHOLE_PROGRAM_RULES]
+    return per_file, whole
+
+
+def _apply_suppressions(
+    findings: List[Finding], index: ProjectIndex
+) -> List[Finding]:
+    kept = []
+    for finding in findings:
+        module = index.by_path.get(finding.path)
+        if module is not None:
+            suppressed = suppressed_rules(
+                module.lines, finding.line, finding.end_line or finding.line
+            )
+            if finding.rule in suppressed or "all" in suppressed:
+                continue
+        kept.append(finding)
+    return kept
+
+
+def analyze_project(
+    paths: Iterable,
+    select: Optional[Iterable[str]] = None,
+    disable: Optional[Iterable[str]] = None,
+    project_root: Optional[Path] = None,
+    worker_entries: Optional[Iterable[str]] = None,
+    cache_dir: Optional[Path] = None,
+    include_tests_in_program: bool = False,
+) -> Tuple[List[Finding], int]:
+    """Run per-file rules plus the whole-program passes.
+
+    Returns ``(findings, files_scanned)`` with findings globally sorted
+    by ``(path, line, col, rule)``.  ``worker_entries`` overrides the
+    race detector's slave/worker roots (global function names); the
+    default is the shipped parallel/pool/sweep entry set.
+    ``cache_dir`` enables the incremental cache.
+    """
+    select_file, select_whole = _split_rule_ids(select)
+    disable_file, disable_whole = _split_rule_ids(disable)
+    disable_whole = set(disable_whole or ())
+
+    cache = (
+        AnalysisCache(cache_dir, rule_ids=all_rule_ids())
+        if cache_dir is not None
+        else None
+    )
+
+    findings: List[Finding] = []
+    scanned = 0
+    index = ProjectIndex()
+    digests: Dict[str, str] = {}
+    seen: set = set()
+
+    run_per_file = not (select is not None and not select_file)
+
+    for path in iter_python_files(paths):
+        resolved = Path(path).resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        try:
+            raw = Path(path).read_text()
+        except OSError as error:
+            raise LintError(f"cannot read {path}: {error}") from error
+        if project_root is not None:
+            rel = resolved.relative_to(
+                Path(project_root).resolve()
+            ).as_posix()
+        else:
+            rel = relative_module_path(Path(path))
+        digest = file_digest(raw.encode())
+        digests[rel] = digest
+        scanned += 1
+
+        # Per-file rules, cache-served when the file is unchanged.
+        if run_per_file:
+            per_file: Optional[List[Finding]] = None
+            key = None
+            if cache is not None and select is None and disable is None:
+                key = cache.file_key(digest)
+                cached = cache.get(key)
+                if cached is not None:
+                    # Cached findings carry the path they were recorded
+                    # under; re-anchor to the current display path.
+                    per_file = [
+                        Finding(
+                            rule=f.rule,
+                            path=str(path),
+                            line=f.line,
+                            col=f.col,
+                            message=f.message,
+                            end_line=f.end_line,
+                            severity=f.severity,
+                        )
+                        for f in cached
+                    ]
+            if per_file is None:
+                per_file = lint_source(
+                    raw,
+                    rel=rel,
+                    path=str(path),
+                    select=select_file,
+                    disable=disable_file,
+                )
+                if cache is not None and key is not None:
+                    cache.put(key, per_file)
+            findings.extend(per_file)
+
+        # Index for the cross-module passes (tests excluded by default).
+        if include_tests_in_program or not rel.startswith("tests/"):
+            index.add(parse_module(raw, str(path), rel))
+
+    # Whole-program passes.
+    if select is not None:
+        active_whole = set(select_whole or ())
+    else:
+        active_whole = set(WHOLE_PROGRAM_RULES)
+    active_whole -= disable_whole
+
+    whole_findings: List[Finding] = []
+    if active_whole and index.modules:
+        program_key = None
+        cached_whole = None
+        if cache is not None and select is None and disable is None:
+            program_key = cache.project_key(digests)
+            cached_whole = cache.get(program_key)
+        if cached_whole is not None:
+            whole_findings = cached_whole
+        else:
+            graph = build_callgraph(index)
+            if {"rng-taint", "clock-taint"} & active_whole:
+                taint = analyze_taint(index, graph)
+                whole_findings.extend(
+                    f for f in taint if f.rule in active_whole
+                )
+            if "shared-state-race" in active_whole:
+                entries = (
+                    list(worker_entries)
+                    if worker_entries is not None
+                    else default_worker_entries(index)
+                )
+                whole_findings.extend(analyze_races(index, graph, entries))
+            whole_findings = _apply_suppressions(whole_findings, index)
+            if cache is not None and program_key is not None:
+                cache.put(program_key, whole_findings)
+
+    findings.extend(whole_findings)
+    findings.sort(key=Finding.sort_key)
+    return findings, scanned

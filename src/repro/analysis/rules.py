@@ -566,23 +566,30 @@ class SwallowExceptionRule(Rule):
     anticipated failure, not "anything".
 
     Scope: ``parallel/`` and ``faults/`` — the layers whose whole job
-    is attributing failures.  A handler passes by doing any of:
-    re-raising (bare or chained ``raise``), binding the exception
-    (``as error``) and referencing it (recording it in a cause code,
-    message, or trace), or narrowing the caught type.
+    is attributing failures — plus ``sweep/`` (pool-worker recovery and
+    point requeue logic) and ``engine/fastpath.py`` (the auto-engine
+    fallback path), which carry the same must-attribute-failures
+    contract.  A handler passes by doing any of: re-raising (bare or
+    chained ``raise``), binding the exception (``as error``) and
+    referencing it (recording it in a cause code, message, or trace),
+    or narrowing the caught type.
     """
 
     id = "swallow-exception"
     summary = (
-        "no bare/over-broad except blocks in parallel/ or faults/ that "
-        "drop the exception without re-raising or recording it"
+        "no bare/over-broad except blocks in parallel/, faults/, "
+        "sweep/, or engine/fastpath.py that drop the exception without "
+        "re-raising or recording it"
     )
 
     #: Catch types considered over-broad.
     broad = frozenset({"Exception", "BaseException"})
 
     def applies(self, ctx: ModuleContext) -> bool:
-        return ctx.rel.startswith(("parallel/", "faults/"))
+        return (
+            ctx.rel.startswith(("parallel/", "faults/", "sweep/"))
+            or ctx.rel == "engine/fastpath.py"
+        )
 
     def _is_broad(self, handler: ast.ExceptHandler) -> bool:
         if handler.type is None:  # bare except:

@@ -1,0 +1,173 @@
+"""SARIF 2.1.0 output for simlint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard CI surfaces ingest — GitHub code scanning, VS Code SARIF
+viewers, and review dashboards all consume it directly, which is how
+whole-program findings show up inline on pull requests instead of in a
+build log.  This module emits the minimal conforming subset: one run,
+the tool's rule catalog (every rule that *could* fire, not just those
+that did), and one result per finding with a physical location.
+
+Severity mapping: simlint ``error``/``warning``/``note`` map onto the
+identically named SARIF ``level`` values.  Baselined findings (when a
+baseline was applied) carry ``baselineState: "unchanged"`` so viewers
+can fold them; new findings carry ``baselineState: "new"``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.analysis.linter import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+TOOL_NAME = "simlint"
+TOOL_URI = "https://example.invalid/docs/analysis.md"
+
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def _uri(path: str) -> str:
+    uri = path.replace("\\", "/")
+    while uri.startswith("./"):
+        uri = uri[2:]
+    return uri
+
+
+def _rule_descriptor(rule_id: str, summary: str) -> dict:
+    return {
+        "id": rule_id,
+        "shortDescription": {"text": summary or rule_id},
+        "helpUri": TOOL_URI,
+    }
+
+
+def to_sarif(
+    findings: Sequence[Finding],
+    rules: Optional[Dict[str, str]] = None,
+    baseline_state: Optional[Dict[int, str]] = None,
+    tool_version: str = "1.0.0",
+) -> dict:
+    """Build a SARIF 2.1.0 log document.
+
+    ``rules`` maps rule id -> one-line summary for the tool catalog
+    (defaults to the ids present in the findings).  ``baseline_state``
+    maps finding *index* -> ``"new"`` / ``"unchanged"`` when a baseline
+    was applied.
+    """
+    catalog = dict(rules or {})
+    for finding in findings:
+        catalog.setdefault(finding.rule, "")
+    driver_rules = [
+        _rule_descriptor(rule_id, summary)
+        for rule_id, summary in sorted(catalog.items())
+    ]
+    rule_index = {
+        descriptor["id"]: position
+        for position, descriptor in enumerate(driver_rules)
+    }
+    results = []
+    for position, finding in enumerate(findings):
+        result = {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": _LEVELS.get(finding.severity, "error"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _uri(finding.path),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(1, finding.line),
+                            "startColumn": max(1, finding.col),
+                            "endLine": max(
+                                1, finding.end_line or finding.line
+                            ),
+                        },
+                    }
+                }
+            ],
+        }
+        if baseline_state and position in baseline_state:
+            result["baselineState"] = baseline_state[position]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": tool_version,
+                        "informationUri": TOOL_URI,
+                        "rules": driver_rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"},
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def validate_sarif(document: dict) -> Iterable[str]:
+    """Self-check the invariants the 2.1.0 schema requires of our subset.
+
+    Returns an iterable of problem strings (empty = valid).  This is
+    not a full JSON-schema validator — it asserts exactly the
+    properties our emitter promises, so tests fail loudly if the shape
+    regresses.
+    """
+    problems = []
+    if document.get("version") != SARIF_VERSION:
+        problems.append(f"version must be {SARIF_VERSION!r}")
+    if "$schema" not in document:
+        problems.append("missing $schema")
+    runs = document.get("runs")
+    if not isinstance(runs, list) or not runs:
+        problems.append("runs must be a non-empty array")
+        return problems
+    for run_number, run in enumerate(runs):
+        driver = run.get("tool", {}).get("driver", {})
+        if not driver.get("name"):
+            problems.append(f"runs[{run_number}]: tool.driver.name missing")
+        rule_ids = [rule.get("id") for rule in driver.get("rules", [])]
+        if len(rule_ids) != len(set(rule_ids)):
+            problems.append(f"runs[{run_number}]: duplicate rule ids")
+        for number, result in enumerate(run.get("results", [])):
+            where = f"runs[{run_number}].results[{number}]"
+            if not result.get("ruleId"):
+                problems.append(f"{where}: ruleId missing")
+            elif result["ruleId"] not in rule_ids:
+                problems.append(
+                    f"{where}: ruleId {result['ruleId']!r} not in "
+                    "tool.driver.rules"
+                )
+            if result.get("level") not in ("error", "warning", "note",
+                                           "none"):
+                problems.append(f"{where}: bad level {result.get('level')!r}")
+            message = result.get("message", {})
+            if not isinstance(message, dict) or "text" not in message:
+                problems.append(f"{where}: message.text missing")
+            for location in result.get("locations", []):
+                region = location.get("physicalLocation", {}).get(
+                    "region", {}
+                )
+                start_line = region.get("startLine")
+                if not isinstance(start_line, int) or start_line < 1:
+                    problems.append(
+                        f"{where}: region.startLine must be a positive int"
+                    )
+    return problems

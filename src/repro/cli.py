@@ -54,10 +54,39 @@ def _make_observability(args):
     return tracer, progress
 
 
+def _report_lint(findings, label: str) -> int:
+    """Print model-lint findings; exit 0 clean / 1 any error-severity."""
+    from repro.analysis.modellint import has_errors
+
+    for finding in findings:
+        print(
+            f"{finding.location()}: {finding.severity}: "
+            f"{finding.rule}: {finding.message}"
+        )
+    errors = sum(1 for f in findings if f.severity == "error")
+    noun = "finding" if len(findings) == 1 else "findings"
+    print(f"lint {label}: {len(findings)} {noun} ({errors} error(s))")
+    return 1 if has_errors(findings) else 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.config import build_experiment, load_config
     from repro.engine.report import parallel_result_to_dict, result_to_dict
 
+    if args.lint:
+        from repro.analysis.modellint import lint_config
+        from repro.config import ConfigError
+
+        try:
+            config = load_config(args.config)
+        except (OSError, ConfigError) as error:
+            print(f"run: cannot load {args.config}: {error}",
+                  file=sys.stderr)
+            return 2
+        findings = lint_config(
+            config, path=str(args.config), engine=args.engine or None
+        )
+        return _report_lint(findings, str(args.config))
     if args.sanitize and args.parallel:
         print("--sanitize and --parallel are mutually exclusive",
               file=sys.stderr)
@@ -258,6 +287,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except Exception as error:  # surface as a CLI error, not a traceback
         print(f"sweep: cannot load {args.spec}: {error}", file=sys.stderr)
         return 2
+    if args.lint:
+        from repro.analysis.modellint import lint_spec
+
+        findings = lint_spec(spec, path=str(args.spec))
+        return _report_lint(findings, str(args.spec))
     fault_plan = None
     if args.chaos:
         from repro.faults import FaultPlan
@@ -442,6 +476,15 @@ def build_parser() -> argparse.ArgumentParser:
             "result bit-for-bit"
         ),
     )
+    run.add_argument(
+        "--lint",
+        action="store_true",
+        help=(
+            "model-lint the config instead of running it: offered-load "
+            "stability, fastpath qualification forecast (exit 1 on "
+            "errors, 0 clean)"
+        ),
+    )
     run.set_defaults(handler=_cmd_run)
 
     workloads = commands.add_parser(
@@ -528,6 +571,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--out", metavar="PATH", default=None,
         help="write the sweep result document to PATH instead of stdout",
+    )
+    sweep.add_argument(
+        "--lint",
+        action="store_true",
+        help=(
+            "model-lint the spec instead of running it: unstable "
+            "(rho >= 1) grid points, seed collisions, digest-unstable "
+            "constructs, fastpath forecasts (exit 1 on errors, 0 clean)"
+        ),
     )
     sweep.set_defaults(handler=_cmd_sweep)
     return parser

@@ -23,6 +23,7 @@ from repro.theory.queues import (
     mmk_mean_response,
     mmk_mean_waiting,
     gg1_mean_waiting_approx,
+    utilization,
 )
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "mg1_mean_waiting",
     "mg1_mean_response",
     "gg1_mean_waiting_approx",
+    "utilization",
 ]

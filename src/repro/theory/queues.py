@@ -27,6 +27,21 @@ def _check_rates(lam: float, mu: float, k: int = 1) -> float:
     return rho
 
 
+def utilization(lam: float, mu: float, k: int = 1) -> float:
+    """Offered load ``rho = lam / (k mu)`` — *without* the stability gate.
+
+    The closed-form results above refuse unstable parameters; static
+    analysis (the sweep/config model lint) instead needs the raw value
+    so it can *report* ``rho >= 1`` with the number in hand.  Rates and
+    server counts are still validated.
+    """
+    if lam <= 0 or mu <= 0:
+        raise TheoryError(f"rates must be > 0: lam={lam}, mu={mu}")
+    if k < 1:
+        raise TheoryError(f"need k >= 1 servers, got {k}")
+    return lam / (k * mu)
+
+
 # -- M/M/1 -----------------------------------------------------------------
 
 

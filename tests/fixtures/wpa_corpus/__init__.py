@@ -1,0 +1,22 @@
+"""A fixture corpus of seeded determinism hazards.
+
+Each module plants exactly one hazard the whole-program pass must
+detect *across* a module boundary (the per-file rules cannot see
+these):
+
+- ``rng_producer`` / ``rng_consumer`` — an unseeded
+  ``default_rng()`` built in one module reaches a ``.sample(...)``
+  sink in another (``rng-taint``);
+- ``clock_producer`` / ``clock_consumer`` — a ``time.time()`` value
+  built in one module reaches a ``sim.schedule(...)`` sink in another
+  (``clock-taint``);
+- ``shared`` / ``worker`` — a module-level dict mutated by a helper
+  reachable from a worker entry point (``shared-state-race``).
+
+The analysis tests index this package with
+``analyze_project([...], project_root=...)`` so its files are treated
+as library code (the default excludes ``tests/`` from the
+cross-module passes).  These modules are never imported at test time —
+they exist only as analysis input — so the unresolvable ``corpus.*``
+imports are harmless.
+"""

@@ -1,0 +1,11 @@
+"""Hazard sink: schedules an event at a wall-clock timestamp.
+
+Expected finding: ``clock-taint`` on the ``sim.schedule(...)`` line —
+host time in the event clock makes runs irreproducible.
+"""
+
+from wpa_corpus.clock_producer import stamp
+
+
+def fire(sim, callback):
+    sim.schedule(stamp(), callback)

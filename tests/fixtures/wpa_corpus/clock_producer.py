@@ -1,0 +1,7 @@
+"""Hazard source: a host-clock read behind a helper."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,13 @@
+"""Hazard sink: samples from the unseeded stream made next door.
+
+Expected finding: ``rng-taint`` on the ``dist.sample(rng)`` line,
+attributing the taint to ``rng_producer.make_stream``'s
+``default_rng()`` call.
+"""
+
+from wpa_corpus.rng_producer import make_stream
+
+
+def draw(dist):
+    rng = make_stream()
+    return dist.sample(rng)

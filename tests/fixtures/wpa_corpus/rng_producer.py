@@ -1,0 +1,12 @@
+"""Hazard source: an unseeded generator factory.
+
+Locally innocent — building a generator is not a sink — so the
+per-file rules stay quiet here.  The taint only becomes a finding when
+``rng_consumer`` feeds the returned stream into ``.sample(...)``.
+"""
+
+import numpy as np
+
+
+def make_stream():
+    return np.random.default_rng()

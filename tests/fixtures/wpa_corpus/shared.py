@@ -1,0 +1,3 @@
+"""Hazard state: a module-level mutable registry."""
+
+RESULTS = {}

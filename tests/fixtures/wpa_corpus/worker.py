@@ -1,0 +1,23 @@
+"""Hazard path: worker-reachable mutation of shared module state.
+
+``worker_main`` is handed to the race detector as a worker entry
+point; ``helper`` is reachable from it through the call graph, and its
+``shared.RESULTS[...] = job`` store mutates another module's
+module-level dict.  Expected finding: ``shared-state-race`` on that
+line — on the fork/serial backends the dict aliases between "isolated"
+slaves, on spawn it silently does not.
+"""
+
+from wpa_corpus import shared
+
+
+def helper(job):
+    shared.RESULTS[job["id"]] = job
+    return job
+
+
+def worker_main(jobs):
+    out = []
+    for job in jobs:
+        out.append(helper(job))
+    return out

@@ -701,3 +701,188 @@ class TestWholeTree:
             f"{finding.location()}: {finding.rule}: {finding.message}"
             for finding in findings
         )
+
+
+class TestExitCodes:
+    """The contract CI relies on: 0 clean, 1 findings, 2 errors."""
+
+    def test_clean_is_zero(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert simlint_main([str(target)]) == 0
+
+    def test_findings_are_one(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text("import random\n")
+        assert simlint_main([str(target)]) == 1
+
+    def test_parse_error_is_two(self, tmp_path, capsys):
+        target = tmp_path / "broken.py"
+        target.write_text("def broken(:\n")
+        assert simlint_main([str(target)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_internal_crash_is_two_not_zero(self, tmp_path, capsys,
+                                            monkeypatch):
+        # An analyzer bug must never masquerade as a clean pass.
+        import repro.analysis.cli as cli_module
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("analyzer bug")
+
+        monkeypatch.setattr(cli_module, "lint_paths", boom)
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert simlint_main([str(target)]) == 2
+        assert "internal error" in capsys.readouterr().err
+
+    def test_unknown_rule_id_is_two(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert simlint_main([str(target), "--select", "no-such"]) == 2
+
+
+#: One minimal firing snippet per registered rule: (source, rel).
+FIRING_SNIPPETS = {
+    "global-rng": ("import random\n", "datacenter/example.py"),
+    "wall-clock": (
+        "import time\nstamp = time.time()\n", "engine/example.py"
+    ),
+    "prefetch-contract": (
+        textwrap.dedent(
+            """
+            class Sneaky(Distribution):
+                def sample(self, rng):
+                    return 1.0
+                def sample_many(self, rng, n):
+                    return [1.0] * n
+            """
+        ),
+        "distributions/example.py",
+    ),
+    "event-mutation": (
+        "event[EV_STATE] = CANCELLED\n", "datacenter/example.py"
+    ),
+    "float-time-eq": (
+        "def f(sim, t):\n    return sim.now == t\n",
+        "datacenter/example.py",
+    ),
+    "trace-in-hot-loop": (
+        textwrap.dedent(
+            """
+            def run(self):
+                while True:
+                    self._tracer.counter("events", 1, component="engine")
+            """
+        ),
+        "engine/example.py",
+    ),
+    "swallow-exception": (
+        textwrap.dedent(
+            """
+            def f():
+                try:
+                    work()
+                except Exception:
+                    pass
+            """
+        ),
+        "parallel/example.py",
+    ),
+    "scalar-sample-loop": (
+        textwrap.dedent(
+            """
+            def f(dist, rng, n):
+                out = []
+                for _ in range(n):
+                    out.append(dist.sample(rng))
+                return out
+            """
+        ),
+        "datacenter/example.py",
+    ),
+    "parallel-lambda": (
+        "callback = lambda x: x\n", "parallel/example.py"
+    ),
+}
+
+
+def suppress_at_reported_lines(source, findings, rule_id):
+    """Append a disable comment on each finding's start line."""
+    lines = source.splitlines()
+    for finding in findings:
+        position = finding.line - 1
+        lines[position] += f"  # simlint: disable={rule_id}"
+    return "\n".join(lines) + "\n"
+
+
+class TestEveryRuleSuppressible:
+    def test_matrix_covers_registry(self):
+        assert set(FIRING_SNIPPETS) == set(RULES)
+
+    @pytest.mark.parametrize("rule_id", sorted(FIRING_SNIPPETS))
+    def test_disable_comment_silences_rule(self, rule_id):
+        source, rel = FIRING_SNIPPETS[rule_id]
+        findings = lint_source(source, rel=rel, select=[rule_id])
+        assert findings, f"{rule_id} snippet failed to fire"
+        assert all(finding.rule == rule_id for finding in findings)
+        silenced = suppress_at_reported_lines(source, findings, rule_id)
+        assert lint_source(silenced, rel=rel, select=[rule_id]) == []
+
+    @pytest.mark.parametrize("rule_id", sorted(FIRING_SNIPPETS))
+    def test_disable_all_silences_rule(self, rule_id):
+        source, rel = FIRING_SNIPPETS[rule_id]
+        findings = lint_source(source, rel=rel, select=[rule_id])
+        silenced = suppress_at_reported_lines(source, findings, "all")
+        assert lint_source(silenced, rel=rel, select=[rule_id]) == []
+
+    def test_suppression_inside_decorated_def(self):
+        source = textwrap.dedent(
+            """
+            @decorator
+            def f(dist, rng, n):
+                out = []
+                for _ in range(n):
+                    out.append(dist.sample(rng))
+                return out
+            """
+        )
+        findings = lint_source(source, rel="datacenter/example.py")
+        assert rule_ids(findings) == ["scalar-sample-loop"]
+        silenced = suppress_at_reported_lines(
+            source, findings, "scalar-sample-loop"
+        )
+        assert lint_source(silenced, rel="datacenter/example.py") == []
+
+    def test_suppression_on_multi_line_statement(self):
+        # The finding spans several lines; a disable comment anywhere
+        # in the span (here: the last line) must silence it.
+        source = (
+            "import time\n"
+            "stamp = time.time(\n"
+            ")  # simlint: disable=wall-clock\n"
+        )
+        assert lint_source(source, rel="engine/example.py") == []
+        unsuppressed = (
+            "import time\n"
+            "stamp = time.time(\n"
+            ")\n"
+        )
+        findings = lint_source(unsuppressed, rel="engine/example.py")
+        assert rule_ids(findings) == ["wall-clock"]
+
+
+class TestDeterministicOrder:
+    def test_findings_sorted_by_path_line_col_rule(self, tmp_path):
+        # Feed the paths in reverse order; output must not care.
+        b = tmp_path / "b.py"
+        a = tmp_path / "a.py"
+        for target in (a, b):
+            target.write_text("import random\nimport random as r2\n")
+        findings, _ = lint_paths([b, a, tmp_path])
+        keys = [
+            (f.path, f.line, f.col, f.rule) for f in findings
+        ]
+        assert keys == sorted(keys)
+        # Overlapping path arguments must not duplicate findings.
+        assert len(findings) == 4
