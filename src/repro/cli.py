@@ -34,6 +34,27 @@ def _config_factory(seed, config=None, **overrides):
     return build_experiment({**(config or {}), "seed": seed}, **overrides)
 
 
+def _start_remote_transport(args):
+    """Bring up the agent-registration server for ``--backend remote``.
+
+    Prints the bound address to stderr (essential with ``--listen
+    host:0``, where the OS picks the port the agents must dial).
+    """
+    from repro.parallel.transport import RemoteTransport, parse_address
+
+    host, port = parse_address(args.listen)
+    transport = RemoteTransport(host=host, port=port, key=args.transport_key)
+    transport.start()
+    print(
+        f"repro: listening for agents on "
+        f"{transport.address[0]}:{transport.address[1]} "
+        f"(start them with 'repro agent "
+        f"{transport.address[0]}:{transport.address[1]}')",
+        file=sys.stderr,
+    )
+    return transport
+
+
 def _make_observability(args):
     """Build (tracer, progress) from the run command's flags."""
     tracer = None
@@ -108,7 +129,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.backend == "remote" and not args.listen:
+        print("--backend remote requires --listen HOST:PORT",
+              file=sys.stderr)
+        return 2
     tracer, progress = _make_observability(args)
+    transport = None
     try:
         if args.parallel:
             from repro.parallel.master import ParallelSimulation
@@ -126,6 +152,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 respawn = RespawnPolicy(
                     max_restarts_per_slave=args.max_restarts
                 )
+            if args.backend == "remote":
+                transport = _start_remote_transport(args)
             simulation = ParallelSimulation(
                 _config_factory,
                 factory_kwargs={"config": config},
@@ -137,6 +165,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 fault_plan=fault_plan,
                 checkpoint_path=args.checkpoint,
                 checkpoint_interval=args.checkpoint_interval,
+                transport=transport,
+                join_timeout=args.join_timeout,
             )
             if tracer is not None:
                 simulation.attach_tracer(tracer)
@@ -207,6 +237,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 4
         return 0 if result.converged else 3
     finally:
+        if transport is not None:
+            transport.close()
         if tracer is not None:
             tracer.close()
 
@@ -302,6 +334,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         from repro.faults import RespawnPolicy
 
         respawn = RespawnPolicy(max_restarts_per_slave=args.max_restarts)
+    if args.backend == "remote" and not args.listen:
+        print("--backend remote requires --listen HOST:PORT",
+              file=sys.stderr)
+        return 2
     tracer, progress = _make_observability(args)
 
     def on_point(point):
@@ -315,6 +351,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
 
+    transport = None
+    if args.backend == "remote":
+        transport = _start_remote_transport(args)
     runner = SweepRunner(
         spec,
         backend=args.backend,
@@ -324,12 +363,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         respawn=respawn,
         fault_plan=fault_plan,
         job_timeout=args.point_timeout,
+        transport=transport,
+        join_timeout=args.join_timeout,
         tracer=tracer,
         on_point=on_point,
     )
     try:
         result = runner.run()
     finally:
+        if transport is not None:
+            transport.close()
         if tracer is not None:
             tracer.close()
     document = result.to_dict()
@@ -346,6 +389,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         json.dump(document, sys.stdout, indent=2)
         sys.stdout.write("\n")
     return 0 if result.converged else 3
+
+
+def _cmd_agent(args: argparse.Namespace) -> int:
+    from repro.parallel.agent import main as agent_main
+
+    argv = [args.address, "--context", args.context,
+            "--reconnect-delay", str(args.reconnect_delay)]
+    if args.slots is not None:
+        argv += ["--slots", str(args.slots)]
+    if args.transport_key:
+        argv += ["--transport-key", args.transport_key]
+    if args.idle_exit is not None:
+        argv += ["--idle-exit", str(args.idle_exit)]
+    return agent_main(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -414,9 +471,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--backend",
-        choices=("serial", "process"),
+        choices=("serial", "process", "remote"),
         default="serial",
-        help="slave backend for --parallel (default: serial)",
+        help=(
+            "slave backend for --parallel (default: serial); remote "
+            "distributes slaves over 'repro agent' hosts and needs "
+            "--listen"
+        ),
+    )
+    run.add_argument(
+        "--listen", metavar="HOST:PORT", default=None,
+        help=(
+            "agent-registration address for --backend remote (port 0 "
+            "picks a free port, printed to stderr)"
+        ),
+    )
+    run.add_argument(
+        "--transport-key", metavar="KEY", default=None,
+        help="shared fleet key agents must present (--backend remote)",
+    )
+    run.add_argument(
+        "--join-timeout", type=float, metavar="SECONDS", default=30.0,
+        help=(
+            "how long to wait for an agent slot when spawning or "
+            "respawning a remote slave (default: 30)"
+        ),
     )
     run.add_argument(
         "--chaos",
@@ -535,10 +614,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="recompute every point even on a cache hit",
     )
     sweep.add_argument(
-        "--backend", choices=("pool", "spawn", "serial"), default="pool",
+        "--backend",
+        choices=("pool", "spawn", "serial", "remote"),
+        default="pool",
         help=(
             "pool = persistent workers (default); spawn = fresh process "
-            "per point; serial = in-process"
+            "per point; serial = in-process; remote = persistent "
+            "workers on 'repro agent' hosts (needs --listen)"
+        ),
+    )
+    sweep.add_argument(
+        "--listen", metavar="HOST:PORT", default=None,
+        help=(
+            "agent-registration address for --backend remote (port 0 "
+            "picks a free port, printed to stderr)"
+        ),
+    )
+    sweep.add_argument(
+        "--transport-key", metavar="KEY", default=None,
+        help="shared fleet key agents must present (--backend remote)",
+    )
+    sweep.add_argument(
+        "--join-timeout", type=float, metavar="SECONDS", default=30.0,
+        help=(
+            "how long an empty remote fleet waits for an agent to "
+            "(re)join before the sweep gives up (default: 30)"
         ),
     )
     sweep.add_argument(
@@ -582,6 +682,36 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.set_defaults(handler=_cmd_sweep)
+
+    agent = commands.add_parser(
+        "agent",
+        help="host remote workers for a '--backend remote' master",
+    )
+    agent.add_argument("address", help="master transport address, HOST:PORT")
+    agent.add_argument(
+        "--slots", type=int, metavar="N", default=None,
+        help="worker slots to offer (default: CPU count)",
+    )
+    agent.add_argument(
+        "--transport-key", metavar="KEY", default=None,
+        help="shared fleet key (must match the master's)",
+    )
+    agent.add_argument(
+        "--context", default="fork",
+        help="multiprocessing start method for workers (default: fork)",
+    )
+    agent.add_argument(
+        "--reconnect-delay", type=float, metavar="SECONDS", default=0.2,
+        help="seconds between dial attempts (default: 0.2)",
+    )
+    agent.add_argument(
+        "--idle-exit", type=float, metavar="SECONDS", default=None,
+        help=(
+            "exit after this many seconds without hosting a worker "
+            "(useful in CI; default: run forever)"
+        ),
+    )
+    agent.set_defaults(handler=_cmd_agent)
     return parser
 
 

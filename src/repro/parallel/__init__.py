@@ -14,12 +14,16 @@ Because each slave must burn its own warm-up + 5000-observation
 calibration before contributing samples, calibration is the Amdahl
 bottleneck that limits speedup beyond ~16 slaves (Fig. 10).
 
-Backends: ``serial`` (in-process, deterministic, used in tests) and
-``process`` (one OS process per slave via :mod:`multiprocessing`).
-:mod:`repro.parallel.pool` adds the reusable-pool mode — persistent
-workers that accept successive ``configure`` messages instead of dying
-after one experiment — used by :mod:`repro.sweep` to amortize spawn
-cost across a whole parameter sweep.
+Backends: ``serial`` (in-process, deterministic, used in tests),
+``process`` (one OS process per slave via :mod:`multiprocessing`), and
+``remote`` (slaves hosted by :mod:`repro.parallel.agent` processes on
+other machines over the socket transport in
+:mod:`repro.parallel.transport` — the paper's 4-hosts × n-slaves
+deployment shape).  :mod:`repro.parallel.pool` adds the reusable-pool
+mode — persistent workers that accept successive ``configure``
+messages instead of dying after one experiment — used by
+:mod:`repro.sweep` to amortize spawn cost across a whole parameter
+sweep; the pool schedules over either transport.
 """
 
 from repro.parallel.protocol import (
@@ -35,6 +39,14 @@ from repro.parallel.replications import (
     ReplicatedEstimate,
     ReplicationResult,
     run_replications,
+)
+from repro.parallel.transport import (
+    LocalPipeTransport,
+    RemoteTransport,
+    Transport,
+    TransportCapacityError,
+    TransportError,
+    WorkerEndpoint,
 )
 
 __all__ = [
@@ -52,4 +64,10 @@ __all__ = [
     "ReplicatedEstimate",
     "ReplicationResult",
     "run_replications",
+    "LocalPipeTransport",
+    "RemoteTransport",
+    "Transport",
+    "TransportCapacityError",
+    "TransportError",
+    "WorkerEndpoint",
 ]

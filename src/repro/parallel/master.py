@@ -42,9 +42,7 @@ The experiment ``factory`` must be a callable ``factory(seed, **kwargs)
 
 from __future__ import annotations
 
-import multiprocessing
 import time
-from multiprocessing.connection import wait as _wait_ready
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -76,6 +74,12 @@ from repro.parallel.protocol import (
     scheme_from_payload,
     scheme_payload,
     validate_report_payload,
+)
+from repro.parallel.transport import (
+    LocalPipeTransport,
+    Transport,
+    TransportCapacityError,
+    WorkerEndpoint,
 )
 
 
@@ -358,8 +362,12 @@ class ParallelSimulation:
     n_slaves:
         Number of measurement replicas.
     backend:
-        ``"serial"`` (in-process round-robin; deterministic) or
-        ``"process"`` (one OS process per slave).
+        ``"serial"`` (in-process round-robin; deterministic),
+        ``"process"`` (one OS process per slave on this host), or
+        ``"remote"`` (slaves hosted by :mod:`repro.parallel.agent`
+        processes over a :class:`~repro.parallel.transport.RemoteTransport`;
+        requires ``transport``).  All backends run the identical
+        master schedule, so merged digests are bit-identical.
     chunk_size:
         Accepted observations per slave in the first round between
         merges (rounds grow geometrically under ``adaptive_chunking``).
@@ -392,6 +400,14 @@ class ParallelSimulation:
         When ``checkpoint_path`` is set, an atomic resumable snapshot
         is written there every ``checkpoint_interval`` rounds; restore
         with ``run(resume_from=checkpoint_path)``.
+    transport:
+        Worker dispatch backend for the process/remote backends.
+        Defaults to a fresh :class:`LocalPipeTransport` per run for
+        ``"process"``; required for ``"remote"``.  A caller-provided
+        transport is never closed by the run — its owner closes it.
+    join_timeout:
+        Remote backend: how long to wait for an agent slot when
+        spawning or respawning a slave.
     """
 
     def __init__(
@@ -412,13 +428,20 @@ class ParallelSimulation:
         fault_plan: Optional[FaultPlan] = None,
         checkpoint_path=None,
         checkpoint_interval: int = 1,
+        transport: Optional[Transport] = None,
+        join_timeout: float = 30.0,
     ):
         if n_slaves < 1:
             raise ParallelError(f"need >= 1 slave, got {n_slaves}")
         if chunk_size < 1:
             raise ParallelError(f"chunk_size must be >= 1, got {chunk_size}")
-        if backend not in ("serial", "process"):
+        if backend not in ("serial", "process", "remote"):
             raise ParallelError(f"unknown backend {backend!r}")
+        if backend == "remote" and transport is None:
+            raise ParallelError(
+                "backend 'remote' needs a transport (a RemoteTransport "
+                "listening for repro agents)"
+            )
         if max_chunk_size is not None and max_chunk_size < chunk_size:
             raise ParallelError(
                 f"max_chunk_size ({max_chunk_size}) must be >= "
@@ -450,6 +473,8 @@ class ParallelSimulation:
         self.fault_plan = fault_plan
         self.checkpoint_path = checkpoint_path
         self.checkpoint_interval = checkpoint_interval
+        self.transport = transport
+        self.join_timeout = join_timeout
         self._tracer = None
         self._progress = None
         self._master_events = 0
@@ -1118,14 +1143,14 @@ class ParallelSimulation:
             return ("eof", None)
 
     def _spawn_process_slave(
-        self, context, slave_id: int, book: _RunBook, schemes,
+        self, transport: Transport, slave_id: int, book: _RunBook, schemes,
         replay=(), round_offset=0,
-    ):
-        parent_conn, child_conn = context.Pipe()
-        process = context.Process(
-            target=_process_slave_main,
-            args=(
-                child_conn,
+    ) -> WorkerEndpoint:
+        return transport.spawn(
+            slave_id,
+            book.generation[slave_id],
+            _process_slave_main,
+            (
                 self.factory,
                 self.factory_kwargs,
                 book.seed[slave_id],
@@ -1137,14 +1162,14 @@ class ParallelSimulation:
                 tuple(replay),
                 round_offset,
             ),
-            daemon=True,
+            timeout=self.join_timeout,
         )
-        process.start()
-        child_conn.close()
-        return parent_conn, process
 
     def _run_process(self, schemes, targets, resume=None) -> ParallelResult:
-        context = multiprocessing.get_context("fork")
+        transport = self.transport or LocalPipeTransport("fork")
+        if self._tracer is not None:
+            transport.attach_tracer(self._tracer)
+        transport.start()
         book = (
             _RunBook.from_checkpoint(resume)
             if resume is not None
@@ -1152,8 +1177,7 @@ class ParallelSimulation:
         )
         dead: List[int] = sorted(resume.dead) if resume is not None else []
         rounds = resume.round if resume is not None else 0
-        pipes: Dict[int, object] = {}
-        processes: Dict[int, object] = {}
+        slaves: Dict[int, WorkerEndpoint] = {}
         resumed_replay: Dict[int, int] = {}
         for slave_id in range(self.n_slaves):
             if slave_id in dead:
@@ -1161,12 +1185,10 @@ class ParallelSimulation:
             replay = (
                 book.work_log[slave_id] if resume is not None else ()
             )
-            pipe, process = self._spawn_process_slave(
-                context, slave_id, book, schemes,
+            slaves[slave_id] = self._spawn_process_slave(
+                transport, slave_id, book, schemes,
                 replay=replay, round_offset=rounds,
             )
-            pipes[slave_id] = pipe
-            processes[slave_id] = process
             if replay:
                 resumed_replay[slave_id] = len(replay)
         reports: List[SlaveReport] = []
@@ -1183,16 +1205,11 @@ class ParallelSimulation:
         )
 
         def drop_slave(slave_id: int) -> None:
-            """Forget a dead/condemned slave's endpoints and reap it."""
-            pipe = pipes.pop(slave_id, None)
-            if pipe is not None:
-                try:
-                    pipe.close()
-                except OSError:  # pragma: no cover
-                    pass
-            process = processes.pop(slave_id, None)
-            if process is not None:
-                self._reap(process)
+            """Forget a dead/condemned slave's endpoint and reap it."""
+            endpoint = slaves.pop(slave_id, None)
+            if endpoint is not None:
+                endpoint.close()
+                transport.reap(endpoint)
 
         try:
             # Resumed slaves replay their work logs and send a baseline
@@ -1205,7 +1222,7 @@ class ParallelSimulation:
                     )
                 for slave_id in sorted(resumed_replay):
                     status, baseline = self._recv_with_deadline(
-                        pipes[slave_id], deadline
+                        slaves[slave_id], deadline
                     )
                     if status != "ok":
                         raise ParallelError(
@@ -1219,10 +1236,10 @@ class ParallelSimulation:
                 self._trace_scheduled_faults(rounds)
                 commanded: Dict[int, int] = {}
                 dead_this_round: List[int] = []
-                for slave_id in sorted(pipes):
+                for slave_id in sorted(slaves):
                     quota = book.command_quota(slave_id, chunk)
                     try:
-                        pipes[slave_id].send(("chunk", quota))
+                        slaves[slave_id].send(("chunk", quota))
                         commanded[slave_id] = quota
                     except (BrokenPipeError, OSError) as error:
                         self._mark_dead(
@@ -1250,8 +1267,8 @@ class ParallelSimulation:
                         if deadline is not None
                         else None
                     )
-                    ready = _wait_ready(
-                        [pipes[slave_id] for slave_id in sorted(pending)],
+                    ready = transport.wait(
+                        [slaves[slave_id] for slave_id in sorted(pending)],
                         timeout=remaining,
                     )
                     if not ready:
@@ -1264,15 +1281,20 @@ class ParallelSimulation:
                             )
                             dead_this_round.append(slave_id)
                         break
-                    by_pipe = {
-                        id(pipes[slave_id]): slave_id
-                        for slave_id in pending
-                    }
-                    for conn in ready:
-                        slave_id = by_pipe[id(conn)]
+                    for endpoint in ready:
+                        # Dispatch by endpoint identity — no id()-keyed
+                        # connection map that a recycled allocation
+                        # could alias.  A stale readiness signal for a
+                        # slave dropped within this drain simply skips.
+                        slave_id = endpoint.worker_id
+                        if (
+                            slave_id not in pending
+                            or slaves.get(slave_id) is not endpoint
+                        ):
+                            continue
                         quota = pending.pop(slave_id)
                         try:
-                            received[slave_id] = conn.recv()
+                            received[slave_id] = endpoint.recv()
                         except (
                             EOFError, ConnectionResetError,
                             BrokenPipeError, OSError,
@@ -1320,14 +1342,27 @@ class ParallelSimulation:
                             ),
                         )
                         if delay > 0.0:
+                            # Round-synchronous barrier: all reports for
+                            # this round are already merged, so the wait
+                            # delays the next round start uniformly; it
+                            # never stalls an individual slave's recv.
                             time.sleep(delay)
                         book.respawn(slave_id)
-                        pipe, process = self._spawn_process_slave(
-                            context, slave_id, book, schemes,
-                            round_offset=rounds,
-                        )
-                        pipes[slave_id] = pipe
-                        processes[slave_id] = process
+                        try:
+                            slaves[slave_id] = self._spawn_process_slave(
+                                transport, slave_id, book, schemes,
+                                round_offset=rounds,
+                            )
+                        except TransportCapacityError:
+                            # No agent slot free: stay degraded this
+                            # round; the slave remains a respawn
+                            # candidate for the next one.
+                            self._trace_event(
+                                "respawn_no_capacity",
+                                slave=slave_id,
+                                round=rounds,
+                            )
+                            continue
                         dead.remove(slave_id)
                         self._trace_event(
                             "respawn",
@@ -1337,7 +1372,7 @@ class ParallelSimulation:
                             seed=book.seed[slave_id],
                             backoff=delay,
                         )
-                if not pipes:
+                if not slaves:
                     raise ParallelError(
                         f"every slave has died ({self.n_slaves} started, "
                         f"last loss in round {rounds}); no survivors to "
@@ -1347,11 +1382,11 @@ class ParallelSimulation:
                     book, schemes, targets, merged, rounds, dead
                 )
         finally:
-            self._shutdown_slaves(
-                [processes[i] for i in sorted(processes)],
-                [pipes[i] for i in sorted(pipes)],
-                tracer=self._tracer,
+            transport.shutdown(
+                [slaves[i] for i in sorted(slaves)]
             )
+            if self.transport is None:
+                transport.close()
         return self._result(
             book, merged, targets, converged, rounds, reports, dead
         )

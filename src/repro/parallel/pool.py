@@ -16,14 +16,28 @@ on one worker never serializes the rest of the grid behind it.  The
 result of a point is a pure function of its job payload, so scheduling
 order cannot affect results — determinism is preserved by construction.
 
+Workers are reached through a pluggable
+:class:`~repro.parallel.transport.Transport`: the default
+:class:`~repro.parallel.transport.LocalPipeTransport` forks them on
+this host (the historical behavior), while a
+:class:`~repro.parallel.transport.RemoteTransport` binds slots offered
+by :mod:`repro.parallel.agent` processes on other machines.  Elastic
+transports let workers join and leave mid-run: a vacated slot returns
+to the join queue instead of permanently degrading the fleet, and new
+agents are admitted between drains up to ``n_workers``.
+
 Fault tolerance mirrors the master's contract: every recv carries a
 deadline, every death gets a machine-readable cause code from
 :mod:`repro.parallel.protocol`, a dead worker's in-flight point is
 requeued (a death costs one point's recompute, not the sweep), and a
 :class:`~repro.faults.recovery.RespawnPolicy` replaces the worker under
-a fresh generation.  A seeded :class:`~repro.faults.plan.FaultPlan`
-injects deterministic failures for chaos tests; ``round`` in a spec
-addresses the n-th configure of one worker incarnation (1-based).
+a fresh generation.  Respawn backoff never blocks the scheduling loop:
+a condemned worker is given a *due time* which is folded into the
+result-wait timeout, so healthy workers keep reporting while a
+replacement waits out its backoff.  A seeded
+:class:`~repro.faults.plan.FaultPlan` injects deterministic failures
+for chaos tests; ``round`` in a spec addresses the n-th configure of
+one worker incarnation (1-based).
 """
 
 from __future__ import annotations
@@ -32,9 +46,7 @@ import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from multiprocessing import get_context
-from multiprocessing.connection import wait as _wait_ready
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.faults.injector import KILL_EXIT_STATUS
 from repro.faults.plan import FaultPlan, FaultSpec
@@ -44,7 +56,14 @@ from repro.parallel.protocol import (
     CAUSE_HEARTBEAT_TIMEOUT,
     CAUSE_PIPE_CLOSED,
     CAUSE_SEND_FAILED,
+    CAUSE_WORKER_LEFT,
     ParallelError,
+)
+from repro.parallel.transport import (
+    LocalPipeTransport,
+    Transport,
+    TransportCapacityError,
+    WorkerEndpoint,
 )
 
 
@@ -53,7 +72,16 @@ class PoolError(ParallelError):
 
 
 class PoolJobError(PoolError):
-    """A job raised inside a worker (deterministic; never retried)."""
+    """A job raised inside a worker (deterministic; never retried).
+
+    Carries the failing job's id as :attr:`job_id` so a caller
+    orchestrating many jobs can tell which one is at fault without
+    parsing the message.
+    """
+
+    def __init__(self, message: str, job_id: object = None):
+        super().__init__(message)
+        self.job_id = job_id
 
 
 # -- worker-side fault execution ----------------------------------------------
@@ -137,6 +165,8 @@ class PoolStats:
     jobs_requeued: int = 0
     deaths: int = 0
     restarts: int = 0
+    #: Slots bound to newly joined remote agents (elastic transports).
+    joins: int = 0
     #: worker id -> cause code for workers left permanently dead.
     failure_causes: Dict[int, str] = field(default_factory=dict)
 
@@ -155,7 +185,8 @@ class WorkerPool:
         Module-level (picklable) ``runner(job: dict) -> dict`` executed
         for every configured job inside the worker process.
     n_workers:
-        Fleet size.
+        Fleet size (for elastic transports: the cap on concurrently
+        bound workers).
     master_seed:
         Seeds the deterministic respawn-backoff jitter.
     job_timeout:
@@ -165,7 +196,9 @@ class WorkerPool:
     respawn:
         :class:`RespawnPolicy` for replacing dead workers, or ``None``
         to shrink the fleet on each death (the sweep still finishes on
-        survivors; ``PoolError`` only if every worker dies).
+        survivors; ``PoolError`` only if every worker dies).  Backoff
+        is enforced as a per-worker *due time* folded into the wait
+        loop, never as a sleep that stalls healthy workers.
     fault_plan:
         Injected failures for chaos runs; specs address
         ``(worker id, generation, n-th configure)``.
@@ -175,7 +208,16 @@ class WorkerPool:
         worker (cause ``corrupt payload``) and requeues the job.
     tracer:
         Optional :class:`repro.observability.Tracer`; the pool emits
-        ``pool/*`` events (spawn, dead, respawn, drain).
+        ``pool/*`` events (spawn, dead, respawn, join, drain).
+    context:
+        ``multiprocessing`` start method for the default local
+        transport (ignored when ``transport`` is given).
+    transport:
+        Worker dispatch backend; defaults to
+        :class:`LocalPipeTransport` on this host.
+    join_timeout:
+        Elastic transports: how long an empty fleet waits for an agent
+        to (re)join before the pool gives up.
     """
 
     def __init__(
@@ -189,6 +231,8 @@ class WorkerPool:
         validate: Optional[Callable[[dict, dict], Optional[str]]] = None,
         tracer=None,
         context: str = "fork",
+        transport: Optional[Transport] = None,
+        join_timeout: float = 30.0,
     ):
         if n_workers < 1:
             raise PoolError(f"need >= 1 worker, got {n_workers}")
@@ -204,11 +248,20 @@ class WorkerPool:
         self.fault_plan = fault_plan
         self.validate = validate
         self.tracer = tracer
-        self._context = get_context(context)
-        self._pipes: Dict[int, object] = {}
-        self._processes: Dict[int, object] = {}
+        self._owns_transport = transport is None
+        self.transport = transport or LocalPipeTransport(context)
+        self.join_timeout = join_timeout
+        if tracer is not None:
+            self.transport.attach_tracer(tracer)
+        #: worker id -> live endpoint (one object per incarnation).
+        self._workers: Dict[int, WorkerEndpoint] = {}
         self._generation: Dict[int, int] = {}
         self._restarts: Dict[int, int] = {}
+        #: worker id -> (respawn due time, backoff used) — scheduled
+        #: replacements that have not been admitted yet.
+        self._respawn_at: Dict[int, Tuple[float, float]] = {}
+        #: Slots waiting for an elastic join (never permanently dead).
+        self._unbound: Set[int] = set()
         self._started = False
         self.stats = PoolStats(n_workers=n_workers)
 
@@ -230,106 +283,249 @@ class WorkerPool:
             return ()
         return self.fault_plan.for_slave(worker_id, generation)
 
-    def _spawn(self, worker_id: int) -> None:
+    def _spawn(self, worker_id: int, timeout: Optional[float] = None) -> None:
         generation = self._generation.setdefault(worker_id, 0)
-        parent_conn, child_conn = self._context.Pipe()
-        process = self._context.Process(
-            target=_pool_worker_main,
-            args=(
-                child_conn,
+        endpoint = self.transport.spawn(
+            worker_id,
+            generation,
+            _pool_worker_main,
+            (
                 worker_id,
                 self.runner,
                 self._worker_faults(worker_id, generation),
             ),
-            daemon=True,
+            timeout=timeout,
         )
-        process.start()
-        child_conn.close()
-        self._pipes[worker_id] = parent_conn
-        self._processes[worker_id] = process
+        self._workers[worker_id] = endpoint
         self._trace("spawn", worker=worker_id, generation=generation)
 
     def start(self) -> None:
-        """Spawn the fleet (idempotent)."""
+        """Bring the fleet up (idempotent).
+
+        Non-elastic transports spawn all ``n_workers`` immediately.
+        Elastic transports bind whatever capacity has already
+        registered and leave the remaining slots to be admitted as
+        agents join — :meth:`map` waits ``join_timeout`` for the first
+        worker if none has arrived yet.
+        """
         if self._started:
             return
-        for worker_id in range(self.n_workers):
-            self._restarts.setdefault(worker_id, 0)
-            self._spawn(worker_id)
+        self.transport.start()
+        if self.transport.elastic:
+            self._unbound = set(range(self.n_workers))
+            self._admit_capacity()
+        else:
+            for worker_id in range(self.n_workers):
+                self._restarts.setdefault(worker_id, 0)
+                self._spawn(worker_id)
         self._started = True
 
     def shutdown(self) -> None:
         """Stop every worker, escalating join → terminate → kill."""
-        if not self._started and not self._processes:
+        if not self._started and not self._workers:
             return
-        # Reuse the master's escalation path: a wedged worker must not
-        # hang the sweep's exit.
-        from repro.parallel.master import ParallelSimulation
-
-        ParallelSimulation._shutdown_slaves(
-            [self._processes[i] for i in sorted(self._processes)],
-            [self._pipes[i] for i in sorted(self._pipes)],
-            tracer=self.tracer,
+        self.transport.shutdown(
+            [self._workers[i] for i in sorted(self._workers)]
         )
-        self._pipes.clear()
-        self._processes.clear()
+        if self._owns_transport:
+            self.transport.close()
+        self._workers.clear()
+        self._respawn_at.clear()
+        self._unbound.clear()
         self._started = False
 
     @property
     def alive_workers(self) -> List[int]:
         """Worker ids currently accepting configures."""
-        return sorted(self._pipes)
+        return sorted(self._workers)
+
+    # -- capacity admission --------------------------------------------------
+
+    def _admit_capacity(self) -> None:
+        """Spawn due respawns and bind newly joined elastic slots.
+
+        Called at the top of every scheduling iteration so replacement
+        capacity is claimed *between* drains — the fleet never mutates
+        mid-drain, which is what makes endpoint-identity dispatch in
+        :meth:`_drain_ready` airtight.
+        """
+        now = time.monotonic()
+        for worker_id in sorted(self._respawn_at):
+            due, backoff = self._respawn_at[worker_id]
+            if now < due:
+                continue
+            try:
+                self._spawn(worker_id, timeout=0.0)
+            except TransportCapacityError:
+                # No agent slot free yet; stays scheduled and will be
+                # retried once one registers.
+                continue
+            del self._respawn_at[worker_id]
+            self._restarts[worker_id] = self._restarts.get(worker_id, 0) + 1
+            self.stats.restarts += 1
+            self._trace(
+                "respawn",
+                worker=worker_id,
+                generation=self._generation[worker_id],
+                backoff=backoff,
+            )
+        while self._unbound and self.transport.capacity() > 0:
+            worker_id = min(self._unbound)
+            try:
+                self._spawn(worker_id, timeout=0.0)
+            except TransportCapacityError:
+                break  # lost the race with another claimant
+            self._unbound.discard(worker_id)
+            self._restarts.setdefault(worker_id, 0)
+            self.stats.joins += 1
+            self._trace(
+                "join",
+                worker=worker_id,
+                generation=self._generation[worker_id],
+            )
+
+    def _respawn_due_times(self) -> List[float]:
+        return [due for due, _ in self._respawn_at.values()]
+
+    def _await_any_worker(self) -> bool:
+        """Block until the empty fleet could hold a worker again.
+
+        Returns False when no worker can ever arrive — no respawn is
+        scheduled and (for elastic transports) no agent joined within
+        ``join_timeout`` — at which point the caller raises
+        :class:`PoolError`.
+        """
+        dues = self._respawn_due_times()
+        if dues:
+            delay = min(dues) - time.monotonic()
+            if delay > 0:
+                # The fleet is empty, so waiting out the earliest
+                # backoff stalls nobody.
+                time.sleep(delay)
+                return True
+            if self.transport.capacity() > 0:
+                return True
+            return self.transport.wait_for_capacity(self.join_timeout)
+        if self._unbound and self.transport.elastic:
+            if self.transport.capacity() > 0:
+                return True
+            return self.transport.wait_for_capacity(self.join_timeout)
+        return False
 
     # -- failure handling ----------------------------------------------------
+
+    def _eof_cause(self) -> str:
+        """Cause code for a dropped worker connection.
+
+        Over pipes an EOF means the forked worker died; over an elastic
+        socket transport it usually means its host agent left the
+        fleet, so the distinction is surfaced in the cause code.
+        """
+        return (
+            CAUSE_WORKER_LEFT if self.transport.elastic else CAUSE_PIPE_CLOSED
+        )
 
     def _condemn(
         self, worker_id: int, cause: str,
         pending: deque, busy: Dict[int, tuple],
     ) -> None:
-        """Drop one worker; requeue its in-flight job; maybe respawn."""
+        """Drop one worker; requeue its in-flight job; plan replacement.
+
+        Replacement is *scheduled*, never performed here: a respawn
+        gets a due time (now + backoff) recorded in ``_respawn_at`` and
+        is admitted by :meth:`_admit_capacity` once due, so an
+        exponential backoff never blocks result collection from the
+        healthy rest of the fleet.
+        """
         self.stats.deaths += 1
         assignment = busy.pop(worker_id, None)
         if assignment is not None:
             # The dead worker costs exactly its one in-flight point.
             pending.appendleft(assignment[0])
             self.stats.jobs_requeued += 1
-        pipe = self._pipes.pop(worker_id, None)
-        if pipe is not None:
-            try:
-                pipe.close()
-            except OSError:  # pragma: no cover
-                pass
-        process = self._processes.pop(worker_id, None)
-        if process is not None:
-            from repro.parallel.master import ParallelSimulation
-
-            ParallelSimulation._reap(process)
-        generation = self._generation[worker_id]
+        endpoint = self._workers.pop(worker_id, None)
+        if endpoint is not None:
+            endpoint.close()
+            self.transport.reap(endpoint)
+        generation = self._generation.get(worker_id, 0)
         self._trace(
             "dead", worker=worker_id, cause=cause, generation=generation
         )
+        # The next incarnation — respawn or rejoin — always gets a
+        # fresh generation so seed lineage and fault addressing never
+        # collide with the dead one.
+        self._generation[worker_id] = generation + 1
         if self.respawn is not None and self.respawn.allows(
-            self._restarts[worker_id], self.stats.restarts
+            self._restarts.get(worker_id, 0), self.stats.restarts
         ):
-            next_generation = generation + 1
             delay = self.respawn.delay(
-                next_generation,
+                generation + 1,
                 jitter_seed=derive_seed(
-                    self.master_seed, worker_id, next_generation
+                    self.master_seed, worker_id, generation + 1
                 ),
             )
-            if delay > 0.0:
-                time.sleep(delay)
-            self._generation[worker_id] = next_generation
-            self._restarts[worker_id] += 1
-            self.stats.restarts += 1
-            self._spawn(worker_id)
-            self._trace(
-                "respawn", worker=worker_id, generation=next_generation,
-                backoff=delay,
-            )
+            self._respawn_at[worker_id] = (time.monotonic() + delay, delay)
+        elif self.transport.elastic:
+            # Elastic fleets shrink and re-grow: the slot goes back to
+            # the join queue instead of being branded permanently dead.
+            self._unbound.add(worker_id)
+            self._trace("slot_vacated", worker=worker_id, cause=cause)
         else:
             self.stats.failure_causes[worker_id] = cause
+
+    def _drain_busy(self, pending: deque, busy: Dict[int, tuple]) -> None:
+        """Absorb every in-flight report before :meth:`map` raises.
+
+        When a job errors, ``map`` aborts — but other workers still owe
+        reports for their in-flight jobs.  Leaving those unread would
+        poison the next ``map()`` call: it would read the stale
+        ``("result", old_job_id, ...)`` messages first, mismatch them
+        against its own jobs, and condemn perfectly healthy workers as
+        corrupt.  So before raising we wait each straggler out (against
+        its original deadline), discard its report, and condemn only
+        the ones that actually die or time out.
+        """
+        drained = 0
+        while busy:
+            deadlines = [d for _, d in busy.values() if d is not None]
+            remaining = (
+                max(0.0, min(deadlines) - time.monotonic())
+                if deadlines
+                else None
+            )
+            endpoints = [self._workers[w] for w in sorted(busy)]
+            ready = self.transport.wait(endpoints, timeout=remaining)
+            if not ready:
+                now = time.monotonic()
+                for worker_id in sorted(busy):
+                    deadline = busy[worker_id][1]
+                    if deadline is not None and now >= deadline:
+                        self._condemn(
+                            worker_id, CAUSE_HEARTBEAT_TIMEOUT, pending, busy
+                        )
+                continue
+            for endpoint in ready:
+                worker_id = endpoint.worker_id
+                if (
+                    self._workers.get(worker_id) is not endpoint
+                    or worker_id not in busy
+                ):
+                    continue
+                try:
+                    endpoint.recv()
+                except (
+                    EOFError, ConnectionResetError, BrokenPipeError, OSError,
+                ):
+                    self._condemn(
+                        worker_id, self._eof_cause(), pending, busy
+                    )
+                    continue
+                # Whatever the worker reported — result or error — the
+                # assignment is absorbed and the worker is idle again.
+                busy.pop(worker_id)
+                drained += 1
+        if drained:
+            self._trace("drain", absorbed=drained)
 
     # -- the scheduling loop -------------------------------------------------
 
@@ -340,28 +536,36 @@ class WorkerPool:
         schedule load-balances itself.  Worker deaths requeue their
         in-flight job; a job that *raises* inside a worker surfaces as
         :class:`PoolJobError` immediately (it would fail identically on
-        any worker).
+        any worker) — after the in-flight work of other workers has
+        been drained, so the pool stays reusable.
         """
         self.start()
         pending: deque = deque(jobs)
         busy: Dict[int, tuple] = {}  # worker -> ((job_id, payload), deadline)
         results: Dict[object, dict] = {}
         while pending or busy:
-            if not self._pipes:
-                raise PoolError(
-                    f"every pool worker has died "
-                    f"({self.n_workers} started); causes: "
-                    f"{self.stats.failure_causes}"
-                )
+            self._admit_capacity()
+            if not self._workers:
+                if busy:  # pragma: no cover - invariant guard
+                    raise PoolError("busy workers without endpoints")
+                if not self._await_any_worker():
+                    raise PoolError(
+                        f"every pool worker has died "
+                        f"({self.n_workers} started); causes: "
+                        f"{self.stats.failure_causes}"
+                    )
+                continue
             # Feed every idle worker before blocking.
-            for worker_id in sorted(self._pipes):
+            for worker_id in sorted(self._workers):
                 if not pending:
                     break
                 if worker_id in busy:
                     continue
                 job = pending.popleft()
                 try:
-                    self._pipes[worker_id].send(("configure", job[0], job[1]))
+                    self._workers[worker_id].send(
+                        ("configure", job[0], job[1])
+                    )
                 except (BrokenPipeError, OSError) as error:
                     # The job never started, so it goes straight back to
                     # the queue without counting as a requeue.
@@ -379,14 +583,31 @@ class WorkerPool:
                 busy[worker_id] = (job, deadline)
             if not busy:
                 continue  # all survivors were condemned while feeding
-            deadlines = [d for _, d in busy.values() if d is not None]
+            # Wake for whichever comes first: a job deadline or a
+            # scheduled respawn becoming due.
+            now = time.monotonic()
+            wake_points = [d for _, d in busy.values() if d is not None]
+            overdue = False
+            for due in self._respawn_due_times():
+                if due > now:
+                    wake_points.append(due)
+                else:
+                    # Due but blocked on capacity (elastic lobby empty);
+                    # poll rather than spin on a zero timeout.
+                    overdue = True
             remaining = (
-                max(0.0, min(deadlines) - time.monotonic())
-                if deadlines
-                else None
+                max(0.0, min(wake_points) - now) if wake_points else None
             )
-            ready = _wait_ready(
-                [self._pipes[w] for w in sorted(busy)], timeout=remaining
+            if self.transport.elastic and pending and (
+                self._unbound or overdue
+            ):
+                # Poll for newly joined agents while the fleet is
+                # under strength and there is work they could pull.
+                remaining = (
+                    0.5 if remaining is None else min(remaining, 0.5)
+                )
+            ready = self.transport.wait(
+                [self._workers[w] for w in sorted(busy)], timeout=remaining
             )
             if not ready:
                 now = time.monotonic()
@@ -397,26 +618,42 @@ class WorkerPool:
                             worker_id, CAUSE_HEARTBEAT_TIMEOUT, pending, busy
                         )
                 continue
-            by_pipe = {id(self._pipes[w]): w for w in busy}
-            for conn in ready:
-                worker_id = by_pipe[id(conn)]
+            for endpoint in ready:
+                # Dispatch by endpoint identity, never by id() of an
+                # underlying connection: a condemned worker's endpoint
+                # is popped from ``_workers``, so a stale readiness
+                # signal for it simply skips (the replacement, admitted
+                # only between drains, is a different object and can
+                # never inherit the old one's messages).
+                worker_id = endpoint.worker_id
+                if (
+                    self._workers.get(worker_id) is not endpoint
+                    or worker_id not in busy
+                ):
+                    continue
                 job = busy[worker_id][0]
                 try:
-                    message = conn.recv()
+                    message = endpoint.recv()
                 except (
                     EOFError, ConnectionResetError, BrokenPipeError, OSError,
                 ):
                     self._condemn(
-                        worker_id, CAUSE_PIPE_CLOSED, pending, busy
+                        worker_id, self._eof_cause(), pending, busy
                     )
                     continue
                 tag = message[0] if isinstance(message, tuple) else None
-                if tag == "error":
+                if tag == "error" and message[1] == job[0]:
+                    # Deterministic job failure: absorb everyone else's
+                    # in-flight reports first so the fleet is clean for
+                    # the next map(), then surface the error.
+                    busy.pop(worker_id)
+                    self._drain_busy(pending, busy)
                     raise PoolJobError(
                         f"job {message[1]!r} failed in worker "
-                        f"{worker_id}: {message[2]}"
+                        f"{worker_id}: {message[2]}",
+                        job_id=message[1],
                     )
-                if tag != "result" or message[1] != job[0]:
+                if tag not in ("result", "error") or message[1] != job[0]:
                     self._condemn(
                         worker_id,
                         f"{CAUSE_CORRUPT_PAYLOAD}: unexpected message "

@@ -53,6 +53,9 @@ CAUSE_HEARTBEAT_TIMEOUT = "heartbeat timeout"
 CAUSE_CORRUPT_PAYLOAD = "corrupt payload"
 #: A FaultPlan injection surfaced directly (serial backend).
 CAUSE_INJECTED = "injected fault"
+#: An elastic-transport worker's connection dropped — its host agent
+#: left the fleet (or died); the slot returns to the join queue.
+CAUSE_WORKER_LEFT = "worker left"
 
 
 def validate_report_payload(

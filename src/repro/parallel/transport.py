@@ -1,0 +1,865 @@
+"""Pluggable worker-dispatch transports for the parallel layer.
+
+The master/slave protocol (:mod:`repro.parallel.master`) and the
+persistent :class:`~repro.parallel.pool.WorkerPool` both used to talk
+to their workers through raw ``multiprocessing`` pipes, which welded
+the fleet to one machine.  This module factors that point-dispatch
+layer into a :class:`Transport` abstraction so the same scheduling
+loops drive either fleet:
+
+- :class:`LocalPipeTransport` — the historical backend: one forked OS
+  process per worker, a duplex pipe per process.  Behavior (spawn cost,
+  exception surface, shutdown escalation) is unchanged.
+- :class:`RemoteTransport` — an asyncio TCP server the master owns.
+  :mod:`repro.parallel.agent` host processes dial in and register
+  worker *slots*; binding a slot ships the picklable worker entry point
+  over the wire and the agent forks the worker locally, bridging its
+  pipe to the socket.  Workers may join and leave mid-run (the
+  transport is *elastic*); a slot whose agent re-dials after a death
+  provides the capacity a respawn claims.
+
+Both transports present the same synchronous, endpoint-oriented
+surface to their caller:
+
+- :meth:`Transport.spawn` returns a :class:`WorkerEndpoint` bound to
+  one worker incarnation; the endpoint's ``send`` / ``recv`` /
+  ``poll`` raise the same exception families a
+  ``multiprocessing.connection.Connection`` does (``BrokenPipeError``
+  on send to a dead worker, ``EOFError`` on recv from one), so the
+  fault-handling paths upstream are transport-independent.
+- :meth:`Transport.wait` multiplexes readiness across endpoints.  Each
+  returned endpoint *is* the identity of its worker — callers key
+  dispatch off the endpoint object and its ``worker_id``, never off
+  ``id()`` of an underlying pipe (connection objects are recycled by
+  the allocator; endpoint objects are not reused across incarnations).
+
+Wire format (remote): 4-byte big-endian length prefix followed by a
+pickle of the same message objects the local pipes carry.  Pickle over
+TCP means the fleet must be a *trusted* network (the same trust model
+``multiprocessing`` itself uses); the optional shared ``key`` rejects
+accidental cross-talk between fleets, it is not cryptographic
+authentication.  Determinism is unaffected by the transport: worker
+seeds derive from worker ids, and all merging happens master-side in
+worker-id order, so merged digests are bit-identical across local and
+remote fleets.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import threading
+import time
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Set, Tuple
+
+from repro.parallel.protocol import ParallelError
+
+
+class TransportError(ParallelError):
+    """Raised when a transport cannot carry out an operation."""
+
+
+class TransportCapacityError(TransportError):
+    """No worker capacity is available (yet) to satisfy a spawn."""
+
+
+# -- framing ------------------------------------------------------------------
+
+#: Length prefix: 4-byte big-endian unsigned payload size.
+FRAME_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame; a corrupt length prefix must not make the
+#: reader try to allocate gigabytes.
+MAX_FRAME_BYTES = 1 << 30
+
+
+def encode_frame(message: object) -> bytes:
+    """One protocol message -> length-prefixed pickle bytes."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"message of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame bound"
+        )
+    return FRAME_HEADER.pack(len(payload)) + payload
+
+
+async def read_frame(reader) -> object:
+    """Read one length-prefixed pickle frame from an asyncio stream.
+
+    Raises ``EOFError`` on a cleanly closed stream and
+    :class:`TransportError` on a malformed prefix.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(FRAME_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            raise EOFError("stream closed") from None
+        raise TransportError("truncated frame header") from None
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte bound (corrupt prefix?)"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise TransportError("truncated frame payload") from None
+    return pickle.loads(payload)
+
+
+# -- fork hygiene --------------------------------------------------------------
+#
+# A fork()ed worker inherits every open file descriptor of its parent —
+# including the TCP sockets of *other* workers' agent connections (and,
+# when master and agent share one process in tests, the master's
+# accepted sockets).  An inherited duplicate keeps a connection
+# ESTABLISHED in the kernel after both real ends have closed it, so the
+# peer never sees the FIN and a dead worker looks alive until every
+# sibling worker has exited.  Socket owners register their fds here and
+# forked workers close the inherited copies before running their entry.
+
+_FORK_UNSAFE_FDS: Set[int] = set()
+
+
+def register_fork_unsafe_fd(fd: int) -> None:
+    """Mark one fd (a live socket) to be closed in forked workers."""
+    _FORK_UNSAFE_FDS.add(fd)
+
+
+def unregister_fork_unsafe_fd(fd: int) -> None:
+    """Remove one fd from the registry (call *before* closing it)."""
+    _FORK_UNSAFE_FDS.discard(fd)
+
+
+def scrub_inherited_fds() -> None:
+    """Close every registered socket fd (worker child side, post-fork).
+
+    The child's copy of the registry is the fork-time snapshot, so it
+    names exactly the inherited duplicates that must go.
+    """
+    for fd in list(_FORK_UNSAFE_FDS):
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    _FORK_UNSAFE_FDS.clear()
+
+
+def _scrubbed_entry(conn, entry, args):
+    """Worker-process shim: drop inherited sockets, then run ``entry``."""
+    scrub_inherited_fds()
+    entry(conn, *args)
+
+
+def fork_safe_process(context, entry, conn, args):
+    """A worker ``Process`` whose fork-started child scrubs inherited fds.
+
+    Under the ``fork`` start method the child inherits every open fd,
+    so route through :func:`_scrubbed_entry`; ``spawn``/``forkserver``
+    children inherit nothing and run ``entry`` directly.
+    """
+    if context.get_start_method() == "fork":
+        return context.Process(
+            target=_scrubbed_entry,
+            args=(conn, entry, tuple(args)),
+            daemon=True,
+        )
+    return context.Process(
+        target=entry, args=(conn,) + tuple(args), daemon=True
+    )
+
+
+def _writer_fd(writer) -> Optional[int]:
+    """The live socket fd behind an asyncio writer, or None."""
+    sock = writer.get_extra_info("socket")
+    if sock is None:
+        return None
+    try:
+        fd = sock.fileno()
+    except (OSError, ValueError):  # pragma: no cover - torn down
+        return None
+    return fd if fd >= 0 else None
+
+
+# -- the abstraction ----------------------------------------------------------
+
+
+class WorkerEndpoint:
+    """One live channel to one worker incarnation.
+
+    Endpoint objects are never reused: a respawned worker gets a fresh
+    endpoint, so object identity distinguishes incarnations even when
+    the underlying OS resources are recycled.
+    """
+
+    #: Worker id this endpoint is bound to.
+    worker_id: int
+    #: Incarnation (0 = original fleet, +1 per respawn).
+    generation: int
+
+    def send(self, message: object) -> None:
+        raise NotImplementedError
+
+    def recv(self) -> object:
+        raise NotImplementedError
+
+    def poll(self, timeout: Optional[float] = None) -> bool:
+        """True when a message (or EOF) is ready within ``timeout``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """Trace-friendly description of the far end."""
+        raise NotImplementedError
+
+
+class Transport:
+    """Factory + multiplexer for :class:`WorkerEndpoint` channels."""
+
+    #: Short name carried in trace records.
+    kind: str = "abstract"
+    #: True when workers join and leave on their own schedule (the
+    #: caller should poll :meth:`capacity` and admit joins mid-run).
+    elastic: bool = False
+
+    def __init__(self) -> None:
+        self._tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.observability.Tracer` (optional)."""
+        self._tracer = tracer
+
+    def _trace(self, name: str, **fields) -> None:
+        if self._tracer is not None:
+            self._tracer.event(name, component="transport", **fields)
+
+    def start(self) -> None:
+        """Bring the transport up (idempotent)."""
+
+    def spawn(
+        self,
+        worker_id: int,
+        generation: int,
+        entry,
+        args: Tuple,
+        timeout: Optional[float] = None,
+    ) -> WorkerEndpoint:
+        """Start one worker running ``entry(conn, *args)``.
+
+        ``entry`` must be a module-level (picklable) callable; the
+        worker's end of the channel is passed as its first argument.
+        ``timeout`` bounds how long to wait for capacity; raises
+        :class:`TransportCapacityError` when none arrives in time.
+        """
+        raise NotImplementedError
+
+    def wait(
+        self,
+        endpoints: Sequence[WorkerEndpoint],
+        timeout: Optional[float] = None,
+    ) -> List[WorkerEndpoint]:
+        """Endpoints with a message (or EOF) ready, or [] on timeout."""
+        raise NotImplementedError
+
+    def capacity(self) -> int:
+        """Worker slots that could be bound right now without blocking."""
+        return 0
+
+    def wait_for_capacity(self, timeout: Optional[float] = None) -> bool:
+        """Block until :meth:`capacity` > 0 (elastic transports)."""
+        return self.capacity() > 0
+
+    def reap(self, endpoint: WorkerEndpoint) -> None:
+        """Release one condemned endpoint's resources for good."""
+
+    def shutdown(self, endpoints: Sequence[WorkerEndpoint]) -> None:
+        """Stop the given workers (the transport itself stays usable)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Tear the transport itself down (idempotent).
+
+        Separate from :meth:`shutdown` so one transport can serve many
+        runs; whoever constructed the transport closes it.
+        """
+
+
+# -- local (pipe + fork) transport --------------------------------------------
+
+
+class LocalEndpoint(WorkerEndpoint):
+    """A forked worker process behind a duplex pipe."""
+
+    def __init__(self, worker_id, generation, conn, process):
+        self.worker_id = worker_id
+        self.generation = generation
+        self.conn = conn
+        self.process = process
+
+    def send(self, message: object) -> None:
+        self.conn.send(message)
+
+    def recv(self) -> object:
+        return self.conn.recv()
+
+    def poll(self, timeout: Optional[float] = None) -> bool:
+        return self.conn.poll(timeout)
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+    def describe(self) -> dict:
+        return {
+            "transport": "local",
+            "pid": getattr(self.process, "pid", None),
+            "worker": self.worker_id,
+            "generation": self.generation,
+        }
+
+
+class LocalPipeTransport(Transport):
+    """The historical single-host backend: fork + pipe per worker."""
+
+    kind = "local"
+    elastic = False
+
+    def __init__(self, context: str = "fork"):
+        super().__init__()
+        from multiprocessing import get_context
+
+        self._context = get_context(context)
+
+    def spawn(self, worker_id, generation, entry, args, timeout=None):
+        parent_conn, child_conn = self._context.Pipe()
+        process = fork_safe_process(self._context, entry, child_conn, args)
+        process.start()
+        child_conn.close()
+        self._trace("spawn", backend="local", worker=worker_id,
+                    generation=generation, pid=process.pid)
+        return LocalEndpoint(worker_id, generation, parent_conn, process)
+
+    def wait(self, endpoints, timeout=None):
+        from multiprocessing.connection import wait as _wait_ready
+
+        if not endpoints:
+            if timeout:
+                time.sleep(timeout)
+            return []
+        ready = _wait_ready(
+            [endpoint.conn for endpoint in endpoints], timeout=timeout
+        )
+        # Identity comparison is safe here: the endpoints list is
+        # captured for the duration of this call, so no connection
+        # object can be freed (and its address recycled) mid-lookup.
+        ready_ids = {id(conn) for conn in ready}
+        return [e for e in endpoints if id(e.conn) in ready_ids]
+
+    def capacity(self) -> int:
+        # Forking is always possible; report one slot so elastic-style
+        # callers (none today) would never block on a local transport.
+        return 1
+
+    def reap(self, endpoint) -> None:
+        from repro.parallel.master import ParallelSimulation
+
+        ParallelSimulation._reap(endpoint.process)
+
+    def shutdown(self, endpoints) -> None:
+        # Reuse the master's join -> terminate -> kill escalation: a
+        # wedged worker must not hang the exit path.
+        from repro.parallel.master import ParallelSimulation
+
+        ParallelSimulation._shutdown_slaves(
+            [endpoint.process for endpoint in endpoints],
+            [endpoint.conn for endpoint in endpoints],
+            tracer=self._tracer,
+        )
+
+
+# -- remote (asyncio TCP) transport -------------------------------------------
+
+
+class _AgentChannel:
+    """Master-side state for one agent connection (one worker slot).
+
+    Lives on both sides of the thread boundary: the asyncio loop thread
+    appends inbound frames / flips ``closed``; the scheduling thread
+    pops frames under the transport's condition variable.
+    """
+
+    def __init__(self, reader, writer, info: dict, transport):
+        self.reader = reader
+        self.writer = writer
+        self.info = dict(info)
+        self.transport = transport
+        self.inbox: Deque[object] = deque()
+        self.closed = False
+        #: (worker_id, generation) once bound, else None (in the lobby).
+        self.bound: Optional[Tuple[int, int]] = None
+
+    # Called from the asyncio loop thread.
+    def push(self, frame: object) -> None:
+        with self.transport._cond:
+            self.inbox.append(frame)
+            self.transport._cond.notify_all()
+
+    def mark_closed(self) -> None:
+        with self.transport._cond:
+            self.closed = True
+            self.transport._cond.notify_all()
+
+
+class RemoteEndpoint(WorkerEndpoint):
+    """A worker slot on a remote agent, bridged over one TCP stream."""
+
+    def __init__(self, channel: _AgentChannel, worker_id, generation):
+        self.channel = channel
+        self.worker_id = worker_id
+        self.generation = generation
+
+    def send(self, message: object) -> None:
+        if self.channel.closed:
+            raise BrokenPipeError(
+                f"remote worker {self.worker_id} connection is closed"
+            )
+        self.channel.transport._send_async(self.channel, message)
+
+    def recv(self) -> object:
+        cond = self.channel.transport._cond
+        with cond:
+            while not self.channel.inbox and not self.channel.closed:
+                cond.wait()
+            if self.channel.inbox:
+                return self.channel.inbox.popleft()
+        raise EOFError(
+            f"remote worker {self.worker_id} connection closed"
+        )
+
+    def poll(self, timeout: Optional[float] = None) -> bool:
+        cond = self.channel.transport._cond
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with cond:
+            while not self.channel.inbox and not self.channel.closed:
+                if deadline is None:
+                    cond.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                cond.wait(remaining)
+            return True
+
+    def close(self) -> None:
+        self.channel.transport._close_channel(self.channel)
+
+    def describe(self) -> dict:
+        return {
+            "transport": "remote",
+            "agent": self.channel.info.get("agent"),
+            "slot": self.channel.info.get("slot"),
+            "worker": self.worker_id,
+            "generation": self.generation,
+        }
+
+
+class RemoteTransport(Transport):
+    """Master side of the multi-host fleet: a TCP registration server.
+
+    The master listens; :mod:`repro.parallel.agent` processes dial in
+    and say hello, landing their slot in the *lobby*.  ``spawn`` claims
+    a lobby slot, ships the worker entry point, and returns the bound
+    endpoint.  A slot whose connection drops mid-run surfaces exactly
+    like a dead local worker (``EOFError`` on recv); the agent re-dials
+    and the fresh registration is the capacity a respawn (or an elastic
+    join) claims.
+
+    Parameters
+    ----------
+    host / port:
+        Listen address; port 0 picks a free port (read the bound
+        address back from :attr:`address` after :meth:`start`).
+    key:
+        Optional shared secret agents must echo in their hello; a
+        mismatched registration is rejected.  Fleet-hygiene only — the
+        wire is pickle, so run on trusted networks.
+    """
+
+    kind = "remote"
+    elastic = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        key: Optional[str] = None,
+    ):
+        super().__init__()
+        self.host = host
+        self.port = port
+        self.key = key
+        #: (host, port) actually bound, set by :meth:`start`.
+        self.address: Optional[Tuple[str, int]] = None
+        self._cond = threading.Condition()
+        self._lobby: Deque[_AgentChannel] = deque()
+        self._channels: List[_AgentChannel] = []
+        self._loop = None
+        self._thread: Optional[threading.Thread] = None
+        self._server = None
+        self._startup_error: Optional[BaseException] = None
+        self._stopping = False
+
+    # -- lifecycle (called from the scheduling thread) -----------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        import asyncio
+
+        started = threading.Event()
+
+        def run_loop():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+
+            async def serve():
+                try:
+                    self._server = await asyncio.start_server(
+                        self._on_client, self.host, self.port
+                    )
+                    sock = self._server.sockets[0]
+                    self.address = sock.getsockname()[:2]
+                    for listener in self._server.sockets:
+                        register_fork_unsafe_fd(listener.fileno())
+                except BaseException as error:
+                    self._startup_error = error
+                finally:
+                    started.set()
+
+            loop.run_until_complete(serve())
+            if self._startup_error is None:
+                try:
+                    loop.run_forever()
+                finally:
+                    to_cancel = asyncio.all_tasks(loop)
+                    for task in to_cancel:
+                        task.cancel()
+                    if to_cancel:
+                        loop.run_until_complete(
+                            asyncio.gather(
+                                *to_cancel, return_exceptions=True
+                            )
+                        )
+                    loop.close()
+
+        self._thread = threading.Thread(
+            target=run_loop, name="repro-remote-transport", daemon=True
+        )
+        self._thread.start()
+        if not started.wait(30.0):  # pragma: no cover - pathological host
+            raise TransportError("remote transport server failed to start")
+        if self._startup_error is not None:
+            raise TransportError(
+                f"cannot listen on {self.host}:{self.port}: "
+                f"{self._startup_error}"
+            )
+        self._trace("listen", host=self.address[0], port=self.address[1])
+
+    # -- asyncio side --------------------------------------------------------
+
+    @staticmethod
+    def _close_writer(writer) -> None:
+        """Unregister the writer's fd, then close it.
+
+        Unregister *before* close: once the fd number is freed the OS
+        may hand it to an unrelated socket, and a stale registry entry
+        would make a forked worker close that newcomer.
+        """
+        fd = _writer_fd(writer)
+        if fd is not None:
+            unregister_fork_unsafe_fd(fd)
+        try:
+            writer.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    async def _on_client(self, reader, writer) -> None:
+        import asyncio
+
+        fd = _writer_fd(writer)
+        if fd is not None:
+            register_fork_unsafe_fd(fd)
+        try:
+            hello = await asyncio.wait_for(read_frame(reader), timeout=30.0)
+        except (asyncio.TimeoutError, EOFError, TransportError,
+                ConnectionError, OSError):
+            self._close_writer(writer)
+            return
+        if not (
+            isinstance(hello, tuple)
+            and len(hello) == 2
+            and hello[0] == "hello"
+            and isinstance(hello[1], dict)
+        ):
+            self._close_writer(writer)
+            return
+        info = hello[1]
+        if self.key is not None and info.get("key") != self.key:
+            try:
+                writer.write(encode_frame(("reject", "bad key")))
+                await writer.drain()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            self._close_writer(writer)
+            self._trace("register_rejected", agent=info.get("agent"))
+            return
+        channel = _AgentChannel(reader, writer, info, self)
+        slot_key = (info.get("agent"), info.get("slot"))
+        stale: List[_AgentChannel] = []
+        with self._cond:
+            if self._stopping:
+                self._close_writer(writer)
+                return
+            # One connection per (agent, slot): an agent slot only
+            # re-dials after tearing down its previous connection, so
+            # any unclosed channel with the same identity is a zombie
+            # whose FIN never arrived (e.g. an fd duplicate held open
+            # by a forked sibling worker).  Supersede it so its death
+            # is seen now, not when the duplicate finally dies.
+            for old in self._channels:
+                if not old.closed and (
+                    (old.info.get("agent"), old.info.get("slot"))
+                    == slot_key
+                ):
+                    old.closed = True
+                    stale.append(old)
+            self._channels = [c for c in self._channels if not c.closed]
+            self._channels.append(channel)
+            for old in stale:
+                if old in self._lobby:
+                    self._lobby.remove(old)
+            self._lobby.append(channel)
+            self._cond.notify_all()
+        for old in stale:
+            self._close_writer(old.writer)
+            self._trace(
+                "supersede",
+                agent=slot_key[0],
+                slot=slot_key[1],
+                bound=old.bound,
+            )
+        self._trace(
+            "register", agent=info.get("agent"), slot=info.get("slot")
+        )
+        try:
+            while True:
+                frame = await read_frame(reader)
+                channel.push(frame)
+        except (EOFError, TransportError, ConnectionError, OSError):
+            pass
+        finally:
+            channel.mark_closed()
+            with self._cond:
+                if channel in self._lobby:
+                    self._lobby.remove(channel)
+            self._close_writer(writer)
+            self._trace(
+                "leave",
+                agent=channel.info.get("agent"),
+                bound=channel.bound,
+            )
+
+    async def _write_channel(self, channel: _AgentChannel, message) -> None:
+        try:
+            channel.writer.write(encode_frame(message))
+            await channel.writer.drain()
+        except (ConnectionError, OSError):
+            channel.mark_closed()
+
+    def _send_async(self, channel: _AgentChannel, message) -> None:
+        """Queue one outbound frame from the scheduling thread."""
+        import asyncio
+
+        if self._loop is None:
+            raise BrokenPipeError("transport is not started")
+        try:
+            asyncio.run_coroutine_threadsafe(
+                self._write_channel(channel, message), self._loop
+            )
+        except RuntimeError:  # loop already closed
+            raise BrokenPipeError("transport is shut down") from None
+
+    def _close_channel(self, channel: _AgentChannel) -> None:
+        import asyncio
+
+        channel.mark_closed()
+        if self._loop is None or self._loop.is_closed():
+            return
+
+        try:
+            self._loop.call_soon_threadsafe(
+                self._close_writer, channel.writer
+            )
+        except RuntimeError:  # pragma: no cover - loop raced shut
+            pass
+
+    # -- Transport surface ---------------------------------------------------
+
+    def _prune_lobby_locked(self) -> None:
+        while self._lobby and self._lobby[0].closed:
+            self._lobby.popleft()
+
+    def capacity(self) -> int:
+        with self._cond:
+            self._prune_lobby_locked()
+            return len(self._lobby)
+
+    def wait_for_capacity(self, timeout: Optional[float] = None) -> bool:
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._cond:
+            while True:
+                self._prune_lobby_locked()
+                if self._lobby:
+                    return True
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+
+    def spawn(self, worker_id, generation, entry, args, timeout=None):
+        deadline = time.monotonic() + (timeout or 0.0)
+        with self._cond:
+            while True:
+                self._prune_lobby_locked()
+                if self._lobby:
+                    channel = self._lobby.popleft()
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TransportCapacityError(
+                        f"no registered agent slot to bind worker "
+                        f"{worker_id} (lobby empty; start agents with "
+                        f"'repro agent {self._address_hint()}')"
+                    )
+                self._cond.wait(remaining)
+            channel.bound = (worker_id, generation)
+        self._send_async(
+            channel, ("spawn", worker_id, generation, entry, tuple(args))
+        )
+        self._trace(
+            "bind",
+            worker=worker_id,
+            generation=generation,
+            agent=channel.info.get("agent"),
+            slot=channel.info.get("slot"),
+        )
+        return RemoteEndpoint(channel, worker_id, generation)
+
+    def _address_hint(self) -> str:
+        if self.address is None:
+            return f"{self.host}:{self.port}"
+        return f"{self.address[0]}:{self.address[1]}"
+
+    def wait(self, endpoints, timeout=None):
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._cond:
+            while True:
+                ready = [
+                    endpoint
+                    for endpoint in endpoints
+                    if endpoint.channel.inbox or endpoint.channel.closed
+                ]
+                if ready:
+                    return ready
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return []
+                self._cond.wait(remaining)
+
+    def reap(self, endpoint) -> None:
+        self._close_channel(endpoint.channel)
+
+    def shutdown(self, endpoints) -> None:
+        for endpoint in endpoints:
+            try:
+                endpoint.send("stop")
+            except (BrokenPipeError, OSError):
+                pass
+        # Give cooperative stops a moment to flush before closing.
+        stop_deadline = time.monotonic() + 5.0
+        for endpoint in endpoints:
+            endpoint.poll(max(0.0, stop_deadline - time.monotonic()))
+            endpoint.close()
+
+    def close(self) -> None:
+        """Stop the server loop and drop every connection."""
+        import asyncio
+
+        with self._cond:
+            self._stopping = True
+            channels = list(self._channels)
+            self._lobby.clear()
+            self._cond.notify_all()
+        loop, self._loop = self._loop, None
+        if loop is None or loop.is_closed():
+            return
+
+        def stop():
+            for channel in channels:
+                self._close_writer(channel.writer)
+            if self._server is not None:
+                for listener in self._server.sockets:
+                    try:
+                        unregister_fork_unsafe_fd(listener.fileno())
+                    except (OSError, ValueError):  # pragma: no cover
+                        pass
+                self._server.close()
+            loop.stop()
+
+        try:
+            loop.call_soon_threadsafe(stop)
+        except RuntimeError:  # pragma: no cover - loop raced shut
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        for channel in channels:
+            channel.mark_closed()
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` with validation."""
+    host, _, port = address.rpartition(":")
+    if not host or not port:
+        raise TransportError(
+            f"expected HOST:PORT, got {address!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise TransportError(
+            f"port in {address!r} is not an integer"
+        ) from None

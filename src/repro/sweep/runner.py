@@ -43,7 +43,7 @@ from repro.sweep.spec import (
 )
 
 #: Execution backends, cheapest-isolation first.
-BACKENDS = ("serial", "spawn", "pool")
+BACKENDS = ("serial", "spawn", "pool", "remote")
 
 
 # -- the unit of work ---------------------------------------------------------
@@ -237,6 +237,7 @@ class SweepResult:
                 "n_workers": self.pool_stats.n_workers,
                 "deaths": self.pool_stats.deaths,
                 "restarts": self.pool_stats.restarts,
+                "joins": self.pool_stats.joins,
                 "jobs_requeued": self.pool_stats.jobs_requeued,
                 "failure_causes": {
                     str(worker): cause
@@ -260,11 +261,16 @@ class SweepRunner:
         The :class:`SweepSpec` to execute.
     backend:
         ``"pool"`` (persistent workers, default), ``"spawn"`` (fresh
-        process per point — the historical loop), or ``"serial"``
-        (in-process).
+        process per point — the historical loop), ``"serial"``
+        (in-process), or ``"remote"`` (persistent workers hosted by
+        :mod:`repro.parallel.agent` processes over a
+        :class:`~repro.parallel.transport.RemoteTransport`; requires
+        ``transport``).  Every backend computes each point through the
+        same :func:`run_point`, so results and digests are identical.
     jobs:
         Pool width for the ``pool`` backend (default: up to 4, bounded
-        by the machine); ignored by the sequential backends.
+        by the machine) and the cap on concurrently bound workers for
+        ``remote`` (default 16); ignored by the sequential backends.
     cache:
         A :class:`SweepCache`, a directory path, or ``None`` to disable
         caching.
@@ -278,6 +284,13 @@ class SweepRunner:
         An existing started :class:`WorkerPool` to schedule onto (kept
         alive across sweeps); the runner then ignores ``jobs`` /
         ``respawn`` / ``fault_plan`` and does not shut it down.
+    transport:
+        A started :class:`~repro.parallel.transport.Transport` for the
+        ``remote`` backend (the runner never closes it — its owner
+        does).
+    join_timeout:
+        Remote backend: how long an empty fleet waits for an agent to
+        (re)join before the sweep gives up.
     tracer:
         Optional :class:`repro.observability.Tracer`.
     on_point:
@@ -297,6 +310,8 @@ class SweepRunner:
         fault_plan=None,
         job_timeout: Optional[float] = 600.0,
         pool: Optional[WorkerPool] = None,
+        transport=None,
+        join_timeout: float = 30.0,
         tracer=None,
         on_point: Optional[Callable[[PointResult], None]] = None,
     ):
@@ -306,6 +321,11 @@ class SweepRunner:
             )
         if jobs is not None and jobs < 1:
             raise SweepError(f"jobs must be >= 1, got {jobs}")
+        if backend == "remote" and transport is None and pool is None:
+            raise SweepError(
+                "backend 'remote' needs a transport (a RemoteTransport "
+                "listening for repro agents) or a pre-built pool"
+            )
         self.spec = spec
         self.backend = backend
         self.jobs = jobs
@@ -318,6 +338,8 @@ class SweepRunner:
         self.fault_plan = fault_plan
         self.job_timeout = job_timeout
         self.pool = pool
+        self.transport = transport
+        self.join_timeout = join_timeout
         self.tracer = tracer
         self.on_point = on_point
 
@@ -397,18 +419,28 @@ class SweepRunner:
         return results
 
     def _compute_pool(self, jobs: List[tuple]):
+        """Persistent-worker backends: local ``pool`` and ``remote``.
+
+        Both schedule onto a :class:`WorkerPool`; the remote flavor
+        hands the pool the caller's transport so its workers live on
+        whatever agents registered with it.
+        """
         pool = self.pool
         owned = pool is None
         if owned:
+            remote = self.backend == "remote"
             pool = WorkerPool(
                 run_point,
-                n_workers=self._default_jobs(),
+                n_workers=(self.jobs or 16) if remote
+                else self._default_jobs(),
                 master_seed=self.spec.seed,
                 job_timeout=self.job_timeout,
                 respawn=self.respawn,
                 fault_plan=self.fault_plan,
                 validate=payload_problem,
                 tracer=self.tracer,
+                transport=self.transport if remote else None,
+                join_timeout=self.join_timeout,
             )
         try:
             results = pool.map(jobs)

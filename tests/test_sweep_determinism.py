@@ -5,10 +5,19 @@ it: for a fixed seed, the merged histogram digests of every point must
 be bit-identical across {serial, process-per-point, persistent-pool} ×
 {prefetch on, off} × {fresh, cache-hit, resume}.  The serial/fresh/
 prefetch-on cell is the reference; every other cell is compared to it.
+
+The remote backend joins the same matrix over a loopback TCP fleet
+(:class:`~repro.parallel.transport.RemoteTransport` plus an in-process
+:class:`~repro.parallel.agent.HostAgent`), including a chaos cell that
+kills one remote worker mid-sweep and requires the respawned fleet to
+reproduce the reference digests bit-for-bit.
 """
 
 import pytest
 
+from repro.faults import FaultPlan, RespawnPolicy
+from repro.parallel.agent import HostAgent
+from repro.parallel.transport import RemoteTransport
 from repro.sweep import SweepCache, SweepRunner, SweepSpec
 
 #: Two tiny M/M/1 points — big enough to fill histograms, small enough
@@ -28,7 +37,7 @@ def spec(prefetch=True):
     )
 
 
-def run_cell(backend, prefetch, cache_state, tmp_path):
+def run_cell(backend, prefetch, cache_state, tmp_path, **runner_kwargs):
     """One matrix cell; returns its {point: {metric: digest}} map."""
     the_spec = spec(prefetch=prefetch)
     cache = None
@@ -36,14 +45,15 @@ def run_cell(backend, prefetch, cache_state, tmp_path):
         cache = SweepCache(tmp_path / f"{backend}-{prefetch}-{cache_state}")
         # Warm the cache first so the measured run serves hits...
         warm = SweepRunner(the_spec, backend=backend, jobs=2,
-                           cache=cache).run()
+                           cache=cache, **runner_kwargs).run()
         assert warm.computed == len(warm.points)
         if cache_state == "resume":
             # ...except one evicted point: the rerun must recompute
             # exactly it and change nothing else.
             warm_points = warm.points
             assert cache.evict(warm_points[0].digest)
-    result = SweepRunner(the_spec, backend=backend, jobs=2, cache=cache).run()
+    result = SweepRunner(the_spec, backend=backend, jobs=2, cache=cache,
+                         **runner_kwargs).run()
     if cache_state == "cache-hit":
         assert result.cache_hits == len(result.points)
     elif cache_state == "resume":
@@ -69,3 +79,49 @@ def test_matrix_cell_matches_reference(
     backend, prefetch, cache_state, reference, tmp_path
 ):
     assert run_cell(backend, prefetch, cache_state, tmp_path) == reference
+
+
+# -- remote loopback fleet cells ----------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def remote_fleet():
+    """One RemoteTransport + 2-slot loopback agent shared by the cells."""
+    transport = RemoteTransport()
+    transport.start()
+    agent = HostAgent(transport.address, slots=2)
+    agent.start()
+    assert transport.wait_for_capacity(timeout=10.0)
+    yield transport
+    agent.stop(timeout=10.0)
+    transport.close()
+
+
+@pytest.mark.parametrize("cache_state", ["fresh", "cache-hit", "resume"])
+def test_remote_cell_matches_reference(
+    cache_state, reference, tmp_path, remote_fleet
+):
+    digests = run_cell(
+        "remote", True, cache_state, tmp_path, transport=remote_fleet
+    )
+    assert digests == reference
+
+
+def test_remote_chaos_cell_matches_reference(
+    reference, tmp_path, remote_fleet
+):
+    """Killing one remote worker mid-sweep must not perturb digests."""
+    result = SweepRunner(
+        spec(prefetch=True),
+        backend="remote",
+        jobs=2,
+        transport=remote_fleet,
+        fault_plan=FaultPlan.single(
+            "kill", slave_id=0, round=1, phase="pre_run"
+        ),
+        respawn=RespawnPolicy(backoff_base=0.0, jitter=0.0),
+    ).run()
+    assert result.digests() == reference
+    assert result.pool_stats.deaths == 1
+    assert result.pool_stats.jobs_requeued == 1
+    assert not result.degraded
