@@ -1,0 +1,242 @@
+"""Distributed-frame-layer overhead benchmark: heartbeat + sequencing.
+
+PR 9 added sequence-numbered frames, heartbeat liveness monitoring, and
+the chaos wrapper's raw-delivery path to the remote transport.  All of
+it must be cheap enough to leave *on*.  This bench measures the frame
+layer directly — echo workers over a loopback TCP fleet, master-side
+round-trips/sec — in three configurations:
+
+- **plain** — the remote transport exactly as a clean run uses it
+  (sequence stamping/dedup is always on; it is the baseline contract);
+- **heartbeat** — liveness monitoring enabled at an aggressive 0.25 s
+  interval (a production run would use 1-5 s, so this is the worst
+  case: pings and acks share the wire with every measured frame);
+- **chaos_empty** — every endpoint wrapped by :class:`ChaosTransport`
+  with an *empty* fault plan: raw delivery plus the chaos-side
+  sequencer and readiness pump, with zero scheduled faults.  This is
+  the full per-frame cost of the injection machinery itself.
+
+A deliberate microbenchmark, not an end-to-end run: whole-run wall
+clock is dominated by fleet startup and convergence variance, which on
+a busy machine swamps a few-percent frame-layer effect.  Round-trips
+over an already-joined fleet isolate exactly the code this PR touched.
+
+The contract (enforced with ``--max-overhead``, default 3%): heartbeat
+and chaos_empty round-trip throughput must stay within 3% of plain.
+``--compare`` additionally gates against a recorded
+``BENCH_transport.json`` like the other benches (dev machines only;
+shared CI runners are noisy).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_transport_overhead.py
+    PYTHONPATH=src python benchmarks/bench_transport_overhead.py --smoke
+    PYTHONPATH=src python benchmarks/bench_transport_overhead.py \
+        --compare BENCH_transport.json --max-regress 0.03
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.faults.netplan import NetFaultPlan  # noqa: E402
+from repro.parallel.agent import HostAgent  # noqa: E402
+from repro.parallel.chaos import ChaosTransport  # noqa: E402
+from repro.parallel.transport import RemoteTransport  # noqa: E402
+
+N_WORKERS = 2
+#: A report-sized payload: sequencing/chaos cost is per frame, but the
+#: pickle/socket share of each trip should resemble a real histogram
+#: delta, not an empty tuple.
+PAYLOAD = {"round": 1, "block": [float(i) * 0.001 for i in range(256)]}
+
+
+def echo_worker(conn):
+    """Reply ("echo", message) to every message until told to stop."""
+    while True:
+        message = conn.recv()
+        if message == "stop":
+            conn.close()
+            return
+        conn.send(("echo", message))
+
+
+def make_transport(config: str):
+    """A started loopback transport for one bench configuration."""
+    if config == "heartbeat":
+        transport = RemoteTransport(
+            heartbeat_interval=0.25, heartbeat_misses=3
+        )
+    else:
+        transport = RemoteTransport()
+    transport.start()
+    agent = HostAgent(transport.address, slots=N_WORKERS)
+    agent.start()
+    if not transport.wait_for_capacity(timeout=15.0):
+        agent.stop(timeout=10.0)
+        transport.close()
+        raise RuntimeError("loopback agent never offered capacity")
+    if config == "chaos_empty":
+        return ChaosTransport(transport, NetFaultPlan(specs=())), agent
+    return transport, agent
+
+
+def run_one(config: str, trips: int, repeats: int) -> dict:
+    """Best-of-``repeats`` round-trip throughput for one configuration."""
+    best = None
+    for _ in range(repeats):
+        transport, agent = make_transport(config)
+        try:
+            endpoints = []
+            for worker_id in range(N_WORKERS):
+                assert transport.wait_for_capacity(timeout=15.0)
+                endpoints.append(transport.spawn(
+                    worker_id, 0, echo_worker, (), timeout=15.0
+                ))
+            # Warm up: join cost, first-fork page faults, allocator.
+            for endpoint in endpoints:
+                for _ in range(50):
+                    endpoint.send(PAYLOAD)
+                    endpoint.recv()
+            started = time.perf_counter()
+            for _ in range(trips):
+                # Keep both workers in flight: send to all, then drain
+                # all, like the master's dispatch/collect round shape.
+                for endpoint in endpoints:
+                    endpoint.send(PAYLOAD)
+                for endpoint in endpoints:
+                    reply = endpoint.recv()
+                    assert reply[0] == "echo", reply
+            wall = time.perf_counter() - started
+            transport.shutdown(endpoints)
+        finally:
+            agent.stop(timeout=10.0)
+            transport.close()
+        total = trips * N_WORKERS
+        run = {
+            "roundtrips": total,
+            "wall_seconds": round(wall, 4),
+            "roundtrips_per_sec": round(total / wall, 1),
+        }
+        if best is None or (
+            run["roundtrips_per_sec"] > best["roundtrips_per_sec"]
+        ):
+            best = run
+    return best
+
+
+def _git_commit() -> str:
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, text=True, stderr=subprocess.DEVNULL,
+        ).strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+CONFIGS = ("plain", "heartbeat", "chaos_empty")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trips", type=int, default=3000,
+                        help="measured round-trips per worker (default 3000)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="fleets per configuration; best is reported")
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick CI mode: few trips, single repeat")
+    parser.add_argument("--max-overhead", type=float, default=0.03,
+                        help=(
+                            "tolerated fractional round-trip/sec drop of "
+                            "heartbeat/chaos_empty vs plain in this run "
+                            "(default 0.03 = 3%%)"
+                        ))
+    parser.add_argument("--compare", type=Path, default=None,
+                        help=(
+                            "recorded results JSON to gate against: exit 1 "
+                            "if any configuration regresses by more than "
+                            "--max-regress"
+                        ))
+    parser.add_argument("--max-regress", type=float, default=0.03,
+                        help=(
+                            "tolerated fractional round-trip/sec drop vs "
+                            "--compare (default 0.03 = 3%%)"
+                        ))
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_transport.json")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.trips = min(args.trips, 400)
+        args.repeats = 1
+
+    results = {}
+    for config in CONFIGS:
+        results[config] = run_one(config, args.trips, args.repeats)
+        print(f"{config:12s} {results[config]['roundtrips_per_sec']:>10,.0f} "
+              f"roundtrips/s  ({results[config]['wall_seconds']:.2f}s)")
+
+    plain = results["plain"]["roundtrips_per_sec"]
+    overhead = {
+        config: round(
+            1.0 - results[config]["roundtrips_per_sec"] / plain, 4
+        )
+        for config in CONFIGS if config != "plain"
+    }
+    payload = {
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+        "workers": N_WORKERS,
+        "trips": args.trips,
+        "configs": results,
+        "overhead_vs_plain": overhead,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    failed = False
+    for config, cost in overhead.items():
+        verdict = "ok"
+        if cost > args.max_overhead:
+            verdict = "OVER BUDGET"
+            failed = True
+        print(f"{config:12s} overhead vs plain: {cost:+.1%} ({verdict})")
+    if failed:
+        print(f"frame-layer overhead exceeds {args.max_overhead:.0%}",
+              file=sys.stderr)
+        return 1
+
+    if args.compare and args.compare.exists():
+        recorded = json.loads(args.compare.read_text()).get("configs", {})
+        for config in CONFIGS:
+            if config not in recorded:
+                continue
+            now = results[config]["roundtrips_per_sec"]
+            then = recorded[config]["roundtrips_per_sec"]
+            change = now / then - 1.0
+            verdict = "ok"
+            if change < -args.max_regress:
+                verdict = "REGRESSION"
+                failed = True
+            print(f"{config:12s} {then:>10,.0f} -> {now:>10,.0f} "
+                  f"roundtrips/s  ({change:+.1%}, {verdict})")
+        if failed:
+            print(f"transport throughput regressed beyond "
+                  f"{args.max_regress:.0%} of {args.compare}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

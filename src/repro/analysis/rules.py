@@ -816,3 +816,44 @@ class ParallelLambdaRule(Rule):
                             "lambda inside a .send(...) payload cannot "
                             "be pickled across the parallel protocol",
                         )
+
+
+@register_rule
+class BlockingSleepInTransportRule(Rule):
+    """No blocking ``time.sleep`` on transport or scheduling threads.
+
+    A ``time.sleep`` inside ``parallel/`` freezes the thread that is
+    supposed to be multiplexing workers: heartbeats stop being
+    answered, injected-fault due-times slip, and a liveness monitor on
+    the other side reads the stall as a dead link.  Waiting must ride a
+    poll/wait timeout, a condition variable, an ``asyncio.sleep``, or a
+    ``threading.Timer`` — anything that keeps the thread responsive.
+
+    The handful of legitimate blocking waits (a respawn barrier with
+    nothing else runnable, a worker-side injected hang where blocking
+    *is* the fault) carry an explicit
+    ``# simlint: disable=blocking-sleep-in-transport``.
+    """
+
+    id = "blocking-sleep-in-transport"
+    summary = (
+        "no blocking time.sleep in parallel/ (use poll timeouts, "
+        "condition waits, or timers)"
+    )
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.rel.startswith("parallel/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and dotted_name(node.func) == "time.sleep"
+            ):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "`time.sleep()` blocks a transport/scheduling "
+                    "thread; wait on a poll timeout, condition "
+                    "variable, or timer instead",
+                )

@@ -43,7 +43,13 @@ def _start_remote_transport(args):
     from repro.parallel.transport import RemoteTransport, parse_address
 
     host, port = parse_address(args.listen)
-    transport = RemoteTransport(host=host, port=port, key=args.transport_key)
+    transport = RemoteTransport(
+        host=host,
+        port=port,
+        key=args.transport_key,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_misses=args.heartbeat_misses,
+    )
     transport.start()
     print(
         f"repro: listening for agents on "
@@ -53,6 +59,37 @@ def _start_remote_transport(args):
         file=sys.stderr,
     )
     return transport
+
+
+def _build_supervision(args):
+    """A SupervisionPolicy from --min-workers/--deadline/--on-degrade.
+
+    Returns None when every flag is at its default, keeping the
+    historical (policy-free) degradation semantics.
+    """
+    if (
+        args.min_workers is None
+        and args.deadline is None
+        and args.on_degrade == "abort"
+    ):
+        return None
+    from repro.faults import SupervisionPolicy
+
+    return SupervisionPolicy(
+        min_workers=args.min_workers if args.min_workers is not None else 1,
+        deadline=args.deadline,
+        on_exhausted=args.on_degrade,
+    )
+
+
+def _wrap_net_chaos(transport, args):
+    """Wrap a started remote transport per --net-chaos, if requested."""
+    if not args.net_chaos:
+        return transport
+    from repro.faults import NetFaultPlan
+    from repro.parallel.chaos import ChaosTransport
+
+    return ChaosTransport(transport, NetFaultPlan.load(args.net_chaos))
 
 
 def _make_observability(args):
@@ -123,9 +160,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     if not args.parallel and (
         args.chaos or args.resume or args.checkpoint or args.respawn
+        or args.net_chaos or args.min_workers is not None
+        or args.deadline is not None or args.on_degrade != "abort"
     ):
         print(
-            "--chaos/--respawn/--checkpoint/--resume require --parallel N",
+            "--chaos/--respawn/--checkpoint/--resume/--net-chaos/"
+            "--min-workers/--deadline/--on-degrade require --parallel N",
+            file=sys.stderr,
+        )
+        return 2
+    if args.net_chaos and args.backend != "remote":
+        print(
+            "--net-chaos needs the frame layer of --backend remote",
             file=sys.stderr,
         )
         return 2
@@ -162,10 +208,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 backend=args.backend,
                 round_timeout=args.round_timeout,
                 respawn=respawn,
+                supervision=_build_supervision(args),
                 fault_plan=fault_plan,
                 checkpoint_path=args.checkpoint,
                 checkpoint_interval=args.checkpoint_interval,
-                transport=transport,
+                transport=_wrap_net_chaos(transport, args),
                 join_timeout=args.join_timeout,
             )
             if tracer is not None:
@@ -334,6 +381,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         from repro.faults import RespawnPolicy
 
         respawn = RespawnPolicy(max_restarts_per_slave=args.max_restarts)
+    if args.net_chaos and args.backend != "remote":
+        print(
+            "--net-chaos needs the frame layer of --backend remote",
+            file=sys.stderr,
+        )
+        return 2
     if args.backend == "remote" and not args.listen:
         print("--backend remote requires --listen HOST:PORT",
               file=sys.stderr)
@@ -362,8 +415,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         force=args.force,
         respawn=respawn,
         fault_plan=fault_plan,
+        supervision=_build_supervision(args),
         job_timeout=args.point_timeout,
-        transport=transport,
+        transport=_wrap_net_chaos(transport, args),
         join_timeout=args.join_timeout,
         tracer=tracer,
         on_point=on_point,
@@ -395,14 +449,67 @@ def _cmd_agent(args: argparse.Namespace) -> int:
     from repro.parallel.agent import main as agent_main
 
     argv = [args.address, "--context", args.context,
-            "--reconnect-delay", str(args.reconnect_delay)]
+            "--reconnect-delay", str(args.reconnect_delay),
+            "--reconnect-cap", str(args.reconnect_cap),
+            "--backoff-seed", str(args.backoff_seed)]
     if args.slots is not None:
         argv += ["--slots", str(args.slots)]
     if args.transport_key:
         argv += ["--transport-key", args.transport_key]
+    if args.max_redial is not None:
+        argv += ["--max-redial", str(args.max_redial)]
     if args.idle_exit is not None:
         argv += ["--idle-exit", str(args.idle_exit)]
     return agent_main(argv)
+
+
+def _add_robustness_args(parser, deadline_help: str) -> None:
+    """Flags shared by run/sweep: net chaos, liveness, fleet policy."""
+    parser.add_argument(
+        "--net-chaos", metavar="PLAN", default=None,
+        help=(
+            "inject a seeded network fault plan (delay/drop/duplicate/"
+            "corrupt/partition/agent_crash) at the frame boundary; a "
+            "JSON path or inline JSON (--backend remote only, see "
+            "docs/robustness.md)"
+        ),
+    )
+    parser.add_argument(
+        "--heartbeat-interval", type=float, metavar="SECONDS",
+        default=None,
+        help=(
+            "ping remote agents this often so a half-open link is "
+            "declared dead after interval x misses seconds instead of "
+            "the round timeout (--backend remote; default: off)"
+        ),
+    )
+    parser.add_argument(
+        "--heartbeat-misses", type=int, metavar="N", default=3,
+        help=(
+            "missed heartbeats before a silent link is closed with "
+            "cause 'liveness timeout' (default: 3)"
+        ),
+    )
+    parser.add_argument(
+        "--min-workers", type=int, metavar="N", default=None,
+        help=(
+            "fleet floor: when fewer workers can still contribute, "
+            "abort with a typed cause (default) or press on with "
+            "--on-degrade continue"
+        ),
+    )
+    parser.add_argument(
+        "--deadline", type=float, metavar="SECONDS", default=None,
+        help=deadline_help,
+    )
+    parser.add_argument(
+        "--on-degrade", choices=("abort", "continue"), default="abort",
+        help=(
+            "what a fleet below --min-workers does: abort with a "
+            "machine-readable cause (default) or continue with the "
+            "survivors and flag the result degraded"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -564,6 +671,15 @@ def build_parser() -> argparse.ArgumentParser:
             "errors, 0 clean)"
         ),
     )
+    _add_robustness_args(
+        run,
+        deadline_help=(
+            "wall-clock budget for the measurement phase; past it the "
+            "run aborts with a typed cause (default) or, with "
+            "--on-degrade continue, returns the merged-so-far result "
+            "flagged degraded"
+        ),
+    )
     run.set_defaults(handler=_cmd_run)
 
     workloads = commands.add_parser(
@@ -681,6 +797,14 @@ def build_parser() -> argparse.ArgumentParser:
             "constructs, fastpath forecasts (exit 1 on errors, 0 clean)"
         ),
     )
+    _add_robustness_args(
+        sweep,
+        deadline_help=(
+            "wall-clock budget for the whole sweep; past it the sweep "
+            "always aborts with a typed cause (a partial sweep is not "
+            "a meaningful result)"
+        ),
+    )
     sweep.set_defaults(handler=_cmd_sweep)
 
     agent = commands.add_parser(
@@ -702,7 +826,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     agent.add_argument(
         "--reconnect-delay", type=float, metavar="SECONDS", default=0.2,
-        help="seconds between dial attempts (default: 0.2)",
+        help="base seconds of the re-dial backoff (default: 0.2)",
+    )
+    agent.add_argument(
+        "--reconnect-cap", type=float, metavar="SECONDS", default=30.0,
+        help="ceiling of the exponential re-dial backoff (default: 30)",
+    )
+    agent.add_argument(
+        "--backoff-seed", type=int, metavar="SEED", default=0,
+        help=(
+            "seed for the deterministic re-dial jitter (give each "
+            "agent its own so probes spread instead of dialing in "
+            "lockstep)"
+        ),
+    )
+    agent.add_argument(
+        "--max-redial", type=int, metavar="N", default=None,
+        help=(
+            "consecutive failed dials a slot tolerates before giving "
+            "up (default: retry forever)"
+        ),
     )
     agent.add_argument(
         "--idle-exit", type=float, metavar="SECONDS", default=None,

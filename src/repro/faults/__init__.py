@@ -12,9 +12,15 @@ first-class, *testable* input instead of an operational surprise:
   executes a plan inside the slave loop (process backend: real
   ``os._exit`` / sleeps; serial backend: raised
   :class:`InjectedFailure` exceptions the master handles identically);
+- :mod:`~repro.faults.netplan` — :class:`NetFaultPlan`, the network
+  sibling of FaultPlan: seeded frame-boundary faults (delay, drop,
+  duplicate, corrupt, half-open partition, agent crash) applied by
+  :class:`~repro.parallel.chaos.ChaosTransport`;
 - :mod:`~repro.faults.recovery` — :class:`RespawnPolicy` (exponential
-  backoff + deterministic jitter, per-slave and total restart budgets)
-  and :class:`SeedLineage`, the generation-aware seed registry that
+  backoff + deterministic jitter, per-slave and total restart budgets),
+  :class:`SupervisionPolicy` (fleet floor, degradation threshold, and
+  overall deadline for graceful degradation), and
+  :class:`SeedLineage`, the generation-aware seed registry that
   guarantees a replacement slave draws a fresh unique stream;
 - :mod:`~repro.faults.checkpoint` — atomic JSON-lines experiment
   snapshots (merged histogram state, per-slave work logs, seed lineage,
@@ -30,16 +36,20 @@ from repro.faults.checkpoint import (
     write_checkpoint,
 )
 from repro.faults.injector import FaultInjector, InjectedFailure
+from repro.faults.netplan import NET_FAULT_KINDS, NetFaultPlan, NetFaultSpec
 from repro.faults.plan import FAULT_KINDS, FaultError, FaultPlan, FaultSpec
 from repro.faults.recovery import (
     RespawnPolicy,
     SeedLineage,
+    SupervisionError,
+    SupervisionPolicy,
     backoff_delay,
     derive_seed,
 )
 
 __all__ = [
     "FAULT_KINDS",
+    "NET_FAULT_KINDS",
     "CheckpointError",
     "CheckpointState",
     "FaultError",
@@ -47,8 +57,12 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedFailure",
+    "NetFaultPlan",
+    "NetFaultSpec",
     "RespawnPolicy",
     "SeedLineage",
+    "SupervisionError",
+    "SupervisionPolicy",
     "backoff_delay",
     "derive_seed",
     "read_checkpoint",

@@ -1,6 +1,6 @@
-"""Recovery policy: respawn budgets, backoff, and seed lineage.
+"""Recovery policy: respawn budgets, backoff, supervision, seed lineage.
 
-Two independent concerns live here:
+Three independent concerns live here:
 
 - :class:`RespawnPolicy` — *whether and when* to replace a dead slave:
   per-slave and run-total restart budgets, exponential backoff with a
@@ -12,6 +12,12 @@ Two independent concerns live here:
   the predecessor's exact draw sequence and double-count the partial
   observations already merged from it — the classic silent-bias bug
   this class exists to make structurally impossible.
+- :class:`SupervisionPolicy` — *whether the run itself survives* a
+  shrinking fleet: the minimum fleet size below which continuing is
+  pointless, the strength below which a finished result is flagged
+  ``degraded``, and an overall wall-clock deadline.  Violations raise
+  :class:`SupervisionError` with a machine-readable cause (never a
+  silent hang) unless the policy says to continue degraded.
 """
 
 from __future__ import annotations
@@ -168,3 +174,75 @@ class RespawnPolicy:
             self.jitter,
             jitter_seed,
         )
+
+
+class SupervisionError(RuntimeError):
+    """A :class:`SupervisionPolicy` aborted the run.
+
+    ``cause`` is the machine-readable cause code (one of the
+    ``CAUSE_*`` constants in :mod:`repro.parallel.protocol`); the
+    message carries the free-form detail.
+    """
+
+    def __init__(self, message: str, cause: str):
+        super().__init__(message)
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Run-level survival and degradation rules for a shrinking fleet.
+
+    Where :class:`RespawnPolicy` decides the fate of one dead worker,
+    this decides the fate of the *run*:
+
+    - ``min_workers`` — the fleet floor.  When the workers still able
+      to contribute (live, plus scheduled respawns) fall below it, the
+      run aborts with :class:`SupervisionError` (``on_exhausted=
+      "abort"``, the default) or presses on with whatever survives
+      (``"continue"``).
+    - ``degrade_below`` — the full-strength threshold: a finished run
+      whose surviving fleet is at least this large is *not* flagged
+      ``degraded`` even if it lost (unreplaced) workers along the way.
+      ``None`` keeps the strict default — any unreplaced death
+      degrades the result.
+    - ``deadline`` — overall wall-clock budget in seconds for the run.
+      Past it, ``"abort"`` raises while ``"continue"`` stops cleanly
+      and returns the merged-so-far result flagged ``degraded`` (with
+      honest, wider CIs), never a silent hang.
+    """
+
+    min_workers: int = 1
+    degrade_below: Optional[int] = None
+    deadline: Optional[float] = None
+    on_exhausted: str = "abort"
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValueError(
+                f"min_workers must be >= 1, got {self.min_workers}"
+            )
+        if self.degrade_below is not None and self.degrade_below < 1:
+            raise ValueError(
+                f"degrade_below must be >= 1 or None, "
+                f"got {self.degrade_below}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(
+                f"deadline must be > 0 or None, got {self.deadline}"
+            )
+        if self.on_exhausted not in ("abort", "continue"):
+            raise ValueError(
+                f"on_exhausted must be 'abort' or 'continue', "
+                f"got {self.on_exhausted!r}"
+            )
+
+    def fleet_ok(self, effective_workers: int) -> bool:
+        """Whether the run may continue with this many contributors."""
+        return effective_workers >= self.min_workers
+
+    def is_degraded(self, survivors: int, unreplaced_deaths: int) -> bool:
+        """Whether a *finished* run at this strength is degraded."""
+        if self.degrade_below is not None:
+            return survivors < self.degrade_below
+        return unreplaced_deaths > 0

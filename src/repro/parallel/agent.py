@@ -37,10 +37,14 @@ import threading
 import time
 from typing import Optional
 
+from repro.faults.recovery import backoff_delay, derive_seed
 from repro.parallel.transport import (
+    HEARTBEAT_ACK_TAG,
+    FrameSequencer,
     _writer_fd,
     encode_frame,
     fork_safe_process,
+    is_heartbeat,
     parse_address,
     read_frame,
     register_fork_unsafe_fd,
@@ -66,7 +70,21 @@ class HostAgent:
     context:
         ``multiprocessing`` start method for worker children.
     reconnect_delay:
-        Pause between dial attempts while the master is unreachable.
+        Base delay of the re-dial backoff.  Consecutive failed dials
+        back off exponentially from this base (capped at
+        ``reconnect_cap``, stretched by up to ``reconnect_jitter`` of
+        seeded noise), so a dead or partitioned master is probed a few
+        times a minute instead of hammered at 5 Hz forever.  A
+        successfully hosted worker resets the backoff.
+    reconnect_cap / reconnect_jitter / backoff_seed:
+        Backoff tuning: the delay ceiling, the fractional jitter, and
+        the seed the jitter derives from (per slot and attempt, so two
+        agents with different seeds never dial in lockstep while one
+        agent replays identical delays run-to-run).
+    max_redial:
+        Budget of *consecutive* failed dial attempts per slot; when
+        exhausted the slot gives up (the agent exits once every slot
+        has).  ``None`` (default) retries forever.
     idle_exit:
         When set, a slot that cannot reach the master (or sits unbound)
         for this many seconds gives up; the agent stops once every slot
@@ -80,6 +98,10 @@ class HostAgent:
         key: Optional[str] = None,
         context: str = "fork",
         reconnect_delay: float = 0.2,
+        reconnect_cap: float = 30.0,
+        reconnect_jitter: float = 0.1,
+        backoff_seed: int = 0,
+        max_redial: Optional[int] = None,
         idle_exit: Optional[float] = None,
     ):
         from multiprocessing import get_context
@@ -88,6 +110,10 @@ class HostAgent:
         self.slots = int(slots)
         self.key = key
         self.reconnect_delay = float(reconnect_delay)
+        self.reconnect_cap = float(reconnect_cap)
+        self.reconnect_jitter = float(reconnect_jitter)
+        self.backoff_seed = int(backoff_seed)
+        self.max_redial = max_redial
         self.idle_exit = idle_exit
         self.name = f"{socket.gethostname()}:{os.getpid()}"
         self._context = get_context(context)
@@ -96,6 +122,9 @@ class HostAgent:
         self._stop_event: Optional[threading.Event] = None
         self._done = threading.Event()
         self.workers_hosted = 0
+        #: ``(slot, consecutive_failures, delay)`` per backoff taken —
+        #: the regression surface for re-dial-storm tests.
+        self.backoff_history: list = []
         #: Reject reason when the master refused our registration; the
         #: whole agent stops (every slot shares the key, so retrying
         #: other slots could only be refused the same way).
@@ -165,6 +194,7 @@ class HostAgent:
         import asyncio
 
         idle_since = time.monotonic()
+        failures = 0
         while not self._stop_event.is_set():
             if (
                 self.idle_exit is not None
@@ -177,8 +207,35 @@ class HostAgent:
                 hosted = False
             if hosted:
                 idle_since = time.monotonic()
+                failures = 0
+            else:
+                failures += 1
+                if self.max_redial is not None and failures >= self.max_redial:
+                    return
             if not self._stop_event.is_set():
-                await asyncio.sleep(self.reconnect_delay)
+                await asyncio.sleep(self._redial_delay(slot, failures))
+
+    def _redial_delay(self, slot: int, failures: int) -> float:
+        """Pause before the next dial.
+
+        Exponential from ``reconnect_delay`` with deterministic seeded
+        jitter (the :func:`~repro.faults.recovery.backoff_delay` math
+        respawns already use), so an unreachable master sees a few
+        probes a minute, not a 5 Hz storm — and a fleet of agents with
+        distinct ``backoff_seed`` values spreads its probes instead of
+        dialing in lockstep.
+        """
+        if failures == 0:
+            return self.reconnect_delay
+        delay = backoff_delay(
+            failures,
+            self.reconnect_delay,
+            self.reconnect_cap,
+            self.reconnect_jitter,
+            jitter_seed=derive_seed(self.backoff_seed, slot, failures),
+        )
+        self.backoff_history.append((slot, failures, delay))
+        return delay
 
     async def _serve_once(self, slot: int) -> bool:
         """Dial, register, host at most one worker.  True if one ran."""
@@ -207,7 +264,14 @@ class HostAgent:
                 )
             )
             await writer.drain()
-            frame = await self._read_or_stop(reader)
+            while True:
+                frame = await self._read_or_stop(reader)
+                if not is_heartbeat(frame):
+                    break
+                # A ping can race the spawn frame right after the master
+                # binds this slot; ack it and keep waiting.
+                writer.write(encode_frame((HEARTBEAT_ACK_TAG, frame[1])))
+                await writer.drain()
             if frame is None:
                 return False
             if isinstance(frame, tuple) and frame[0] == "reject":
@@ -263,6 +327,10 @@ class HostAgent:
         child_conn.close()
 
         worker_eof = asyncio.Event()
+        # Worker -> master frames are sequence-stamped here, at the
+        # bridge, so master-side dedup can discard a duplicated or
+        # retried frame; the worker itself never sees sequence numbers.
+        out_sequencer = FrameSequencer()
 
         def pipe_readable() -> None:
             # Called by the loop whenever the worker's pipe has data
@@ -270,14 +338,14 @@ class HostAgent:
             try:
                 while parent_conn.poll(0):
                     message = parent_conn.recv()
-                    writer.write(encode_frame(message))
+                    writer.write(encode_frame(out_sequencer.stamp(message)))
             except (EOFError, ConnectionError, OSError):
                 worker_eof.set()
 
         loop.add_reader(parent_conn.fileno(), pipe_readable)
         try:
             socket_pump = asyncio.ensure_future(
-                self._pump_socket_to_pipe(reader, parent_conn)
+                self._pump_socket_to_pipe(reader, writer, parent_conn)
             )
             eof_wait = asyncio.ensure_future(worker_eof.wait())
             try:
@@ -305,15 +373,36 @@ class HostAgent:
             loop.remove_reader(parent_conn.fileno())
             self._reap(process, parent_conn)
 
-    async def _pump_socket_to_pipe(self, reader, parent_conn) -> None:
-        """Forward master frames ("configure" jobs, "stop") to the worker."""
+    async def _pump_socket_to_pipe(self, reader, writer, parent_conn) -> None:
+        """Forward master frames ("chunk"/"configure" commands, "stop")
+        to the worker.
+
+        Heartbeat pings are echoed straight back on the socket — the
+        worker pipe never carries them, so a busy (slow-but-alive)
+        worker still acks and liveness monitoring raises no false
+        positive.  Sequenced frames are deduplicated here so a
+        chaos-duplicated command can never run a chunk twice.
+        """
+        in_sequencer = FrameSequencer()
         while True:
             frame = await read_frame(reader)
+            if is_heartbeat(frame):
+                try:
+                    writer.write(
+                        encode_frame((HEARTBEAT_ACK_TAG, frame[1]))
+                    )
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    return
+                continue
+            accepted, message = in_sequencer.accept(frame)
+            if not accepted:
+                continue
             try:
-                parent_conn.send(frame)
+                parent_conn.send(message)
             except (BrokenPipeError, OSError):
                 return
-            if frame == "stop":
+            if message == "stop":
                 return
 
     def _reap(self, process, parent_conn) -> None:
@@ -356,7 +445,25 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--reconnect-delay", type=float, default=0.2,
-        help="seconds between dial attempts",
+        help="base seconds of the re-dial backoff",
+    )
+    parser.add_argument(
+        "--reconnect-cap", type=float, default=30.0,
+        help="ceiling of the exponential re-dial backoff",
+    )
+    parser.add_argument(
+        "--backoff-seed", type=int, default=0,
+        help=(
+            "seed for the deterministic re-dial jitter (give each "
+            "agent host a distinct value to spread probes)"
+        ),
+    )
+    parser.add_argument(
+        "--max-redial", type=int, default=None,
+        help=(
+            "give a slot up after this many consecutive failed dial "
+            "attempts (default: retry forever)"
+        ),
     )
     parser.add_argument(
         "--idle-exit", type=float, default=None,
@@ -373,6 +480,9 @@ def main(argv=None) -> int:
         key=options.transport_key,
         context=options.context,
         reconnect_delay=options.reconnect_delay,
+        reconnect_cap=options.reconnect_cap,
+        backoff_seed=options.backoff_seed,
+        max_redial=options.max_redial,
         idle_exit=options.idle_exit,
     )
     print(

@@ -59,9 +59,17 @@ from repro.faults.checkpoint import (
 )
 from repro.faults.injector import FaultInjector, InjectedFailure
 from repro.faults.plan import FaultPlan
-from repro.faults.recovery import RespawnPolicy, SeedLineage, derive_seed
+from repro.faults.recovery import (
+    RespawnPolicy,
+    SeedLineage,
+    SupervisionError,
+    SupervisionPolicy,
+    derive_seed,
+)
 from repro.parallel.protocol import (
     CAUSE_CORRUPT_PAYLOAD,
+    CAUSE_DEADLINE_EXCEEDED,
+    CAUSE_FLEET_EXHAUSTED,
     CAUSE_HEARTBEAT_TIMEOUT,
     CAUSE_INJECTED,
     CAUSE_PIPE_CLOSED,
@@ -76,10 +84,12 @@ from repro.parallel.protocol import (
     validate_report_payload,
 )
 from repro.parallel.transport import (
+    FrameError,
     LocalPipeTransport,
     Transport,
     TransportCapacityError,
     WorkerEndpoint,
+    disconnect_cause,
 )
 
 
@@ -393,6 +403,16 @@ class ParallelSimulation:
         A :class:`~repro.faults.recovery.RespawnPolicy` enabling
         automatic replacement of dead slaves, or ``None`` (default) to
         keep the detect-and-degrade behavior.
+    supervision:
+        A :class:`~repro.faults.recovery.SupervisionPolicy` governing
+        the run's fate as the fleet shrinks: a fleet floor
+        (``min_workers``), a degradation threshold (``degrade_below``),
+        and a measurement-phase wall-clock ``deadline``.  Violations
+        raise :class:`~repro.faults.recovery.SupervisionError` with a
+        machine-readable cause, or — with ``on_exhausted="continue"``
+        — let the run finish ``degraded=True`` with whatever survives.
+        ``None`` (default) keeps the historical behavior: run until
+        every slave is dead, flag any unreplaced death degraded.
     fault_plan:
         A :class:`~repro.faults.plan.FaultPlan` of injected failures
         for chaos runs, or ``None``.
@@ -425,6 +445,7 @@ class ParallelSimulation:
         max_chunk_size: Optional[int] = None,
         round_timeout: Optional[float] = 600.0,
         respawn: Optional[RespawnPolicy] = None,
+        supervision: Optional[SupervisionPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
         checkpoint_path=None,
         checkpoint_interval: int = 1,
@@ -470,6 +491,7 @@ class ParallelSimulation:
         )
         self.round_timeout = round_timeout
         self.respawn = respawn
+        self.supervision = supervision
         self.fault_plan = fault_plan
         self.checkpoint_path = checkpoint_path
         self.checkpoint_interval = checkpoint_interval
@@ -709,6 +731,69 @@ class ParallelSimulation:
                 total += 1
         return chosen
 
+    # -- supervision --------------------------------------------------------------
+
+    def _enforce_fleet(self, survivors: int, rounds: int) -> None:
+        """Abort (typed) when the fleet fell below what the run needs.
+
+        Called after each round's deaths and respawns have settled.
+        Without a supervision policy this keeps the historical contract:
+        zero survivors is fatal, anything else continues.
+        """
+        policy = self.supervision
+        if survivors == 0:
+            if policy is not None:
+                raise SupervisionError(
+                    f"every slave has died ({self.n_slaves} started, "
+                    f"last loss in round {rounds}); no survivors to "
+                    "finish the run",
+                    cause=CAUSE_FLEET_EXHAUSTED,
+                )
+            raise ParallelError(
+                f"every slave has died ({self.n_slaves} started, "
+                f"last loss in round {rounds}); no survivors to "
+                "finish the run"
+            )
+        if policy is None or policy.fleet_ok(survivors):
+            return
+        if policy.on_exhausted == "abort":
+            raise SupervisionError(
+                f"fleet fell to {survivors} live slave(s) in round "
+                f"{rounds}, below min_workers={policy.min_workers}",
+                cause=CAUSE_FLEET_EXHAUSTED,
+            )
+        self._trace_event(
+            "fleet_below_minimum", survivors=survivors, round=rounds,
+            min_workers=policy.min_workers,
+        )
+
+    def _deadline_exceeded(self, measure_started: float, rounds: int) -> bool:
+        """Whether the supervision deadline has passed (and abort if so).
+
+        Returns True to tell the caller to stop cleanly (``"continue"``:
+        finish with the merged-so-far state flagged degraded); raises
+        :class:`SupervisionError` under ``"abort"``.  The clock starts
+        at the measurement phase, so calibration cost never eats the
+        budget.
+        """
+        policy = self.supervision
+        if policy is None or policy.deadline is None:
+            return False
+        elapsed = time.monotonic() - measure_started
+        if elapsed <= policy.deadline:
+            return False
+        if policy.on_exhausted == "abort":
+            raise SupervisionError(
+                f"run exceeded its deadline ({elapsed:.1f}s > "
+                f"{policy.deadline:.1f}s) after {rounds} round(s)",
+                cause=CAUSE_DEADLINE_EXCEEDED,
+            )
+        self._trace_event(
+            "deadline_stop", round=rounds, elapsed=elapsed,
+            deadline=policy.deadline,
+        )
+        return True
+
     # -- checkpointing -----------------------------------------------------------
 
     def _checkpoint_state(
@@ -878,7 +963,14 @@ class ParallelSimulation:
         rounds: int,
         reports: List[SlaveReport],
         dead: List[int],
+        force_degraded: bool = False,
     ) -> ParallelResult:
+        if self.supervision is not None:
+            degraded = force_degraded or self.supervision.is_degraded(
+                self.n_slaves - len(dead), len(dead)
+            )
+        else:
+            degraded = force_degraded or bool(dead)
         return ParallelResult(
             estimates=self._estimates(merged, targets, converged),
             converged=converged,
@@ -900,7 +992,7 @@ class ParallelSimulation:
                 if any(report.digest is not None for report in reports)
                 else None
             ),
-            degraded=bool(dead),
+            degraded=degraded,
             dead_slaves=sorted(dead),
             failure_causes={
                 slave_id: book.causes[slave_id] for slave_id in sorted(dead)
@@ -964,7 +1056,12 @@ class ParallelSimulation:
             if resume is not None
             else False
         )
+        measure_started = time.monotonic()
+        deadline_stopped = False
         while rounds < self.max_rounds and not converged:
+            if self._deadline_exceeded(measure_started, rounds):
+                deadline_stopped = True
+                break
             rounds += 1
             chunk = self._round_chunk(rounds)
             self._trace_scheduled_faults(rounds)
@@ -1034,17 +1131,13 @@ class ParallelSimulation:
                         generation=book.generation[slave_id],
                         seed=book.seed[slave_id],
                     )
-            if not slaves:
-                raise ParallelError(
-                    f"every slave has died ({self.n_slaves} started, "
-                    f"last loss in round {rounds}); no survivors to "
-                    "finish the run"
-                )
+            self._enforce_fleet(len(slaves), rounds)
             self._maybe_checkpoint(
                 book, schemes, targets, merged, rounds, dead
             )
         return self._result(
-            book, merged, targets, converged, rounds, reports, dead
+            book, merged, targets, converged, rounds, reports, dead,
+            force_degraded=deadline_stopped,
         )
 
     def _check_replay(self, book: _RunBook, slave_id: int, baseline) -> None:
@@ -1139,7 +1232,10 @@ class ParallelSimulation:
             if not pipe.poll(remaining):
                 return ("timeout", None)
             return ("ok", pipe.recv())
-        except (EOFError, ConnectionResetError, BrokenPipeError, OSError):
+        except (
+            FrameError, EOFError, ConnectionResetError,
+            BrokenPipeError, OSError,
+        ):
             return ("eof", None)
 
     def _spawn_process_slave(
@@ -1203,6 +1299,8 @@ class ParallelSimulation:
             if resume is not None
             else False
         )
+        measure_started = time.monotonic()
+        deadline_stopped = False
 
         def drop_slave(slave_id: int) -> None:
             """Forget a dead/condemned slave's endpoint and reap it."""
@@ -1231,6 +1329,9 @@ class ParallelSimulation:
                         )
                     self._check_replay(book, slave_id, baseline)
             while rounds < self.max_rounds and not converged:
+                if self._deadline_exceeded(measure_started, rounds):
+                    deadline_stopped = True
+                    break
                 rounds += 1
                 chunk = self._round_chunk(rounds)
                 self._trace_scheduled_faults(rounds)
@@ -1296,15 +1397,18 @@ class ParallelSimulation:
                         try:
                             received[slave_id] = endpoint.recv()
                         except (
-                            EOFError, ConnectionResetError,
+                            FrameError, EOFError, ConnectionResetError,
                             BrokenPipeError, OSError,
-                        ):
+                        ) as error:
                             # A dead slave closes (EOFError) or resets
                             # its pipe end; without this the master
                             # would block forever after a partial round.
+                            # Liveness timeouts and corrupt frames keep
+                            # their own cause codes.
                             self._mark_dead(
                                 book, slave_id, rounds,
-                                CAUSE_PIPE_CLOSED, quota,
+                                disconnect_cause(error, CAUSE_PIPE_CLOSED),
+                                quota,
                             )
                             dead_this_round.append(slave_id)
                 # Validate and merge in slave-id order regardless of
@@ -1346,7 +1450,7 @@ class ParallelSimulation:
                             # this round are already merged, so the wait
                             # delays the next round start uniformly; it
                             # never stalls an individual slave's recv.
-                            time.sleep(delay)
+                            time.sleep(delay)  # simlint: disable=blocking-sleep-in-transport
                         book.respawn(slave_id)
                         try:
                             slaves[slave_id] = self._spawn_process_slave(
@@ -1372,12 +1476,7 @@ class ParallelSimulation:
                             seed=book.seed[slave_id],
                             backoff=delay,
                         )
-                if not slaves:
-                    raise ParallelError(
-                        f"every slave has died ({self.n_slaves} started, "
-                        f"last loss in round {rounds}); no survivors to "
-                        "finish the run"
-                    )
+                self._enforce_fleet(len(slaves), rounds)
                 self._maybe_checkpoint(
                     book, schemes, targets, merged, rounds, dead
                 )
@@ -1388,5 +1487,6 @@ class ParallelSimulation:
             if self.transport is None:
                 transport.close()
         return self._result(
-            book, merged, targets, converged, rounds, reports, dead
+            book, merged, targets, converged, rounds, reports, dead,
+            force_degraded=deadline_stopped,
         )

@@ -50,9 +50,16 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.faults.injector import KILL_EXIT_STATUS
 from repro.faults.plan import FaultPlan, FaultSpec
-from repro.faults.recovery import RespawnPolicy, derive_seed
+from repro.faults.recovery import (
+    RespawnPolicy,
+    SupervisionError,
+    SupervisionPolicy,
+    derive_seed,
+)
 from repro.parallel.protocol import (
     CAUSE_CORRUPT_PAYLOAD,
+    CAUSE_DEADLINE_EXCEEDED,
+    CAUSE_FLEET_EXHAUSTED,
     CAUSE_HEARTBEAT_TIMEOUT,
     CAUSE_PIPE_CLOSED,
     CAUSE_SEND_FAILED,
@@ -60,10 +67,12 @@ from repro.parallel.protocol import (
     ParallelError,
 )
 from repro.parallel.transport import (
+    FrameError,
     LocalPipeTransport,
     Transport,
     TransportCapacityError,
     WorkerEndpoint,
+    disconnect_cause,
 )
 
 
@@ -134,7 +143,8 @@ def _pool_worker_main(conn, worker_id, runner, faults=()):
             os._exit(KILL_EXIT_STATUS)
         hang = _find_fault(faults, rounds, "hang")
         if hang is not None:
-            time.sleep(hang.delay)
+            # Worker-side injected hang: blocking is the fault itself.
+            time.sleep(hang.delay)  # simlint: disable=blocking-sleep-in-transport
         try:
             payload = runner(job)
         except Exception as error:  # simlint: disable=swallow-exception
@@ -202,6 +212,16 @@ class WorkerPool:
     fault_plan:
         Injected failures for chaos runs; specs address
         ``(worker id, generation, n-th configure)``.
+    supervision:
+        A :class:`~repro.faults.recovery.SupervisionPolicy` for the
+        sweep: a fleet floor (counting live workers, scheduled
+        respawns, and — for elastic transports — rejoinable slots) and
+        a per-``map`` wall-clock deadline.  The deadline always raises
+        :class:`~repro.faults.recovery.SupervisionError` (a partial
+        sweep is not a meaningful result); the fleet floor raises under
+        ``on_exhausted="abort"`` and presses on with the survivors
+        under ``"continue"``.  ``None`` (default) keeps the historical
+        behavior: the sweep finishes on any nonzero fleet.
     validate:
         Optional master-side ``validate(job, payload) -> Optional[str]``
         returning a rejection reason; a rejected result condemns the
@@ -228,6 +248,7 @@ class WorkerPool:
         job_timeout: Optional[float] = 600.0,
         respawn: Optional[RespawnPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        supervision: Optional[SupervisionPolicy] = None,
         validate: Optional[Callable[[dict, dict], Optional[str]]] = None,
         tracer=None,
         context: str = "fork",
@@ -246,6 +267,7 @@ class WorkerPool:
         self.job_timeout = job_timeout
         self.respawn = respawn
         self.fault_plan = fault_plan
+        self.supervision = supervision
         self.validate = validate
         self.tracer = tracer
         self._owns_transport = transport is None
@@ -263,6 +285,7 @@ class WorkerPool:
         #: Slots waiting for an elastic join (never permanently dead).
         self._unbound: Set[int] = set()
         self._started = False
+        self._below_min_traced = False
         self.stats = PoolStats(n_workers=n_workers)
 
     # -- lifecycle -----------------------------------------------------------
@@ -401,7 +424,7 @@ class WorkerPool:
             if delay > 0:
                 # The fleet is empty, so waiting out the earliest
                 # backoff stalls nobody.
-                time.sleep(delay)
+                time.sleep(delay)  # simlint: disable=blocking-sleep-in-transport
                 return True
             if self.transport.capacity() > 0:
                 return True
@@ -411,6 +434,53 @@ class WorkerPool:
                 return True
             return self.transport.wait_for_capacity(self.join_timeout)
         return False
+
+    # -- supervision ---------------------------------------------------------
+
+    def _effective_workers(self) -> int:
+        """Workers that can still contribute: live + scheduled respawns
+        + (elastic only) slots an agent could rejoin."""
+        effective = len(self._workers) + len(self._respawn_at)
+        if self.transport.elastic:
+            effective += len(self._unbound)
+        return effective
+
+    def _enforce_supervision(self, map_started: float) -> None:
+        """Deadline and fleet-floor checks, once per scheduling turn.
+
+        A raised :class:`SupervisionError` leaves in-flight reports
+        undrained — call :meth:`shutdown` before reusing the pool.
+        """
+        policy = self.supervision
+        if policy is None:
+            return
+        if policy.deadline is not None:
+            elapsed = time.monotonic() - map_started
+            if elapsed > policy.deadline:
+                raise SupervisionError(
+                    f"sweep exceeded its deadline ({elapsed:.1f}s > "
+                    f"{policy.deadline:.1f}s) with "
+                    f"{self.stats.jobs_completed} job(s) completed",
+                    cause=CAUSE_DEADLINE_EXCEEDED,
+                )
+        effective = self._effective_workers()
+        if policy.fleet_ok(effective):
+            self._below_min_traced = False
+            return
+        if policy.on_exhausted == "abort":
+            raise SupervisionError(
+                f"pool fleet fell to {effective} effective worker(s), "
+                f"below min_workers={policy.min_workers}; causes: "
+                f"{self.stats.failure_causes}",
+                cause=CAUSE_FLEET_EXHAUSTED,
+            )
+        if not self._below_min_traced:
+            self._below_min_traced = True
+            self._trace(
+                "fleet_below_minimum",
+                effective=effective,
+                min_workers=policy.min_workers,
+            )
 
     # -- failure handling ----------------------------------------------------
 
@@ -514,10 +584,13 @@ class WorkerPool:
                 try:
                     endpoint.recv()
                 except (
-                    EOFError, ConnectionResetError, BrokenPipeError, OSError,
-                ):
+                    FrameError, EOFError, ConnectionResetError,
+                    BrokenPipeError, OSError,
+                ) as error:
                     self._condemn(
-                        worker_id, self._eof_cause(), pending, busy
+                        worker_id,
+                        disconnect_cause(error, self._eof_cause()),
+                        pending, busy,
                     )
                     continue
                 # Whatever the worker reported — result or error — the
@@ -543,8 +616,10 @@ class WorkerPool:
         pending: deque = deque(jobs)
         busy: Dict[int, tuple] = {}  # worker -> ((job_id, payload), deadline)
         results: Dict[object, dict] = {}
+        map_started = time.monotonic()
         while pending or busy:
             self._admit_capacity()
+            self._enforce_supervision(map_started)
             if not self._workers:
                 if busy:  # pragma: no cover - invariant guard
                     raise PoolError("busy workers without endpoints")
@@ -635,10 +710,13 @@ class WorkerPool:
                 try:
                     message = endpoint.recv()
                 except (
-                    EOFError, ConnectionResetError, BrokenPipeError, OSError,
-                ):
+                    FrameError, EOFError, ConnectionResetError,
+                    BrokenPipeError, OSError,
+                ) as error:
                     self._condemn(
-                        worker_id, self._eof_cause(), pending, busy
+                        worker_id,
+                        disconnect_cause(error, self._eof_cause()),
+                        pending, busy,
                     )
                     continue
                 tag = message[0] if isinstance(message, tuple) else None

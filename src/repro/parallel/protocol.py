@@ -56,6 +56,19 @@ CAUSE_INJECTED = "injected fault"
 #: An elastic-transport worker's connection dropped — its host agent
 #: left the fleet (or died); the slot returns to the join queue.
 CAUSE_WORKER_LEFT = "worker left"
+#: Heartbeat monitoring declared the connection dead: no frame and no
+#: heartbeat ack within ``heartbeat_interval * heartbeat_misses``
+#: seconds — the half-open-partition signature (a clean death closes
+#: the socket and surfaces as ``pipe closed`` instead).
+CAUSE_LIVENESS_TIMEOUT = "liveness timeout"
+#: A wire frame from the worker failed to decode (corrupt length
+#: prefix, truncation, or undecodable pickle).
+CAUSE_CORRUPT_FRAME = "corrupt frame"
+#: A SupervisionPolicy aborted the run: the fleet fell below
+#: ``min_workers``.
+CAUSE_FLEET_EXHAUSTED = "fleet below minimum"
+#: A SupervisionPolicy aborted the run: the overall deadline passed.
+CAUSE_DEADLINE_EXCEEDED = "deadline exceeded"
 
 
 def validate_report_payload(

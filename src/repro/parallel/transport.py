@@ -54,7 +54,11 @@ import time
 from collections import deque
 from typing import Deque, List, Optional, Sequence, Set, Tuple
 
-from repro.parallel.protocol import ParallelError
+from repro.parallel.protocol import (
+    CAUSE_CORRUPT_FRAME,
+    CAUSE_LIVENESS_TIMEOUT,
+    ParallelError,
+)
 
 
 class TransportError(ParallelError):
@@ -63,6 +67,33 @@ class TransportError(ParallelError):
 
 class TransportCapacityError(TransportError):
     """No worker capacity is available (yet) to satisfy a spawn."""
+
+
+class FrameError(TransportError):
+    """A wire frame could not be decoded (corrupt prefix / truncation /
+    undecodable pickle).
+
+    Carries the ``worker_id`` of the endpoint the frame arrived on when
+    known, so the master can attribute the death (cause
+    ``"corrupt frame"``) without parsing the message.  Subclasses
+    :class:`TransportError`, so handlers catching the transport family
+    keep working — but it is *not* an ``EOFError``/``OSError``, so the
+    recv paths in master/pool name it explicitly.
+    """
+
+    def __init__(self, message: str, worker_id: Optional[int] = None):
+        super().__init__(message)
+        self.worker_id = worker_id
+
+
+class LivenessError(EOFError):
+    """A connection was declared dead by heartbeat monitoring.
+
+    Subclasses ``EOFError`` so every existing pipe-death handler treats
+    it as a worker death; the distinct type lets those handlers
+    attribute the cause ``"liveness timeout"`` instead of the generic
+    ``"pipe closed"``.
+    """
 
 
 # -- framing ------------------------------------------------------------------
@@ -86,11 +117,32 @@ def encode_frame(message: object) -> bytes:
     return FRAME_HEADER.pack(len(payload)) + payload
 
 
+def decode_payload(payload: bytes, worker_id: Optional[int] = None) -> object:
+    """Unpickle one frame payload, never letting decode errors escape raw.
+
+    Every failure mode of ``pickle.loads`` on hostile/corrupt bytes —
+    ``UnpicklingError``, truncated-stream ``EOFError``, bogus opcode
+    ``ValueError``/``AttributeError``/``ImportError``, even
+    ``MemoryError`` from a corrupt embedded length — surfaces as one
+    typed :class:`FrameError` the callers already route to a worker
+    death.
+    """
+    try:
+        return pickle.loads(payload)
+    except Exception as error:
+        raise FrameError(
+            f"undecodable frame payload ({type(error).__name__}: {error})",
+            worker_id=worker_id,
+        ) from None
+
+
 async def read_frame(reader) -> object:
     """Read one length-prefixed pickle frame from an asyncio stream.
 
     Raises ``EOFError`` on a cleanly closed stream and
-    :class:`TransportError` on a malformed prefix.
+    :class:`FrameError` on any of the three corruption shapes: a
+    length prefix beyond the frame bound, a truncated header/payload,
+    or a payload that does not decode.
     """
     import asyncio
 
@@ -99,18 +151,129 @@ async def read_frame(reader) -> object:
     except asyncio.IncompleteReadError as error:
         if not error.partial:
             raise EOFError("stream closed") from None
-        raise TransportError("truncated frame header") from None
+        raise FrameError("truncated frame header") from None
     (length,) = FRAME_HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
-        raise TransportError(
+        raise FrameError(
             f"frame of {length} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte bound (corrupt prefix?)"
         )
     try:
         payload = await reader.readexactly(length)
     except asyncio.IncompleteReadError:
-        raise TransportError("truncated frame payload") from None
-    return pickle.loads(payload)
+        raise FrameError("truncated frame payload") from None
+    return decode_payload(payload)
+
+
+# -- sequencing and liveness frames -------------------------------------------
+#
+# Data frames on connection-oriented transports are wrapped as
+# ``("__seq__", n, message)`` with ``n`` counting from 1 per connection
+# per direction.  The receiving side drops any frame whose sequence
+# number does not advance, so a retried or chaos-duplicated send can
+# never deliver (and the master can never double-merge) the same report
+# twice.  Heartbeat frames — ``("__hb__", n)`` pings from the master,
+# ``("__hb_ack__", n)`` echoes from the agent bridge — are unsequenced
+# and are consumed below the endpoint surface: they never reach the
+# worker pipe or the master inbox, so they are invisible to digests.
+
+SEQ_TAG = "__seq__"
+HEARTBEAT_TAG = "__hb__"
+HEARTBEAT_ACK_TAG = "__hb_ack__"
+
+#: ``_AgentChannel.close_reason`` values recv maps to typed errors.
+CLOSE_LIVENESS = "liveness timeout"
+CLOSE_CORRUPT = "corrupt frame"
+
+
+def is_sequenced(frame: object) -> bool:
+    """True for a ``("__seq__", n, message)`` data frame."""
+    return (
+        isinstance(frame, tuple)
+        and len(frame) == 3
+        and frame[0] == SEQ_TAG
+    )
+
+
+def is_heartbeat(frame: object) -> bool:
+    """True for a master->agent heartbeat ping."""
+    return (
+        isinstance(frame, tuple)
+        and len(frame) == 2
+        and frame[0] == HEARTBEAT_TAG
+    )
+
+
+def is_heartbeat_ack(frame: object) -> bool:
+    """True for an agent->master heartbeat echo."""
+    return (
+        isinstance(frame, tuple)
+        and len(frame) == 2
+        and frame[0] == HEARTBEAT_ACK_TAG
+    )
+
+
+class FrameSequencer:
+    """Per-connection, per-direction sequence stamping and dedup.
+
+    One instance per side per direction.  :meth:`stamp` wraps an
+    outbound message under the next number; :meth:`accept` unwraps an
+    inbound frame, dropping it when its number does not advance past
+    the last accepted one (an unsequenced frame — control traffic,
+    local-pipe messages — always passes through untouched).
+    """
+
+    def __init__(self) -> None:
+        self._next_out = 0
+        self._last_in = 0
+
+    def stamp(self, message: object) -> tuple:
+        self._next_out += 1
+        return (SEQ_TAG, self._next_out, message)
+
+    def accept(self, frame: object):
+        """``(accepted, message)``; ``(False, None)`` for a duplicate."""
+        if not is_sequenced(frame):
+            return True, frame
+        seq = frame[1]
+        if not isinstance(seq, int) or seq <= self._last_in:
+            return False, None
+        self._last_in = seq
+        return True, frame[2]
+
+
+def raise_for_close(close_reason: Optional[str], worker_id: int) -> None:
+    """Raise the typed end-of-channel error for a closed channel.
+
+    The exception family is part of the endpoint contract: liveness
+    deaths and clean closes are ``EOFError`` shapes, corrupt frames are
+    the :class:`FrameError` the callers name explicitly.
+    """
+    if close_reason == CLOSE_LIVENESS:
+        raise LivenessError(
+            f"worker {worker_id} declared dead by heartbeat monitoring"
+        )
+    if close_reason == CLOSE_CORRUPT:
+        raise FrameError(
+            f"worker {worker_id} connection closed after a corrupt frame",
+            worker_id=worker_id,
+        )
+    raise EOFError(f"worker {worker_id} connection closed")
+
+
+def disconnect_cause(error: BaseException, fallback: str) -> str:
+    """Machine-readable cause code for one recv/send failure.
+
+    Master and pool route every worker-death exception through here so
+    a liveness timeout or corrupt frame keeps its specific attribution
+    while ordinary pipe deaths keep the caller's historical fallback
+    (``pipe closed`` / ``worker left``).
+    """
+    if isinstance(error, LivenessError):
+        return CAUSE_LIVENESS_TIMEOUT
+    if isinstance(error, FrameError):
+        return CAUSE_CORRUPT_FRAME
+    return fallback
 
 
 # -- fork hygiene --------------------------------------------------------------
@@ -219,6 +382,52 @@ class WorkerEndpoint:
     def describe(self) -> dict:
         """Trace-friendly description of the far end."""
         raise NotImplementedError
+
+    # -- frame-level hooks (chaos / retry layers) ---------------------------
+    #
+    # ``send`` is ``send_frame(stamp(message))``.  The split exists so a
+    # wrapping layer (ChaosTransport) can stamp a message once and send
+    # the *same* stamped frame twice — exercising receiver-side dedup —
+    # or hold a stamped frame back and deliver it late.  Transports
+    # without wire framing (local pipes) pass messages through
+    # unstamped; ``FrameSequencer.accept`` is a no-op on those.
+
+    def stamp(self, message: object) -> object:
+        """Wrap one outbound message under the next sequence number."""
+        return message
+
+    def send_frame(self, frame: object) -> None:
+        """Send one already-stamped frame verbatim."""
+        self.send(frame)
+
+    def recv_raw(self) -> object:
+        """Receive one frame *without* sequence unwrap/dedup."""
+        return self.recv()
+
+    def set_raw_delivery(self, raw: bool) -> bool:
+        """Route inbound frames to :meth:`recv_raw` undeduplicated.
+
+        Returns False when the transport has no frame layer to expose
+        (local pipes); the caller then skips frame-level faults.
+        """
+        return False
+
+    def set_partition(self, direction: str) -> bool:
+        """Silently blackhole one direction (``"in"`` = worker->master,
+        ``"out"`` = master->worker) *below* the heartbeat layer, so
+        liveness monitoring genuinely detects the half-open link.
+        Returns False when unsupported.
+        """
+        return False
+
+    def inject_close(self, reason: Optional[str] = None) -> bool:
+        """Tear the connection down as an injected fault would.
+
+        ``reason`` becomes the channel close reason (``None`` = plain
+        EOF, like a crashed agent process).  Returns False when
+        unsupported.
+        """
+        return False
 
 
 class Transport:
@@ -354,7 +563,8 @@ class LocalPipeTransport(Transport):
 
         if not endpoints:
             if timeout:
-                time.sleep(timeout)
+                # Nothing to multiplex: honoring the timeout IS the wait.
+                time.sleep(timeout)  # simlint: disable=blocking-sleep-in-transport
             return []
         ready = _wait_ready(
             [endpoint.conn for endpoint in endpoints], timeout=timeout
@@ -405,17 +615,40 @@ class _AgentChannel:
         self.transport = transport
         self.inbox: Deque[object] = deque()
         self.closed = False
+        #: Why the channel closed, when more specific than a plain EOF
+        #: (see CLOSE_LIVENESS / CLOSE_CORRUPT).
+        self.close_reason: Optional[str] = None
         #: (worker_id, generation) once bound, else None (in the lobby).
         self.bound: Optional[Tuple[int, int]] = None
+        #: Inbound dedup; disabled (raw delivery) by a chaos wrapper
+        #: that performs its own dedup after injecting faults.
+        self.dedup = True
+        self.sequencer = FrameSequencer()
+        #: Monotonic time of the last life sign (any inbound frame).
+        self.last_ack = time.monotonic()
+        #: Half-open partition injection: ``blackhole_in`` silently
+        #: discards everything the agent sends (acks included);
+        #: ``blackhole_out`` discards everything written to the agent
+        #: (pings included).  Both sit below the heartbeat layer.
+        self.blackhole_in = False
+        self.blackhole_out = False
 
     # Called from the asyncio loop thread.
     def push(self, frame: object) -> None:
         with self.transport._cond:
-            self.inbox.append(frame)
+            if self.dedup:
+                accepted, message = self.sequencer.accept(frame)
+                if not accepted:
+                    return
+                self.inbox.append(message)
+            else:
+                self.inbox.append(frame)
             self.transport._cond.notify_all()
 
-    def mark_closed(self) -> None:
+    def mark_closed(self, reason: Optional[str] = None) -> None:
         with self.transport._cond:
+            if reason is not None and self.close_reason is None:
+                self.close_reason = reason
             self.closed = True
             self.transport._cond.notify_all()
 
@@ -427,24 +660,50 @@ class RemoteEndpoint(WorkerEndpoint):
         self.channel = channel
         self.worker_id = worker_id
         self.generation = generation
+        self._out_sequencer = FrameSequencer()
 
-    def send(self, message: object) -> None:
+    def stamp(self, message: object) -> object:
+        return self._out_sequencer.stamp(message)
+
+    def send_frame(self, frame: object) -> None:
         if self.channel.closed:
             raise BrokenPipeError(
                 f"remote worker {self.worker_id} connection is closed"
             )
-        self.channel.transport._send_async(self.channel, message)
+        self.channel.transport._send_async(self.channel, frame)
+
+    def send(self, message: object) -> None:
+        self.send_frame(self.stamp(message))
 
     def recv(self) -> object:
+        return self.recv_raw()
+
+    def recv_raw(self) -> object:
         cond = self.channel.transport._cond
         with cond:
             while not self.channel.inbox and not self.channel.closed:
                 cond.wait()
             if self.channel.inbox:
                 return self.channel.inbox.popleft()
-        raise EOFError(
-            f"remote worker {self.worker_id} connection closed"
-        )
+        raise_for_close(self.channel.close_reason, self.worker_id)
+
+    def set_raw_delivery(self, raw: bool) -> bool:
+        with self.channel.transport._cond:
+            self.channel.dedup = not raw
+        return True
+
+    def set_partition(self, direction: str) -> bool:
+        with self.channel.transport._cond:
+            if direction == "in":
+                self.channel.blackhole_in = True
+            else:
+                self.channel.blackhole_out = True
+        return True
+
+    def inject_close(self, reason: Optional[str] = None) -> bool:
+        self.channel.mark_closed(reason)
+        self.channel.transport._close_channel(self.channel)
+        return True
 
     def poll(self, timeout: Optional[float] = None) -> bool:
         cond = self.channel.transport._cond
@@ -495,6 +754,16 @@ class RemoteTransport(Transport):
         Optional shared secret agents must echo in their hello; a
         mismatched registration is rejected.  Fleet-hygiene only — the
         wire is pickle, so run on trusted networks.
+    heartbeat_interval / heartbeat_misses:
+        When ``heartbeat_interval`` is set, the transport pings every
+        *bound* channel each interval and the agent bridge echoes each
+        ping without involving the worker.  A channel silent (no frame,
+        no ack) for ``interval * misses`` seconds is declared dead with
+        reason ``"liveness timeout"`` — so a half-open connection
+        (packets silently dropped one way, no FIN ever) surfaces in
+        seconds instead of stalling a round to its deadline.  Heartbeat
+        traffic never reaches the worker pipe or the master inbox, so
+        digests are unaffected.
     """
 
     kind = "remote"
@@ -505,11 +774,24 @@ class RemoteTransport(Transport):
         host: str = "127.0.0.1",
         port: int = 0,
         key: Optional[str] = None,
+        heartbeat_interval: Optional[float] = None,
+        heartbeat_misses: int = 3,
     ):
         super().__init__()
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise TransportError(
+                f"heartbeat_interval must be > 0 or None, "
+                f"got {heartbeat_interval}"
+            )
+        if heartbeat_misses < 1:
+            raise TransportError(
+                f"heartbeat_misses must be >= 1, got {heartbeat_misses}"
+            )
         self.host = host
         self.port = port
         self.key = key
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_misses = heartbeat_misses
         #: (host, port) actually bound, set by :meth:`start`.
         self.address: Optional[Tuple[str, int]] = None
         self._cond = threading.Condition()
@@ -544,6 +826,8 @@ class RemoteTransport(Transport):
                     self.address = sock.getsockname()[:2]
                     for listener in self._server.sockets:
                         register_fork_unsafe_fd(listener.fileno())
+                    if self.heartbeat_interval is not None:
+                        loop.create_task(self._heartbeat_loop())
                 except BaseException as error:
                     self._startup_error = error
                 finally:
@@ -604,8 +888,10 @@ class RemoteTransport(Transport):
             register_fork_unsafe_fd(fd)
         try:
             hello = await asyncio.wait_for(read_frame(reader), timeout=30.0)
-        except (asyncio.TimeoutError, EOFError, TransportError,
-                ConnectionError, OSError):
+        except (asyncio.TimeoutError, asyncio.CancelledError, EOFError,
+                TransportError, ConnectionError, OSError):
+            # CancelledError: listener teardown raced this handshake;
+            # finish the task cleanly so the loop does not log it.
             self._close_writer(writer)
             return
         if not (
@@ -667,8 +953,32 @@ class RemoteTransport(Transport):
         try:
             while True:
                 frame = await read_frame(reader)
+                if channel.blackhole_in:
+                    # Injected half-open partition: the agent's bytes
+                    # (data and heartbeat acks alike) vanish without a
+                    # FIN, exactly like a silently dropped route.
+                    continue
+                channel.last_ack = time.monotonic()
+                if is_heartbeat_ack(frame):
+                    continue
                 channel.push(frame)
+        except FrameError as error:
+            # Attribute the corruption to the bound worker before the
+            # generic close path runs: recv surfaces it as a typed
+            # FrameError instead of a bare EOF.
+            channel.mark_closed(CLOSE_CORRUPT)
+            self._trace(
+                "corrupt_frame",
+                agent=channel.info.get("agent"),
+                bound=channel.bound,
+                error=str(error),
+            )
         except (EOFError, TransportError, ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # Listener teardown cancelled the reader mid-await: end the
+            # task normally (the finally below closes the channel) so
+            # asyncio's stream callback does not log the cancellation.
             pass
         finally:
             channel.mark_closed()
@@ -683,11 +993,55 @@ class RemoteTransport(Transport):
             )
 
     async def _write_channel(self, channel: _AgentChannel, message) -> None:
+        if channel.blackhole_out:
+            # Injected half-open partition, outbound leg: frames (and
+            # heartbeat pings) are dropped on the floor, never erroring.
+            return
         try:
             channel.writer.write(encode_frame(message))
             await channel.writer.drain()
         except (ConnectionError, OSError):
             channel.mark_closed()
+
+    async def _heartbeat_loop(self) -> None:
+        """Ping bound channels; declare the silent ones dead.
+
+        Runs on the transport's asyncio loop.  Pings are addressed only
+        to *bound* channels (lobby slots are idle by design), and a
+        channel whose last life sign — ack or any data frame — is older
+        than ``interval * misses`` is closed with reason
+        ``"liveness timeout"``, which recv maps to
+        :class:`LivenessError`.
+        """
+        import asyncio
+
+        sequence = 0
+        window = self.heartbeat_interval * self.heartbeat_misses
+        while True:
+            await asyncio.sleep(self.heartbeat_interval)
+            sequence += 1
+            now = time.monotonic()
+            with self._cond:
+                bound = [
+                    channel
+                    for channel in self._channels
+                    if not channel.closed and channel.bound is not None
+                ]
+            for channel in bound:
+                if now - channel.last_ack > window:
+                    channel.mark_closed(CLOSE_LIVENESS)
+                    self._close_writer(channel.writer)
+                    self._trace(
+                        "liveness_timeout",
+                        agent=channel.info.get("agent"),
+                        slot=channel.info.get("slot"),
+                        bound=channel.bound,
+                        silent_for=now - channel.last_ack,
+                    )
+                else:
+                    await self._write_channel(
+                        channel, (HEARTBEAT_TAG, sequence)
+                    )
 
     def _send_async(self, channel: _AgentChannel, message) -> None:
         """Queue one outbound frame from the scheduling thread."""
@@ -761,6 +1115,9 @@ class RemoteTransport(Transport):
                     )
                 self._cond.wait(remaining)
             channel.bound = (worker_id, generation)
+            # The liveness window opens at bind: a slot may have sat in
+            # the lobby far longer than interval * misses.
+            channel.last_ack = time.monotonic()
         self._send_async(
             channel, ("spawn", worker_id, generation, entry, tuple(args))
         )

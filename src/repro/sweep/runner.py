@@ -280,6 +280,11 @@ class SweepRunner:
     respawn / fault_plan / job_timeout:
         Pool-backend fault tolerance, passed through to
         :class:`~repro.parallel.pool.WorkerPool`.
+    supervision:
+        Optional :class:`~repro.faults.SupervisionPolicy` for the pool
+        backends: a fleet floor (abort or continue degraded) and a
+        sweep-wide deadline (always aborts — a partial sweep is not a
+        meaningful result).  Passed through to :class:`WorkerPool`.
     pool:
         An existing started :class:`WorkerPool` to schedule onto (kept
         alive across sweeps); the runner then ignores ``jobs`` /
@@ -308,6 +313,7 @@ class SweepRunner:
         force: bool = False,
         respawn=None,
         fault_plan=None,
+        supervision=None,
         job_timeout: Optional[float] = 600.0,
         pool: Optional[WorkerPool] = None,
         transport=None,
@@ -336,6 +342,7 @@ class SweepRunner:
         self.force = force
         self.respawn = respawn
         self.fault_plan = fault_plan
+        self.supervision = supervision
         self.job_timeout = job_timeout
         self.pool = pool
         self.transport = transport
@@ -437,6 +444,7 @@ class SweepRunner:
                 job_timeout=self.job_timeout,
                 respawn=self.respawn,
                 fault_plan=self.fault_plan,
+                supervision=self.supervision,
                 validate=payload_problem,
                 tracer=self.tracer,
                 transport=self.transport if remote else None,

@@ -228,3 +228,54 @@ class TestRunObservability:
         assert validate_main([str(trace_path)]) == 0
         trace_path.write_text('{"seq": "bogus"}\n')
         assert validate_main([str(trace_path)]) == 1
+
+
+class TestRobustnessFlags:
+    def test_net_chaos_requires_parallel(self, tmp_path, capsys):
+        config = write_config(tmp_path)
+        assert main(
+            ["run", str(config), "--net-chaos", "{}"]
+        ) == 2
+        assert "--parallel" in capsys.readouterr().err
+
+    def test_net_chaos_requires_remote_backend(self, tmp_path, capsys):
+        config = write_config(tmp_path)
+        assert main([
+            "run", str(config), "--parallel", "2",
+            "--backend", "process", "--net-chaos", "{}",
+        ]) == 2
+        assert "remote" in capsys.readouterr().err
+
+    def test_supervision_flags_require_parallel(self, tmp_path, capsys):
+        config = write_config(tmp_path)
+        for flags in (
+            ["--min-workers", "2"],
+            ["--deadline", "5"],
+            ["--on-degrade", "continue"],
+        ):
+            assert main(["run", str(config)] + flags) == 2
+            assert "--parallel" in capsys.readouterr().err
+
+    def test_deadline_continue_returns_degraded_json(
+        self, tmp_path, capsys
+    ):
+        config = write_config(tmp_path)
+        code = main([
+            "run", str(config), "--parallel", "2",
+            "--deadline", "0.000001", "--on-degrade", "continue",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 3  # merged-so-far result, not converged
+        assert payload["degraded"] is True
+
+    def test_deadline_abort_is_a_typed_failure(self, tmp_path):
+        from repro.faults import SupervisionError
+        from repro.parallel.protocol import CAUSE_DEADLINE_EXCEEDED
+
+        config = write_config(tmp_path)
+        with pytest.raises(SupervisionError) as info:
+            main([
+                "run", str(config), "--parallel", "2",
+                "--deadline", "0.000001",
+            ])
+        assert info.value.cause == CAUSE_DEADLINE_EXCEEDED

@@ -687,6 +687,7 @@ class TestCli:
             "swallow-exception",
             "scalar-sample-loop",
             "parallel-lambda",
+            "blocking-sleep-in-transport",
         }
 
 
@@ -804,6 +805,10 @@ FIRING_SNIPPETS = {
     "parallel-lambda": (
         "callback = lambda x: x\n", "parallel/example.py"
     ),
+    "blocking-sleep-in-transport": (
+        "import time\n\n\ndef waiter():\n    time.sleep(1.0)\n",
+        "parallel/example.py",
+    ),
 }
 
 
@@ -886,3 +891,52 @@ class TestDeterministicOrder:
         assert keys == sorted(keys)
         # Overlapping path arguments must not duplicate findings.
         assert len(findings) == 4
+
+
+class TestBlockingSleepInTransportRule:
+    def test_sleep_in_parallel_fires(self):
+        findings = findings_for(
+            "import time\n\n\ndef f():\n    time.sleep(0.5)\n",
+            rel="parallel/transport.py",
+        )
+        assert rule_ids(findings) == ["blocking-sleep-in-transport"]
+
+    def test_sleep_outside_parallel_silent(self):
+        findings = findings_for(
+            "import time\n\n\ndef f():\n    time.sleep(0.5)\n",
+            rel="sweep/runner.py",
+        )
+        assert "blocking-sleep-in-transport" not in rule_ids(findings)
+
+    def test_asyncio_sleep_is_fine(self):
+        findings = findings_for(
+            textwrap.dedent(
+                """
+                import asyncio
+
+
+                async def f():
+                    await asyncio.sleep(0.5)
+                """
+            ),
+            rel="parallel/agent.py",
+        )
+        assert rule_ids(findings) == []
+
+    def test_timer_and_cond_waits_are_fine(self):
+        findings = findings_for(
+            textwrap.dedent(
+                """
+                import threading
+
+
+                def f(cond, frame, send):
+                    timer = threading.Timer(0.5, send, args=(frame,))
+                    timer.start()
+                    with cond:
+                        cond.wait(0.5)
+                """
+            ),
+            rel="parallel/chaos.py",
+        )
+        assert rule_ids(findings) == []

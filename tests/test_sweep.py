@@ -284,3 +284,79 @@ class TestWorkerPoolFaults:
                 task_spec(axes={"x": [1, 2, 3, 4]}),
                 backend="pool", jobs=2, fault_plan=plan,
             ).run()
+
+
+class TestSweepSupervision:
+    """Run-level supervision on the pool backends: deadline and floor."""
+
+    def test_deadline_always_aborts_the_sweep(self):
+        from repro.faults import SupervisionError, SupervisionPolicy
+        from repro.parallel.protocol import CAUSE_DEADLINE_EXCEEDED
+
+        spec = task_spec(
+            factory="tests.sweep_factories:napping_task",
+            factory_kwargs={"delay": 0.3},
+            axes={"x": [1, 2, 3, 4]},
+        )
+        runner = SweepRunner(
+            spec,
+            backend="pool",
+            jobs=1,
+            supervision=SupervisionPolicy(
+                deadline=0.05, on_exhausted="continue"
+            ),
+        )
+        # A partial sweep is not a meaningful result: even under
+        # "continue" the deadline aborts with a typed cause.
+        with pytest.raises(SupervisionError) as info:
+            runner.run()
+        assert info.value.cause == CAUSE_DEADLINE_EXCEEDED
+
+    def test_fleet_floor_aborts_pool_map(self):
+        from repro.faults import SupervisionError, SupervisionPolicy
+        from repro.parallel.protocol import CAUSE_FLEET_EXHAUSTED
+
+        # Worker 0 is killed by the chaos plan and never replaced (no
+        # respawn policy): the fleet drops below min_workers=2 and the
+        # map aborts with the typed cause instead of limping on.
+        spec = task_spec(
+            factory="tests.sweep_factories:napping_task",
+            factory_kwargs={"delay": 0.02},
+            axes={"x": [1, 2, 3, 4, 5, 6]},
+        )
+        runner = SweepRunner(
+            spec,
+            backend="pool",
+            jobs=2,
+            fault_plan=FaultPlan.single(
+                "kill", slave_id=0, round=1, phase="pre_run"
+            ),
+            supervision=SupervisionPolicy(min_workers=2),
+        )
+        with pytest.raises(SupervisionError) as info:
+            runner.run()
+        assert info.value.cause == CAUSE_FLEET_EXHAUSTED
+
+    def test_fleet_floor_continue_finishes_degraded(self):
+        from repro.faults import SupervisionPolicy
+
+        spec = task_spec(
+            factory="tests.sweep_factories:napping_task",
+            factory_kwargs={"delay": 0.02},
+            axes={"x": [1, 2, 3, 4]},
+        )
+        runner = SweepRunner(
+            spec,
+            backend="pool",
+            jobs=2,
+            fault_plan=FaultPlan.single(
+                "kill", slave_id=0, round=1, phase="pre_run"
+            ),
+            supervision=SupervisionPolicy(
+                min_workers=2, on_exhausted="continue"
+            ),
+        )
+        result = runner.run()
+        assert len(result.points) == 4
+        assert result.degraded
+        assert result.pool_stats.deaths == 1

@@ -398,3 +398,142 @@ class TestRemoteMasterDeterminism:
         assert (
             runs["process"].merged_digests == runs["remote"].merged_digests
         )
+
+
+# -- frame corruption shapes (the typed FrameError contract) ------------------
+
+
+class TestFrameErrorShapes:
+    """Every corruption shape surfaces as FrameError, never a raw
+    pickle/struct exception — the recv paths in master/pool route the
+    type to the 'corrupt frame' death cause."""
+
+    def test_truncated_header_is_frame_error(self):
+        from repro.parallel.transport import FrameError
+
+        with pytest.raises(FrameError):
+            decode_frame(b"\x00\x00")
+
+    def test_oversize_prefix_is_frame_error(self):
+        from repro.parallel.transport import FrameError
+
+        with pytest.raises(FrameError):
+            decode_frame(FRAME_HEADER.pack(MAX_FRAME_BYTES + 1))
+
+    def test_undecodable_pickle_is_frame_error(self):
+        from repro.parallel.transport import FrameError, decode_payload
+
+        garbage = b"\x80\x05not a pickle at all"
+        with pytest.raises(FrameError) as info:
+            decode_payload(garbage, worker_id=3)
+        assert info.value.worker_id == 3
+        with pytest.raises(FrameError):
+            decode_frame(FRAME_HEADER.pack(len(garbage)) + garbage)
+
+    def test_frame_error_maps_to_corrupt_cause(self):
+        from repro.parallel.protocol import CAUSE_CORRUPT_FRAME
+        from repro.parallel.transport import FrameError, disconnect_cause
+
+        assert (
+            disconnect_cause(FrameError("boom"), "eof")
+            == CAUSE_CORRUPT_FRAME
+        )
+
+
+# -- chaos and liveness on the real loopback wire -----------------------------
+
+
+class TestRemoteChaosDeterminism:
+    """The determinism matrix's chaos-remote cells: benign injected
+    faults and heartbeat traffic must both be digest-invisible."""
+
+    def test_benign_chaos_remote_matches_process(self, remote_fleet):
+        from repro.faults import NetFaultPlan, NetFaultSpec
+        from repro.parallel.chaos import ChaosTransport
+
+        plan = NetFaultPlan(
+            specs=(
+                NetFaultSpec(kind="duplicate", worker_id=0, round=1,
+                             direction="in"),
+                NetFaultSpec(kind="duplicate", worker_id=1, round=1,
+                             direction="out"),
+                NetFaultSpec(kind="delay", worker_id=1, round=1,
+                             direction="in", delay=0.2),
+            )
+        )
+        local = ParallelSimulation(
+            factory, backend="process", **MASTER_KW
+        ).run()
+        remote = ParallelSimulation(
+            factory,
+            backend="remote",
+            transport=ChaosTransport(remote_fleet, plan),
+            join_timeout=15.0,
+            **MASTER_KW,
+        ).run()
+        assert local.converged and remote.converged
+        assert local.merged_digests == remote.merged_digests
+        assert local.total_accepted == remote.total_accepted
+
+    def test_heartbeats_are_digest_invisible(self):
+        transport = RemoteTransport(
+            heartbeat_interval=0.2, heartbeat_misses=3
+        )
+        transport.start()
+        agent = HostAgent(transport.address, slots=2)
+        agent.start()
+        try:
+            assert transport.wait_for_capacity(timeout=10.0)
+            local = ParallelSimulation(
+                factory, backend="process", **MASTER_KW
+            ).run()
+            remote = ParallelSimulation(
+                factory,
+                backend="remote",
+                transport=transport,
+                join_timeout=15.0,
+                **MASTER_KW,
+            ).run()
+            assert local.converged and remote.converged
+            assert local.merged_digests == remote.merged_digests
+        finally:
+            agent.stop(timeout=10.0)
+            transport.close()
+
+
+class TestAgentRedialBackoff:
+    """The agent's re-dial loop: exponential, seeded-jitter, bounded."""
+
+    @staticmethod
+    def _dead_port():
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        return port
+
+    def test_max_redial_gives_up_and_history_is_seeded(self):
+        address = ("127.0.0.1", self._dead_port())
+
+        def run_agent(seed):
+            agent = HostAgent(
+                address, slots=1, reconnect_delay=0.01,
+                reconnect_cap=0.05, backoff_seed=seed, max_redial=3,
+            )
+            agent.start()
+            assert agent.join(timeout=20.0), "agent never gave up"
+            agent.stop(timeout=10.0)
+            return list(agent.backoff_history)
+
+        first = run_agent(5)
+        twin = run_agent(5)
+        other = run_agent(6)
+        # Two failures sleep through the backoff (the third exhausts
+        # the budget), each recorded as (slot, failures, delay).
+        assert len(first) == 2
+        assert [entry[1] for entry in first] == [1, 2]
+        assert all(delay <= 0.05 * 1.1 for _, _, delay in first)
+        assert first == twin            # same seed, same schedule
+        assert first != other           # different seed spreads probes
