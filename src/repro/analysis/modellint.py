@@ -79,6 +79,14 @@ MODEL_RULES: Dict[str, str] = {
         "forecast which points qualify for the vectorized fastpath "
         "engine; forced-fastpath specs must qualify everywhere"
     ),
+    "multiserver-misfit": (
+        "gang jobs must fit their cluster (max servers_needed <= "
+        "cluster servers) and gang workloads need a gang-aware station"
+    ),
+    "clone-overload": (
+        "replicated load must stay stable: clone count x rho < 1, or "
+        "the cloned replicas saturate the pool"
+    ),
     "spec-error": "the spec/config document must build at all",
 }
 
@@ -143,6 +151,17 @@ def lint_config(
         server_spec = {}
     total_cores = server_spec.get("count", 1) * server_spec.get("cores", 1)
     speed = server_spec.get("speed", 1.0)
+    cluster_spec = config.get("cluster")
+    if isinstance(cluster_spec, dict):
+        # Gang-scheduled cluster: the pool is its server count.
+        total_cores = cluster_spec.get("servers", 1)
+        speed = cluster_spec.get("speed", 1.0)
+    balancer_spec = config.get("balancer")
+    clone_factor = 1
+    if isinstance(balancer_spec, dict) and (
+        balancer_spec.get("policy") == "cloning"
+    ):
+        clone_factor = max(1, int(balancer_spec.get("clones", 2)))
 
     workload_spec = dict(config.get("workload", {}) or {})
     declared_load = workload_spec.get("load")
@@ -166,12 +185,13 @@ def lint_config(
                 f"{prefix}workload does not build: {error}",
             ))
         if workload is not None:
+            mean_need = getattr(workload, "mean_servers_needed", 1.0)
             try:
                 rho = utilization(
                     workload.arrival_rate,
                     workload.peak_qps,
                     max(1, total_cores),
-                ) / max(speed, 1e-12)
+                ) / max(speed, 1e-12) * mean_need
             except (ValueError, ZeroDivisionError) as error:
                 findings.append(_finding(
                     path, "spec-error",
@@ -192,10 +212,54 @@ def lint_config(
                         "saturation; convergence will be very slow",
                         severity="warning",
                     ))
+                elif clone_factor * rho >= RHO_UNSTABLE:
+                    # Synchronized clone-to-d multiplies every backend's
+                    # offered load by d; a stable-looking rho can still
+                    # saturate the pool once replicated.
+                    findings.append(_finding(
+                        path, "clone-overload",
+                        f"{prefix}clone count {clone_factor} x rho = "
+                        f"{clone_factor * rho:.3f} >= 1: the replicated "
+                        "load saturates the pool; lower the clone count "
+                        "or the offered load",
+                    ))
+            findings.extend(_check_multiserver_fit(
+                workload, cluster_spec, path, prefix
+            ))
 
     findings.extend(_forecast_fastpath(config, path, engine, prefix))
     findings.sort(key=Finding.sort_key)
     return findings
+
+
+def _check_multiserver_fit(
+    workload, cluster_spec, path: str, prefix: str
+) -> List[Finding]:
+    """Gang workloads must have a gang-aware station that fits them."""
+    need_dist = getattr(workload, "servers_needed", None)
+    if need_dist is None:
+        return []
+    if not isinstance(cluster_spec, dict):
+        return [_finding(
+            path, "multiserver-misfit",
+            f"{prefix}workload draws servers_needed but there is no "
+            "'cluster' section: plain servers ignore gang needs and "
+            "the results silently model single-server jobs",
+            severity="warning",
+        )]
+    n_servers = cluster_spec.get("servers", 1)
+    max_value = getattr(need_dist, "max_value", None)
+    if not callable(max_value):
+        return []
+    largest = max_value()
+    if largest > n_servers:
+        return [_finding(
+            path, "multiserver-misfit",
+            f"{prefix}servers_needed can draw {largest:g} but the "
+            f"cluster has only {n_servers} server(s): such jobs can "
+            "never be placed and the run dies at their first arrival",
+        )]
+    return []
 
 
 def _forecast_fastpath(

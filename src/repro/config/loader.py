@@ -31,14 +31,19 @@ from pathlib import Path
 from typing import Union
 
 from repro.datacenter.balancers import (
+    CloningBalancer,
     JoinShortestQueue,
     RandomBalancer,
     RoundRobinBalancer,
+    SpeculativeRetryBalancer,
 )
+from repro.datacenter.cluster import ClusterError, MultiserverCluster
 from repro.datacenter.disciplines import FCFSQueue, LIFOQueue, SJFQueue
+from repro.datacenter.processor_sharing import ProcessorSharingServer
 from repro.datacenter.server import Server
 from repro.distributions import (
     BoundedPareto,
+    Choice,
     Deterministic,
     EmpiricalDistribution,
     Erlang,
@@ -121,6 +126,8 @@ def build_distribution(spec: dict):
             return HyperExponential(spec["p1"], spec["rate1"], spec["rate2"])
         if kind == "fit":
             return fit_mean_cv(spec["mean"], spec["cv"])
+        if kind == "choice":
+            return Choice(spec["values"], spec.get("weights"))
         if kind == "empirical":
             return EmpiricalDistribution.load(spec["path"])
     except KeyError as error:
@@ -146,6 +153,12 @@ def build_workload(spec: dict) -> Workload:
         raise ConfigError(
             "workload spec needs 'name' or 'interarrival'+'service'"
         )
+    if "servers_needed" in spec:
+        # Applied before load scaling so at_load accounts for E[k]
+        # server-seconds per job.
+        workload = workload.with_servers_needed(
+            build_distribution(spec["servers_needed"])
+        )
     cores = spec.get("cores_for_load", 1)
     if "load" in spec:
         workload = workload.at_load(spec["load"], cores=cores)
@@ -156,10 +169,22 @@ def build_workload(spec: dict) -> Workload:
     return workload
 
 
-def _build_servers(spec: dict) -> list[Server]:
+def _build_servers(spec: dict) -> list:
     count = spec.get("count", 1)
     if count < 1:
         raise ConfigError(f"servers.count must be >= 1, got {count}")
+    model = spec.get("model", "server").lower()
+    if model == "ps":
+        return [
+            ProcessorSharingServer(
+                speed=spec.get("speed", 1.0), name=f"ps-server-{index}"
+            )
+            for index in range(count)
+        ]
+    if model != "server":
+        raise ConfigError(
+            f"unknown server model {model!r}; use 'server' or 'ps'"
+        )
     discipline_name = spec.get("discipline", "fcfs").lower()
     if discipline_name not in _DISCIPLINES:
         raise ConfigError(
@@ -175,6 +200,45 @@ def _build_servers(spec: dict) -> list[Server]:
         )
         for index in range(count)
     ]
+
+
+def _build_balancer(spec, servers):
+    """String specs name a classic dispatch policy; dict specs configure
+    a redundancy policy (``{"policy": "cloning", "clones": 2}`` or
+    ``{"policy": "speculative_retry", "threshold": 0.1}``)."""
+    if isinstance(spec, str):
+        name = spec.lower()
+        if name not in _BALANCERS:
+            raise ConfigError(
+                f"unknown balancer {name!r}; choose from {sorted(_BALANCERS)}"
+            )
+        return _BALANCERS[name](servers)
+    if not isinstance(spec, dict):
+        raise ConfigError(f"balancer must be a string or object, got {spec!r}")
+    policy = spec.get("policy", "").lower()
+    try:
+        if policy == "cloning":
+            return CloningBalancer(
+                servers,
+                clones=spec.get("clones", 2),
+                synchronized=spec.get("synchronized", True),
+            )
+        if policy in ("speculative_retry", "spec_retry"):
+            if "threshold" not in spec:
+                raise ConfigError(
+                    "speculative_retry balancer needs a 'threshold' (seconds)"
+                )
+            return SpeculativeRetryBalancer(
+                servers,
+                threshold=spec["threshold"],
+                max_retries=spec.get("max_retries", 1),
+            )
+    except ValueError as error:
+        raise ConfigError(f"balancer does not build: {error}") from error
+    raise ConfigError(
+        f"unknown balancer policy {policy!r}; "
+        "use 'cloning' or 'speculative_retry'"
+    )
 
 
 def build_experiment(
@@ -208,23 +272,42 @@ def build_experiment(
         engine=config.get("engine", "event") if engine is None else engine,
     )
     # Load scaling should account for the total core pool by default.
+    cluster_spec = config.get("cluster")
     server_spec = dict(config.get("servers", {}))
     workload_spec = dict(config["workload"])
-    total_cores = server_spec.get("count", 1) * server_spec.get("cores", 1)
-    workload_spec.setdefault("cores_for_load", total_cores)
-    workload = build_workload(workload_spec)
-    servers = _build_servers(server_spec)
-
-    if len(servers) == 1:
-        entry = servers[0]
-    else:
-        balancer_name = config.get("balancer", "random").lower()
-        if balancer_name not in _BALANCERS:
+    if cluster_spec is not None:
+        # Gang-scheduled multiserver-job cluster replaces the classic
+        # server pool + balancer entry point.
+        if not isinstance(cluster_spec, dict):
             raise ConfigError(
-                f"unknown balancer {balancer_name!r}; "
-                f"choose from {sorted(_BALANCERS)}"
+                f"'cluster' must be an object, got {cluster_spec!r}"
             )
-        entry = _BALANCERS[balancer_name](servers)
+        if "servers" in config or "balancer" in config:
+            raise ConfigError(
+                "'cluster' replaces the 'servers'/'balancer' sections; "
+                "remove them"
+            )
+        n_servers = cluster_spec.get("servers", 1)
+        workload_spec.setdefault("cores_for_load", n_servers)
+        workload = build_workload(workload_spec)
+        try:
+            entry = MultiserverCluster(
+                n_servers=n_servers,
+                speed=cluster_spec.get("speed", 1.0),
+                backfill=cluster_spec.get("backfill", False),
+            )
+        except ClusterError as error:
+            raise ConfigError(f"cluster does not build: {error}") from error
+    else:
+        total_cores = server_spec.get("count", 1) * server_spec.get("cores", 1)
+        workload_spec.setdefault("cores_for_load", total_cores)
+        workload = build_workload(workload_spec)
+        servers = _build_servers(server_spec)
+        balancer_spec = config.get("balancer", "random")
+        if len(servers) == 1 and not isinstance(balancer_spec, dict):
+            entry = servers[0]
+        else:
+            entry = _build_balancer(balancer_spec, servers)
 
     experiment.add_source(workload, target=entry)
 

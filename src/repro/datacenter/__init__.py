@@ -19,13 +19,15 @@ from repro.datacenter.disciplines import (
 from repro.datacenter.server import Server, ServerError
 from repro.datacenter.source import Source, TraceSource
 from repro.datacenter.balancers import (
+    CloningBalancer,
     JoinShortestQueue,
     LoadBalancer,
     PowerOfTwoChoices,
     RandomBalancer,
     RoundRobinBalancer,
+    SpeculativeRetryBalancer,
 )
-from repro.datacenter.cluster import Cluster, Rack
+from repro.datacenter.cluster import Cluster, ClusterError, MultiserverCluster, Rack
 from repro.datacenter.processor_sharing import ProcessorSharingServer
 from repro.datacenter.srpt import SRPTServer
 from repro.datacenter.closedloop import ClosedLoopClients, interactive_response_time
@@ -59,7 +61,11 @@ __all__ = [
     "RoundRobinBalancer",
     "JoinShortestQueue",
     "PowerOfTwoChoices",
+    "CloningBalancer",
+    "SpeculativeRetryBalancer",
     "Cluster",
+    "ClusterError",
+    "MultiserverCluster",
     "Rack",
     "ProcessorSharingServer",
     "SRPTServer",

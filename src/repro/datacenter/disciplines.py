@@ -32,6 +32,19 @@ class QueueingDiscipline(abc.ABC):
     def __len__(self) -> int:
         """Jobs currently queued."""
 
+    def remove(self, job: Job) -> bool:
+        """Withdraw a specific queued job (replica cancellation).
+
+        Returns True if the job was queued here and has been removed,
+        False if it was not present.  Disciplines that cannot support
+        targeted removal should leave this default, which refuses
+        loudly rather than silently leaking the replica.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support removal; cloning "
+            "policies require a discipline with remove()"
+        )
+
 
 class FCFSQueue(QueueingDiscipline):
     """First-come, first-served — the default for request/response services."""
@@ -44,6 +57,13 @@ class FCFSQueue(QueueingDiscipline):
 
     def pop(self) -> Optional[Job]:
         return self._queue.popleft() if self._queue else None
+
+    def remove(self, job: Job) -> bool:
+        try:
+            self._queue.remove(job)
+        except ValueError:
+            return False
+        return True
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -60,6 +80,13 @@ class LIFOQueue(QueueingDiscipline):
 
     def pop(self) -> Optional[Job]:
         return self._stack.pop() if self._stack else None
+
+    def remove(self, job: Job) -> bool:
+        try:
+            self._stack.remove(job)
+        except ValueError:
+            return False
+        return True
 
     def __len__(self) -> int:
         return len(self._stack)
@@ -85,6 +112,16 @@ class SJFQueue(QueueingDiscipline):
         if not self._heap:
             return None
         return heapq.heappop(self._heap)[2]
+
+    def remove(self, job: Job) -> bool:
+        for i, (_, _, queued) in enumerate(self._heap):
+            if queued is job:
+                # O(n) rebuild; removal is a rare cancellation path.
+                self._heap[i] = self._heap[-1]
+                self._heap.pop()
+                heapq.heapify(self._heap)
+                return True
+        return False
 
     def __len__(self) -> int:
         return len(self._heap)

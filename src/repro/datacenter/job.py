@@ -9,7 +9,12 @@ through the network; response and waiting times fall out as differences.
 
 from __future__ import annotations
 
+import itertools
 from typing import Optional
+
+#: Process-wide job-id counter shared by every job producer (sources,
+#: trace replay, cloning balancers) so ids stay globally unique.
+JOB_COUNTER = itertools.count(1)
 
 
 class Job:
@@ -41,6 +46,8 @@ class Job:
         "_last_progress",
         "stages_completed",
         "job_class",
+        "servers_needed",
+        "clone_of",
     )
 
     def __init__(self, job_id: int, size: Optional[float] = None):
@@ -60,6 +67,12 @@ class Job:
         self.stages_completed: int = 0
         #: Traffic class (see repro.datacenter.multiclass); None = plain.
         self.job_class = None
+        #: Servers this job holds simultaneously while in service (gang
+        #: scheduling, see repro.datacenter.cluster.MultiserverCluster).
+        self.servers_needed: int = 1
+        #: For redundant replicas: the logical job this one clones
+        #: (repro.datacenter.balancers cloning policies); None = plain.
+        self.clone_of = None
 
     @property
     def response_time(self) -> float:

@@ -126,6 +126,19 @@ class ProcessorSharingServer:
         self._jobs[job.job_id] = job
         self._reschedule()
 
+    def cancel(self, job: Job) -> bool:
+        """Withdraw a sharing job before it completes (replica
+        cancellation).  The remaining jobs immediately speed up; returns
+        False when the job is unknown (already completed)."""
+        if self.sim is None:
+            raise ServerError(f"{self.name}: not bound")
+        if job.job_id not in self._jobs:
+            return False
+        self._advance_progress()
+        del self._jobs[job.job_id]
+        self._reschedule()
+        return True
+
     def _complete(self, job: Job) -> None:
         self._completion_event = None
         self._advance_progress()

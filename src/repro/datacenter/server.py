@@ -324,6 +324,43 @@ class Server:
         job.start_time = None
         self.forward_to.arrive(job)
 
+    def cancel(self, job: Job) -> bool:
+        """Withdraw a job that has not completed here (replica
+        cancellation for cloning policies).
+
+        Returns True if the job was running or queued on this server
+        and has been removed; False if it is unknown — typically
+        because it already completed.  Cancelling a running job frees
+        its core immediately and the queue is re-dispatched.
+        """
+        if self.sim is None:
+            raise ServerError(f"{self.name}: not bound to a simulation")
+        if job.job_id in self._running:
+            now = self.sim.now
+            # Integrate at the pre-cancellation core count first, same
+            # as _complete, or busy time is undercounted.
+            if now != self._last_busy_update:  # simlint: disable=float-time-eq
+                self._update_busy_integral()
+            del self._running[job.job_id]
+            if job._completion_event is not None:
+                self.sim.cancel(job._completion_event)
+                job._completion_event = None
+            if not self.paused and self.queue:
+                self._dispatch_from_queue()
+            if self._occupancy_listeners:
+                self._notify_occupancy()
+            return True
+        if self._fcfs is not None:
+            try:
+                self._fcfs.remove(job)
+            except ValueError:
+                return False
+        elif not self.queue.remove(job):
+            return False
+        if self._occupancy_listeners:
+            self._notify_occupancy()
+        return True
+
     def _dispatch_from_queue(self) -> None:
         fcfs = self._fcfs
         if fcfs is not None:

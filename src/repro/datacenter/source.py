@@ -11,17 +11,16 @@ when the simulated system diverges from the traced one.
 
 from __future__ import annotations
 
-import itertools
 from heapq import heappush
 from typing import Iterable, Optional, Sequence, Tuple
 
-from repro.datacenter.job import Job
+from repro.datacenter.job import JOB_COUNTER, Job
 from repro.distributions.prefetch import DEFAULT_BLOCK, PrefetchSampler
 from repro.engine.events import PENDING
 from repro.engine.simulation import Simulation
 
-#: Shared across sources so job ids are globally unique within a process.
-_JOB_COUNTER = itertools.count(1)
+#: Shared across all job producers so ids are globally unique.
+_JOB_COUNTER = JOB_COUNTER
 
 #: Bound once: Source._emit builds jobs via __new__ + direct slot stores,
 #: which is ~2x faster than calling Job.__init__ (no frame, no validation
@@ -64,8 +63,10 @@ class Source:
         self.sim: Optional[Simulation] = None
         self._arrival_rng = None
         self._service_rng = None
+        self._need_rng = None
         self._next_gap: Optional[PrefetchSampler] = None
         self._next_size: Optional[PrefetchSampler] = None
+        self._next_need: Optional[PrefetchSampler] = None
         self._label = ""
         self._heap = None
         self._seq = None
@@ -91,6 +92,16 @@ class Source:
             self.workload.service, self._service_rng, self.prefetch_block,
             verify=verify, probe=probe,
         )
+        # Multiserver-job workloads carry a server-need distribution;
+        # the extra stream is spawned only when present so the RNG
+        # lineage of every pre-existing model is unchanged.
+        need_dist = getattr(self.workload, "servers_needed", None)
+        if need_dist is not None:
+            self._need_rng = sim.spawn_rng()
+            self._next_need = PrefetchSampler(
+                need_dist, self._need_rng, self.prefetch_block,
+                verify=verify, probe=probe,
+            )
         # Descriptive labels cost an f-string per event; only pay when
         # someone is recording them.
         self._label = f"{self.name}:arrival" if sim.tracing else ""
@@ -133,6 +144,15 @@ class Source:
         job._last_progress = None
         job.stages_completed = 0
         job.job_class = None
+        job.clone_of = None
+        need_sampler = self._next_need
+        if need_sampler is None:
+            job.servers_needed = 1
+        else:
+            need = next(need_sampler.it, None)
+            if need is None:
+                need = need_sampler.refill()
+            job.servers_needed = int(need)
         self.generated += 1
         self.target.arrive(job)
         if self.max_jobs is None or self.generated < self.max_jobs:

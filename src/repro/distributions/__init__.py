@@ -31,6 +31,7 @@ from repro.distributions.continuous import (
     Uniform,
     Weibull,
 )
+from repro.distributions.discrete import Choice
 from repro.distributions.hyperexponential import HyperExponential
 from repro.distributions.empirical import EmpiricalDistribution
 from repro.distributions.transforms import Mixture, Scaled, Shifted, Truncated
@@ -45,6 +46,7 @@ __all__ = [
     "Distribution",
     "DistributionError",
     "BoundedPareto",
+    "Choice",
     "Deterministic",
     "Erlang",
     "Exponential",

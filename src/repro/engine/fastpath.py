@@ -117,7 +117,27 @@ def qualifies(experiment) -> Qualification:
         return Qualification(False, "source defers service draws to the server")
     if source.max_jobs is not None:
         return Qualification(False, "bounded job count (max_jobs) is event-engine only")
+    if getattr(source.workload, "servers_needed", None) is not None:
+        return Qualification(
+            False,
+            "multiserver-job workload (servers_needed) requires the event engine",
+        )
     station = source.target
+    # Named rejections for the stations the Lindley/Kiefer–Wolfowitz
+    # recurrences structurally cannot model, so auto-mode falls back with
+    # a reason operators can act on (lazy imports: these modules pull in
+    # repro.engine.simulation and must not load during package init).
+    from repro.datacenter.balancers import _ReplicatingBalancer
+    from repro.datacenter.cluster import MultiserverCluster
+
+    if isinstance(station, MultiserverCluster):
+        return Qualification(
+            False, "gang-scheduled MultiserverCluster requires the event engine"
+        )
+    if isinstance(station, _ReplicatingBalancer):
+        return Qualification(
+            False, "cloning/hedging balancer requires the event engine"
+        )
     if type(station) is not Server:
         return Qualification(
             False, f"target {type(station).__name__} is not a plain Server"

@@ -12,6 +12,18 @@ closed forms and approximations so that
   analytic answer sits from the simulated one (the Fig. 5 exercise).
 """
 
+from repro.theory.cloning import (
+    min_of_exponentials_mean,
+    ps_clone_to_all_response,
+    ps_cloning_response,
+    ps_random_split_response,
+)
+from repro.theory.multiserver import (
+    MultiserverReference,
+    multiserver_recurrence,
+    reference_mean,
+    simulate_reference,
+)
 from repro.theory.queues import (
     TheoryError,
     erlang_c,
@@ -38,4 +50,14 @@ __all__ = [
     "mg1_mean_response",
     "gg1_mean_waiting_approx",
     "utilization",
+    # multiserver-job ground truth (Baccelli-style recurrence)
+    "MultiserverReference",
+    "multiserver_recurrence",
+    "simulate_reference",
+    "reference_mean",
+    # request-cloning closed forms
+    "ps_clone_to_all_response",
+    "ps_random_split_response",
+    "ps_cloning_response",
+    "min_of_exponentials_mean",
 ]

@@ -1,0 +1,78 @@
+"""Closed forms for request cloning over processor-sharing backends.
+
+The redundancy literature (and the reproducibility report this PR's
+test layer follows) gives exact results for *synchronized* clones —
+replicas that share one size draw — over PS server farms:
+
+- **Clone-to-all** (d = n): every backend receives every logical job
+  with the identical size at the identical instant, so all ``n`` PS
+  sample paths coincide and the first completion is *the* completion.
+  The whole farm collapses, distributionally, to a single M/G/1-PS
+  queue at the full arrival rate: ``E[T] = E[S] / (1 - lam/mu)``.
+- **Random split** (d = 1): each logical job goes to one uniformly
+  random backend; Poisson thinning makes each backend an independent
+  M/G/1-PS at rate ``lam / n``: ``E[T] = E[S] / (1 - lam/(n*mu))``.
+
+Both are insensitive to the service distribution's shape (PS), and both
+reduce to ``E[S] / (1 - rho)`` when ``rho`` is the *per-backend* load —
+synchronized cloning over PS neither helps nor hurts the mean, which is
+exactly the regression the acceptance grid pins.  Intermediate
+``1 < d < n`` has no closed form (replica queues correlate); callers
+get ``None`` and must simulate.
+
+For tails, :func:`min_of_exponentials_mean` covers the empty-system
+sanity case, and the test layer pins the clone-to-all tail *exactly*
+(bit-for-bit against a single-server run) rather than via a formula.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.theory.queues import TheoryError, _check_rates
+
+
+def ps_clone_to_all_response(lam: float, mu: float) -> float:
+    """Mean response of synchronized clone-to-all over any number of PS
+    backends: the single M/G/1-PS closed form ``E[S]/(1 - rho)``."""
+    rho = _check_rates(lam, mu)
+    return (1.0 / mu) / (1.0 - rho)
+
+
+def ps_random_split_response(lam: float, mu: float, n: int) -> float:
+    """Mean response of d=1 uniform random dispatch over ``n`` PS
+    backends: each is M/G/1-PS at ``lam/n``."""
+    if n < 1:
+        raise TheoryError(f"need n >= 1 backends, got {n}")
+    rho = _check_rates(lam / n, mu)
+    return (1.0 / mu) / (1.0 - rho)
+
+
+def ps_cloning_response(
+    lam: float, mu: float, n: int, d: int
+) -> Optional[float]:
+    """Mean response of synchronized clone-to-``d`` over ``n`` PS
+    backends, or ``None`` when no closed form exists (1 < d < n)."""
+    if n < 1:
+        raise TheoryError(f"need n >= 1 backends, got {n}")
+    if not 1 <= d <= n:
+        raise TheoryError(f"clone count d must be in 1..{n}, got {d}")
+    if d == n:
+        return ps_clone_to_all_response(lam, mu)
+    if d == 1:
+        return ps_random_split_response(lam, mu, n)
+    return None
+
+
+def min_of_exponentials_mean(mu: float, d: int) -> float:
+    """Mean of the minimum of ``d`` iid Exp(mu) draws: ``1/(d*mu)``.
+
+    The empty-system response of *independent* (unsynchronized) clones
+    on ``d`` idle exponential backends — the best-case tail benefit
+    cloning can deliver, useful as a sanity floor in tests.
+    """
+    if mu <= 0:
+        raise TheoryError(f"rate mu must be > 0, got {mu}")
+    if d < 1:
+        raise TheoryError(f"need d >= 1 clones, got {d}")
+    return 1.0 / (d * mu)

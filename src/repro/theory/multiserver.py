@@ -1,0 +1,192 @@
+"""Multiserver-job ground truth: the stochastic recurrence equation.
+
+Baccelli, Olliaro, Marin & Rossi's multiserver-job model (PAPERS.md
+entry: *The Multiserver-Job Stochastic Recurrence Equation for Cloud
+Computing Performance Evaluation*) describes the exact FCFS sample path
+of a cluster where job ``i`` simultaneously holds ``k_i`` of ``N``
+identical servers for its whole service ``s_i``, with head-of-line
+blocking.  The recurrence generalizes Kiefer–Wolfowitz: with ``R`` the
+multiset of the ``N`` server release times after job ``i-1`` is placed,
+
+    start_i  = max(arrival_i, start_{i-1}, kth_smallest(R, k_i))
+    finish_i = start_i + s_i
+
+and job ``i`` then occupies the ``k_i`` earliest-released servers,
+setting their release times to ``finish_i``.  The ``start_{i-1}`` term
+is the FCFS blocking property — nothing overtakes a blocked head.
+
+This module is an *independent reference simulator*: a direct
+transcription of that recurrence over pre-sampled arrays, sharing no
+code with the discrete-event engine.  The event engine's
+:class:`~repro.datacenter.cluster.MultiserverCluster` (without
+backfill) must reproduce its start/finish times **bit-for-bit** when
+fed the same draws — every operation here is a float ``max``/add over
+the identical values — and the acceptance harness pins the full
+experiment pipeline against seeded reference runs statistically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.simulation import seeded_rng
+from repro.theory.queues import TheoryError
+
+
+def multiserver_recurrence(
+    arrivals: Sequence[float],
+    sizes: Sequence[float],
+    needs: Sequence[int],
+    n_servers: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact FCFS multiserver-job sample path via the recurrence.
+
+    Returns ``(starts, finishes)`` arrays.  ``arrivals`` must be
+    non-decreasing absolute times; ``needs`` are per-job server gangs,
+    each between 1 and ``n_servers``.
+    """
+    if n_servers < 1:
+        raise TheoryError(f"need n_servers >= 1, got {n_servers}")
+    count = len(arrivals)
+    if len(sizes) != count or len(needs) != count:
+        raise TheoryError(
+            f"array length mismatch: {count} arrivals, {len(sizes)} sizes, "
+            f"{len(needs)} needs"
+        )
+    starts = np.empty(count, dtype=float)
+    finishes = np.empty(count, dtype=float)
+    # Release times of the N servers; kept sorted ascending.  Assigning
+    # a gang to the k earliest-released servers and re-sorting is the
+    # textbook form of the recurrence operator.
+    releases = [0.0] * n_servers
+    prev_start = 0.0
+    for i in range(count):
+        need = int(needs[i])
+        if need < 1 or need > n_servers:
+            raise TheoryError(
+                f"job {i} needs {need} servers, cluster has {n_servers}"
+            )
+        releases.sort()
+        start = arrivals[i]
+        if prev_start > start:
+            start = prev_start
+        kth = releases[need - 1]
+        if kth > start:
+            start = kth
+        finish = start + sizes[i]
+        starts[i] = start
+        finishes[i] = finish
+        for slot in range(need):
+            releases[slot] = finish
+        prev_start = start
+    return starts, finishes
+
+
+@dataclass(frozen=True)
+class MultiserverReference:
+    """Summary statistics of one seeded reference run."""
+
+    mean_response: float
+    mean_waiting: float
+    quantiles: Dict[float, float]
+    utilization: float
+    n_jobs: int
+
+    def metric(self, name: str) -> float:
+        """``"response"`` or ``"waiting"`` mean, by name."""
+        if name == "response":
+            return self.mean_response
+        if name == "waiting":
+            return self.mean_waiting
+        raise TheoryError(f"unknown metric {name!r}")
+
+
+def simulate_reference(
+    interarrival,
+    service,
+    servers_needed,
+    n_servers: int,
+    seed: int = 0,
+    n_jobs: int = 200_000,
+    warmup: int = 2_000,
+    quantiles: Sequence[float] = (),
+) -> MultiserverReference:
+    """Run the recurrence over freshly sampled streams.
+
+    Draws come from three independent substreams spawned from ``seed``
+    (mirroring the event engine's one-generator-per-distribution
+    layout, though the streams themselves are intentionally distinct
+    from any experiment's), so a (seed, n_jobs) pair names one exact
+    reference value forever — the acceptance table's ground truth
+    column is reproducible bit-for-bit.
+    """
+    if n_jobs <= warmup:
+        raise TheoryError(f"n_jobs ({n_jobs}) must exceed warmup ({warmup})")
+    # A deliberately independent seeded lineage: the reference must not
+    # share streams with any Simulation it is judging.
+    root = np.random.SeedSequence(seed)  # simlint: disable=global-rng
+    gap_rng, size_rng, need_rng = (seeded_rng(s) for s in root.spawn(3))
+    gaps = interarrival.sample_block(gap_rng, n_jobs)
+    sizes = service.sample_block(size_rng, n_jobs)
+    needs = servers_needed.sample_block(need_rng, n_jobs).astype(int)
+    np.clip(needs, 1, None, out=needs)
+    arrivals = np.cumsum(gaps)
+    starts, finishes = multiserver_recurrence(
+        arrivals, sizes, needs, n_servers
+    )
+    response = (finishes - arrivals)[warmup:]
+    waiting = (starts - arrivals)[warmup:]
+    horizon = finishes.max()
+    util = float(np.dot(sizes, needs) / (horizon * n_servers))
+    return MultiserverReference(
+        mean_response=float(response.mean()),
+        mean_waiting=float(waiting.mean()),
+        quantiles={
+            float(q): float(np.quantile(response, q)) for q in quantiles
+        },
+        utilization=util,
+        n_jobs=n_jobs,
+    )
+
+
+def reference_mean(
+    lam: float,
+    mu: float,
+    n_servers: int,
+    need_values: Sequence[int],
+    need_weights: Optional[Sequence[float]] = None,
+    metric: str = "response",
+    seed: int = 0xB16,
+    n_jobs: int = 200_000,
+    warmup: int = 2_000,
+) -> float:
+    """Seeded reference mean for an M/M-style multiserver-job cluster.
+
+    ``lam`` is the arrival rate, ``mu`` the per-job service rate
+    (exponential interarrivals and services, the paper's base case),
+    ``need_values``/``need_weights`` the discrete server-need law.  The
+    offered load ``rho = lam * E[k] / (mu * N)`` must be < 1; note that
+    unlike M/M/k, stability alone does not preclude long HoL-blocking
+    transients — the acceptance tolerances account for that.
+    """
+    from repro.distributions import Choice, Exponential
+
+    need = Choice(need_values, need_weights)
+    rho = lam * need.mean() / (mu * n_servers)
+    if rho >= 1.0:
+        raise TheoryError(
+            f"unstable multiserver cluster: rho = {rho:.3f} >= 1"
+        )
+    reference = simulate_reference(
+        Exponential(rate=lam),
+        Exponential(rate=mu),
+        need,
+        n_servers,
+        seed=seed,
+        n_jobs=n_jobs,
+        warmup=warmup,
+    )
+    return reference.metric(metric)

@@ -13,6 +13,8 @@ suite asserts every case passes within its tolerance.
 
 from repro.validation.acceptance import (
     FULL_POINTS,
+    MULTISERVER_FULL_POINTS,
+    MULTISERVER_SMOKE_POINTS,
     SMOKE_POINTS,
     build_acceptance_spec,
     evaluate,
@@ -33,6 +35,8 @@ from repro.validation.suite import (
 
 __all__ = [
     "FULL_POINTS",
+    "MULTISERVER_FULL_POINTS",
+    "MULTISERVER_SMOKE_POINTS",
     "SMOKE_POINTS",
     "ValidationCase",
     "build_acceptance_spec",

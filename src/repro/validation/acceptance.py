@@ -20,6 +20,7 @@ resumes exactly like a figure sweep.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -63,11 +64,58 @@ FULL_POINTS = SMOKE_POINTS + (
      "engine": "fastpath"},
 )
 
+#: Multiserver-job and cloning grids, validated against
+#: :mod:`repro.theory.multiserver` (seeded recurrence reference) and
+#: :mod:`repro.theory.cloning` (PS closed forms).  Kept as separate
+#: tuples — appending them to the historical grids would leave old
+#: digests intact but these run as their own spec (and CI smoke job),
+#: so tier-1 cost stays flat for everyone not touching gang scheduling.
+MULTISERVER_SMOKE_POINTS = (
+    {"model": "msj", "rho": 0.5, "n_servers": 4,
+     "need_values": [1, 2, 4], "need_weights": [0.5, 0.3, 0.2],
+     "metric": "response"},
+    {"model": "msj", "rho": 0.7, "n_servers": 4,
+     "need_values": [1, 2], "need_weights": [0.5, 0.5],
+     "metric": "waiting"},
+    {"model": "clone_ps", "rho": 0.5, "backends": 2, "clones": 2,
+     "metric": "response"},
+)
+
+#: The full multiserver/cloning grid (superset of the smoke subset).
+MULTISERVER_FULL_POINTS = MULTISERVER_SMOKE_POINTS + (
+    {"model": "msj", "rho": 0.3, "n_servers": 8,
+     "need_values": [1, 2, 4], "need_weights": [0.6, 0.3, 0.1],
+     "metric": "response"},
+    {"model": "msj", "rho": 0.5, "n_servers": 2,
+     "need_values": [1, 2], "need_weights": [0.5, 0.5],
+     "metric": "response"},
+    {"model": "clone_ps", "rho": 0.5, "backends": 4, "clones": 1,
+     "metric": "response"},
+    {"model": "clone_ps", "rho": 0.7, "backends": 2, "clones": 2,
+     "metric": "response"},
+    {"model": "clone_ps", "rho": 0.3, "backends": 3, "clones": 3,
+     "metric": "response"},
+)
+
 #: Tolerance (x accuracy target) per model family; on top of these the
-#: CI half-width widens each budget (see module docstring).
-TOLERANCE_FACTORS = {"mm1": 3.0, "mmk": 5.0, "mg1": 6.0, "ps": 6.0}
+#: CI half-width widens each budget (see module docstring).  ``msj`` is
+#: judged against a finite Monte-Carlo reference (not an exact closed
+#: form), so its budget also absorbs the reference's own noise.
+TOLERANCE_FACTORS = {
+    "mm1": 3.0, "mmk": 5.0, "mg1": 6.0, "ps": 6.0,
+    "msj": 8.0, "clone_ps": 6.0,
+}
 #: Quantile estimates are noisier than means.
 QUANTILE_FACTOR = 4.0
+
+#: Seed / sample count naming the multiserver recurrence reference run;
+#: changing either changes every msj ground-truth value bit-for-bit.
+MSJ_REFERENCE_SEED = 0xB16
+MSJ_REFERENCE_JOBS = 200_000
+
+#: Grid-entry keys forwarded to :func:`theoretical_value` beyond the
+#: classic (rho, cv, k, mu) quadruple.
+_EXTRA_KEYS = ("n_servers", "need_values", "need_weights", "backends", "clones")
 
 
 def queue_point_factory(
@@ -83,33 +131,62 @@ def queue_point_factory(
     warmup_samples: int = 500,
     calibration_samples: int = 3000,
     engine: str = "event",
+    n_servers: int = 4,
+    need_values: Sequence[int] = (1, 2),
+    need_weights: Optional[Sequence[float]] = None,
+    backends: int = 2,
+    clones: int = 2,
 ):
     """Build the experiment for one acceptance grid point.
 
     Module-level and picklable, so pool workers can rebuild it from a
     job payload.  ``model`` selects the queueing family: ``mm1``/``mmk``
     (exponential service on a ``k``-core station), ``mg1`` (service
-    fitted to ``cv`` — deterministic, Gamma, or hyperexponential), and
-    ``ps`` (processor sharing, Cv-insensitive).  ``engine`` selects the
-    simulation engine (``"fastpath"`` points are what hold the
-    vectorized engine to the same theory-vs-sim verdicts).
+    fitted to ``cv`` — deterministic, Gamma, or hyperexponential),
+    ``ps`` (processor sharing, Cv-insensitive), ``msj`` (gang-scheduled
+    multiserver jobs on an ``n_servers`` cluster, server need drawn
+    from ``need_values``/``need_weights``), and ``clone_ps``
+    (synchronized clone-to-``clones`` over ``backends`` PS servers).
+    ``engine`` selects the simulation engine (``"fastpath"`` points are
+    what hold the vectorized engine to the same theory-vs-sim
+    verdicts; ``msj``/``clone_ps`` never qualify for it).
     """
+    from repro.datacenter.balancers import CloningBalancer
+    from repro.datacenter.cluster import MultiserverCluster
     from repro.datacenter.processor_sharing import ProcessorSharingServer
     from repro.datacenter.server import Server
-    from repro.distributions import Exponential, fit_mean_cv
+    from repro.distributions import Choice, Exponential, fit_mean_cv
     from repro.engine.experiment import Experiment
     from repro.workloads.workload import Workload
 
-    lam = rho * k * mu
-    if model in ("mm1", "mmk"):
-        service = Exponential(rate=mu)
+    if model == "msj":
+        need = Choice(need_values, need_weights)
+        # rho is the offered load on the whole pool: lam E[k] / (N mu).
+        lam = rho * n_servers * mu / need.mean()
+        workload = Workload(
+            model, Exponential(rate=lam), Exponential(rate=mu)
+        ).with_servers_needed(need)
+        station = MultiserverCluster(n_servers)
+    elif model == "clone_ps":
+        # rho is the per-backend load: each of the d replicas offers
+        # lam/backends ... lam d / (backends mu) = rho.
+        lam = rho * backends * mu / clones
+        workload = Workload(model, Exponential(rate=lam), Exponential(rate=mu))
+        station = CloningBalancer(
+            [ProcessorSharingServer(name=f"ps{i}") for i in range(backends)],
+            clones=clones,
+        )
     else:
-        service = fit_mean_cv(1.0 / mu, cv)
-    if model == "ps":
-        station = ProcessorSharingServer()
-    else:
-        station = Server(cores=k)
-    workload = Workload(model, Exponential(rate=lam), service)
+        lam = rho * k * mu
+        if model in ("mm1", "mmk"):
+            service = Exponential(rate=mu)
+        else:
+            service = fit_mean_cv(1.0 / mu, cv)
+        if model == "ps":
+            station = ProcessorSharingServer()
+        else:
+            station = Server(cores=k)
+        workload = Workload(model, Exponential(rate=lam), service)
     experiment = Experiment(
         seed=seed,
         warmup_samples=warmup_samples,
@@ -129,6 +206,25 @@ def queue_point_factory(
     return experiment
 
 
+@lru_cache(maxsize=None)
+def _msj_reference_value(
+    lam: float,
+    mu: float,
+    n_servers: int,
+    need_values: tuple,
+    need_weights: Optional[tuple],
+    metric: str,
+) -> float:
+    """Seeded recurrence reference for one msj point (cached: evaluate
+    re-asks per statistic and the reference run is the expensive part)."""
+    from repro.theory.multiserver import reference_mean
+
+    return reference_mean(
+        lam, mu, n_servers, need_values, need_weights, metric=metric,
+        seed=MSJ_REFERENCE_SEED, n_jobs=MSJ_REFERENCE_JOBS,
+    )
+
+
 def theoretical_value(
     model: str,
     metric: str,
@@ -137,11 +233,37 @@ def theoretical_value(
     k: int = 1,
     mu: float = DEFAULT_MU,
     quantile: Optional[float] = None,
+    n_servers: int = 4,
+    need_values: Sequence[int] = (1, 2),
+    need_weights: Optional[Sequence[float]] = None,
+    backends: int = 2,
+    clones: int = 2,
 ) -> Optional[float]:
-    """Closed-form value for one grid point's statistic, or None when
-    no exact form exists (e.g. M/M/k quantiles)."""
+    """Ground-truth value for one grid point's statistic, or None when
+    no exact form exists (e.g. M/M/k quantiles).  Classic families use
+    closed forms; ``msj`` uses the seeded multiserver recurrence
+    reference (an independent simulator, not a formula) and
+    ``clone_ps`` the PS-cloning closed forms."""
     from repro import theory
     from repro.distributions import fit_mean_cv
+
+    if model == "msj":
+        if quantile is not None:
+            return None
+        from repro.distributions import Choice
+
+        mean_need = Choice(need_values, need_weights).mean()
+        lam = rho * n_servers * mu / mean_need
+        return _msj_reference_value(
+            lam, mu, n_servers, tuple(need_values),
+            tuple(need_weights) if need_weights is not None else None,
+            metric,
+        )
+    if model == "clone_ps":
+        if quantile is not None or metric != "response":
+            return None
+        lam = rho * backends * mu / clones
+        return theory.ps_cloning_response(lam, mu, backends, clones)
 
     lam = rho * k * mu
     if model == "mm1":
@@ -179,6 +301,14 @@ def point_label(entry: dict) -> str:
         "mmk": f"M/M/{entry.get('k', 1)}",
         "mg1": f"M/G/1 Cv={entry.get('cv', 1.0):g}",
         "ps": f"M/G/1-PS Cv={entry.get('cv', 1.0):g}",
+        "msj": (
+            f"MSJ N={entry.get('n_servers', 4)} "
+            f"k∈{entry.get('need_values', [1, 2])}"
+        ),
+        "clone_ps": (
+            f"PS-clone d={entry.get('clones', 2)}"
+            f"/{entry.get('backends', 2)}"
+        ),
     }[model]
     label = f"{pretty} rho={entry['rho']:g}"
     engine = entry.get("engine", "event")
@@ -192,10 +322,11 @@ def build_acceptance_spec(
     accuracy: float = 0.02,
     seed: int = 3001,
     max_events: int = 30_000_000,
+    name: str = "acceptance-theory",
 ) -> SweepSpec:
     """The acceptance grid as an ordinary sweep spec."""
     return SweepSpec(
-        name="acceptance-theory",
+        name=name,
         kind="factory",
         seed=seed,
         factory=queue_point_factory,
@@ -218,10 +349,11 @@ def evaluate(result: SweepResult, accuracy: float = 0.02) -> List["ValidationCas
         estimate = point.estimate(metric_name)
         factor = TOLERANCE_FACTORS[model]
         label = point_label(entry)
+        extra = {key: entry[key] for key in _EXTRA_KEYS if key in entry}
         theory_mean = theoretical_value(
             model, metric, entry["rho"],
             cv=entry.get("cv", 1.0), k=entry.get("k", 1),
-            mu=entry.get("mu", DEFAULT_MU),
+            mu=entry.get("mu", DEFAULT_MU), **extra,
         )
         mean_ci = estimate.get("mean_ci")
         cases.append(
@@ -238,7 +370,7 @@ def evaluate(result: SweepResult, accuracy: float = 0.02) -> List["ValidationCas
             theory_q = theoretical_value(
                 model, metric, entry["rho"],
                 cv=entry.get("cv", 1.0), k=entry.get("k", 1),
-                mu=entry.get("mu", DEFAULT_MU), quantile=q,
+                mu=entry.get("mu", DEFAULT_MU), quantile=q, **extra,
             )
             if theory_q is None:
                 continue
@@ -264,9 +396,10 @@ def run_acceptance(
     jobs: Optional[int] = None,
     cache=None,
     tracer=None,
+    name: str = "acceptance-theory",
 ) -> Tuple[SweepResult, List["ValidationCase"]]:
     """Run the acceptance grid; returns (sweep result, judged cases)."""
-    spec = build_acceptance_spec(points, accuracy=accuracy, seed=seed)
+    spec = build_acceptance_spec(points, accuracy=accuracy, seed=seed, name=name)
     result = SweepRunner(
         spec, backend=backend, jobs=jobs, cache=cache, tracer=tracer
     ).run()

@@ -34,11 +34,18 @@ class Workload:
         Distribution of gaps between successive task arrivals (seconds).
     service:
         Distribution of task service demands (seconds at unit speed).
+    servers_needed:
+        Optional distribution of each job's *server need* — how many
+        servers it holds simultaneously for its whole service (gang
+        scheduling; see ``repro.datacenter.cluster.MultiserverCluster``).
+        ``None`` (the default) means every job needs one server, which
+        is the classic BigHouse task model.
     """
 
     name: str
     interarrival: Distribution
     service: Distribution
+    servers_needed: Optional[Distribution] = None
 
     # -- derived rates -----------------------------------------------------
 
@@ -52,13 +59,29 @@ class Workload:
         """Saturation throughput of one unit-speed core (mu = 1/E[S])."""
         return 1.0 / self.service.mean()
 
+    @property
+    def mean_servers_needed(self) -> float:
+        """Mean server need E[k] per job (1.0 for classic workloads)."""
+        if self.servers_needed is None:
+            return 1.0
+        return self.servers_needed.mean()
+
     def offered_load(self, cores: int = 1, speed: float = 1.0) -> float:
-        """Utilization rho = lambda * E[S] / (k * speed)."""
+        """Utilization rho = lambda * E[S] * E[k] / (cores * speed).
+
+        For classic workloads E[k] = 1 and this is the textbook formula;
+        a multiserver-job workload consumes E[k] server-seconds of
+        capacity per job-second of service, so its need distribution
+        scales the load it offers to the pool.
+        """
         if cores < 1:
             raise WorkloadError(f"cores must be >= 1, got {cores}")
         if speed <= 0:
             raise WorkloadError(f"speed must be > 0, got {speed}")
-        return self.arrival_rate * self.service.mean() / (cores * speed)
+        return (
+            self.arrival_rate * self.service.mean() * self.mean_servers_needed
+            / (cores * speed)
+        )
 
     # -- load scaling ---------------------------------------------------------
 
@@ -83,6 +106,16 @@ class Workload:
             raise WorkloadError(f"load must be in (0, 1), got {load}")
         current = self.offered_load(cores=cores, speed=speed)
         return self.scale_interarrival(current / load)
+
+    def with_servers_needed(self, distribution: Distribution) -> "Workload":
+        """New workload whose jobs draw a server need from
+        ``distribution`` (values are truncated to ints >= 1 at the
+        source; a Choice over exact integers is the intended shape)."""
+        if distribution.mean() < 1.0:
+            raise WorkloadError(
+                f"mean server need must be >= 1, got {distribution.mean()}"
+            )
+        return replace(self, servers_needed=distribution)
 
     def at_qps(self, qps: float) -> "Workload":
         """New workload with mean arrival rate ``qps`` per second."""

@@ -7,8 +7,11 @@ and closures are rejected by design.
 
 import time
 
+from repro.datacenter.balancers import CloningBalancer
+from repro.datacenter.cluster import MultiserverCluster
+from repro.datacenter.processor_sharing import ProcessorSharingServer
 from repro.datacenter.server import Server
-from repro.distributions import Exponential
+from repro.distributions import Choice, Exponential
 from repro.engine.experiment import Experiment
 from repro.workloads.workload import Workload
 
@@ -35,6 +38,66 @@ def mm1_point(
     )
     experiment.add_source(workload, target=server)
     experiment.track_response_time(server, mean_accuracy=accuracy)
+    return experiment
+
+
+def msj_point(
+    seed,
+    rho=0.5,
+    mu=5.0,
+    n_servers=4,
+    backfill=False,
+    accuracy=0.2,
+    warmup=100,
+    calibration=500,
+    prefetch=True,
+):
+    """A gang-scheduled multiserver-job point (HoL blocking cluster)."""
+    need = Choice([1, 2, 4], [0.5, 0.3, 0.2])
+    cluster = MultiserverCluster(n_servers, backfill=backfill)
+    workload = Workload(
+        "msj",
+        Exponential(rate=rho * n_servers * mu / need.mean()),
+        Exponential(rate=mu),
+    ).with_servers_needed(need)
+    experiment = Experiment(
+        seed=seed,
+        warmup_samples=warmup,
+        calibration_samples=calibration,
+        prefetch=prefetch,
+    )
+    experiment.add_source(workload, target=cluster)
+    experiment.track_response_time(cluster, mean_accuracy=accuracy)
+    return experiment
+
+
+def cloning_point(
+    seed,
+    rho=0.5,
+    mu=10.0,
+    backends=3,
+    clones=2,
+    accuracy=0.2,
+    warmup=100,
+    calibration=500,
+    prefetch=True,
+):
+    """A PS request-cloning point (cancel-on-first-complete balancer)."""
+    servers = [ProcessorSharingServer(name=f"ps{i}") for i in range(backends)]
+    balancer = CloningBalancer(servers, clones=clones)
+    workload = Workload(
+        "clone",
+        Exponential(rate=rho * backends * mu / clones),
+        Exponential(rate=mu),
+    )
+    experiment = Experiment(
+        seed=seed,
+        warmup_samples=warmup,
+        calibration_samples=calibration,
+        prefetch=prefetch,
+    )
+    experiment.add_source(workload, target=balancer)
+    experiment.track_response_time(balancer, mean_accuracy=accuracy)
     return experiment
 
 

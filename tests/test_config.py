@@ -198,3 +198,155 @@ class TestLoadConfig:
         path.write_text("{not json")
         with pytest.raises(ConfigError):
             load_config(path)
+
+
+class TestWorkloadClassConfigs:
+    """cluster sections, gang workloads, and redundancy balancers."""
+
+    def msj_config(self, **overrides):
+        config = {
+            "seed": 5,
+            "warmup_samples": 200,
+            "calibration_samples": 1000,
+            "workload": {
+                "label": "msj",
+                "interarrival": {"type": "exponential", "rate": 4.0},
+                "service": {"type": "exponential", "rate": 2.0},
+                "servers_needed": {"type": "choice", "values": [1, 2],
+                                   "weights": [0.5, 0.5]},
+            },
+            "cluster": {"servers": 4, "backfill": True},
+            "metrics": [{"kind": "response_time", "mean_accuracy": 0.1}],
+        }
+        config.update(overrides)
+        return config
+
+    def test_choice_distribution(self):
+        from repro.distributions import Choice
+
+        choice = build_distribution(
+            {"type": "choice", "values": [1, 2, 4],
+             "weights": [0.5, 0.3, 0.2]}
+        )
+        assert isinstance(choice, Choice)
+        assert choice.mean() == pytest.approx(1.9)
+        assert choice.max_value() == 4
+
+    def test_workload_servers_needed(self):
+        workload = build_workload({
+            "interarrival": {"type": "exponential", "rate": 4.0},
+            "service": {"type": "exponential", "rate": 2.0},
+            "servers_needed": {"type": "choice", "values": [2]},
+        })
+        assert workload.mean_servers_needed == pytest.approx(2.0)
+
+    def test_load_accounts_for_gang_size(self):
+        # load 0.5 over 4 servers with E[k] = 2: the pool, not a single
+        # server, carries rho = 0.5 in server-seconds.
+        workload = build_workload({
+            "interarrival": {"type": "exponential", "rate": 4.0},
+            "service": {"type": "exponential", "rate": 2.0},
+            "servers_needed": {"type": "choice", "values": [2]},
+            "load": 0.5,
+            "cores_for_load": 4,
+        })
+        assert workload.offered_load(cores=4) == pytest.approx(0.5)
+
+    def test_cluster_section_builds_and_runs(self):
+        from repro.datacenter.cluster import MultiserverCluster
+
+        experiment = build_experiment(self.msj_config())
+        entry = experiment.sources[0].target
+        assert isinstance(entry, MultiserverCluster)
+        assert entry.n_servers == 4
+        assert entry.backfill
+        result = experiment.run(max_events=60_000)
+        assert result["response_time"].mean > 0
+
+    def test_cluster_conflicts_with_servers(self):
+        with pytest.raises(ConfigError, match="replaces"):
+            build_experiment(self.msj_config(servers={"count": 2}))
+        with pytest.raises(ConfigError, match="replaces"):
+            build_experiment(self.msj_config(balancer="jsq"))
+
+    def test_cluster_validates(self):
+        with pytest.raises(ConfigError, match="cluster"):
+            build_experiment(self.msj_config(cluster={"servers": 0}))
+        with pytest.raises(ConfigError, match="object"):
+            build_experiment(self.msj_config(cluster="big"))
+
+    def clone_config(self, balancer, servers=None):
+        return {
+            "seed": 5,
+            "warmup_samples": 200,
+            "calibration_samples": 1000,
+            "workload": {
+                "label": "clone",
+                "interarrival": {"type": "exponential", "rate": 5.0},
+                "service": {"type": "exponential", "rate": 10.0},
+            },
+            "servers": servers or {"count": 3, "model": "ps"},
+            "balancer": balancer,
+            "metrics": [{"kind": "response_time", "mean_accuracy": 0.1}],
+        }
+
+    def test_ps_server_model(self):
+        from repro.datacenter.processor_sharing import ProcessorSharingServer
+
+        config = self.clone_config("random")
+        experiment = build_experiment(config)
+        # 3 PS backends behind a classic balancer.
+        balancer = experiment.sources[0].target
+        assert all(
+            isinstance(server, ProcessorSharingServer)
+            for server in balancer.servers
+        )
+
+    def test_unknown_server_model_rejected(self):
+        with pytest.raises(ConfigError, match="model"):
+            build_experiment(
+                self.clone_config("random", servers={"count": 2,
+                                                     "model": "quantum"})
+            )
+
+    def test_cloning_balancer_builds_and_runs(self):
+        from repro.datacenter.balancers import CloningBalancer
+
+        config = self.clone_config({"policy": "cloning", "clones": 2})
+        experiment = build_experiment(config)
+        balancer = experiment.sources[0].target
+        assert isinstance(balancer, CloningBalancer)
+        assert balancer.clones == 2
+        result = experiment.run(max_events=60_000)
+        assert result["response_time"].mean > 0
+        assert balancer.cancelled_replicas > 0
+
+    def test_single_server_dict_balancer_still_wraps(self):
+        # A dict balancer spec must win over the single-server shortcut.
+        from repro.datacenter.balancers import CloningBalancer
+
+        config = self.clone_config({"policy": "cloning", "clones": 1},
+                                   servers={"count": 1, "model": "ps"})
+        experiment = build_experiment(config)
+        assert isinstance(experiment.sources[0].target, CloningBalancer)
+
+    def test_speculative_retry_builds(self):
+        from repro.datacenter.balancers import SpeculativeRetryBalancer
+
+        config = self.clone_config(
+            {"policy": "spec_retry", "threshold": 0.2, "max_retries": 2}
+        )
+        balancer = build_experiment(config).sources[0].target
+        assert isinstance(balancer, SpeculativeRetryBalancer)
+        assert balancer.threshold == 0.2
+        assert balancer.max_retries == 2
+
+    def test_balancer_policy_errors(self):
+        with pytest.raises(ConfigError, match="policy"):
+            build_experiment(self.clone_config({"policy": "mirror"}))
+        with pytest.raises(ConfigError, match="threshold"):
+            build_experiment(self.clone_config({"policy": "spec_retry"}))
+        with pytest.raises(ConfigError, match="does not build"):
+            build_experiment(
+                self.clone_config({"policy": "cloning", "clones": 9})
+            )

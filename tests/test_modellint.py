@@ -281,3 +281,100 @@ class TestCliLint:
         assert "unstable-point" in capsys.readouterr().out
         assert repro_main(["run", str(tmp_path / "nope.json"),
                            "--lint"]) == 2
+
+
+MISFIT_DEMO = REPO_ROOT / "examples" / "sweeps" / "multiserver_misfit_demo.toml"
+
+#: An explicit-distribution gang workload for the workload-class rules.
+MSJ_WORKLOAD = {
+    "label": "msj",
+    "interarrival": {"type": "exponential", "rate": 4.0},
+    "service": {"type": "exponential", "rate": 2.0},
+    "servers_needed": {"type": "choice", "values": [1, 2],
+                       "weights": [0.5, 0.5]},
+}
+
+
+class TestWorkloadClassRules:
+    """multiserver-misfit and clone-overload."""
+
+    def msj_config(self, workload=None, cluster={"servers": 4}):
+        config = {key: value for key, value in BASE.items()
+                  if key != "servers"}
+        config["workload"] = dict(MSJ_WORKLOAD, **(workload or {}))
+        config["cluster"] = cluster
+        return config
+
+    def test_clean_msj_config(self):
+        assert lint_config(self.msj_config()) == []
+
+    def test_needs_exceeding_cluster_is_error(self):
+        # Arrival rate kept low so the only finding is the misfit.
+        config = self.msj_config(
+            workload={
+                "interarrival": {"type": "exponential", "rate": 0.5},
+                "servers_needed": {"type": "choice", "values": [1, 4]},
+            },
+            cluster={"servers": 2},
+        )
+        findings = lint_config(config)
+        assert rules_of(findings) == ["multiserver-misfit"]
+        assert findings[0].severity == "error"
+        assert "never be placed" in findings[0].message
+        assert has_errors(findings)
+
+    def test_gang_workload_without_cluster_warns(self):
+        # 4 plain servers keep rho stable; the gang needs still warn.
+        config = dict(BASE, workload=dict(MSJ_WORKLOAD),
+                      servers={"count": 4, "cores": 1})
+        findings = lint_config(config)
+        assert rules_of(findings) == ["multiserver-misfit"]
+        assert findings[0].severity == "warning"
+        assert "no 'cluster' section" in findings[0].message
+
+    def test_mean_need_scales_offered_load(self):
+        # lam = 12, mu = 2, 4 servers, E[k] = 1.5: rho = 2.25 >= 1.
+        config = self.msj_config(
+            workload={"interarrival": {"type": "exponential", "rate": 12.0}}
+        )
+        findings = lint_config(config)
+        assert "unstable-point" in rules_of(findings)
+
+    def clone_config(self, clones=2, rate=2.5):
+        return dict(
+            BASE,
+            servers={"count": 2, "model": "ps"},
+            balancer={"policy": "cloning", "clones": clones},
+            workload={
+                "label": "clone",
+                "interarrival": {"type": "exponential", "rate": rate},
+                "service": {"type": "exponential", "rate": 2.0},
+            },
+        )
+
+    def test_clone_overload_is_error(self):
+        # rho = 2.5 / (2 * 2) = 0.625 looks stable, but cloning to both
+        # backends doubles it: 2 x 0.625 = 1.25 >= 1.
+        findings = lint_config(self.clone_config())
+        assert rules_of(findings) == ["clone-overload"]
+        assert findings[0].severity == "error"
+        assert has_errors(findings)
+
+    def test_unreplicated_load_is_clean(self):
+        assert lint_config(self.clone_config(clones=1)) == []
+
+    def test_light_load_survives_cloning(self):
+        # 2 x 0.25 = 0.5 < 1: cloning both ways is fine.
+        assert lint_config(self.clone_config(rate=1.0)) == []
+
+    def test_misfit_demo_spec_exits_one(self, capsys):
+        assert repro_main(["sweep", str(MISFIT_DEMO), "--lint"]) == 1
+        out = capsys.readouterr().out
+        assert "multiserver-misfit" in out
+        assert "never be placed" in out
+
+    def test_shipped_workload_sweeps_are_clean(self, capsys):
+        for name in ("multiserver_waste.toml", "cloning_tail.toml"):
+            spec = REPO_ROOT / "examples" / "sweeps" / name
+            assert repro_main(["sweep", str(spec), "--lint"]) == 0
+        capsys.readouterr()

@@ -37,9 +37,10 @@ def spec(prefetch=True):
     )
 
 
-def run_cell(backend, prefetch, cache_state, tmp_path, **runner_kwargs):
+def run_cell(backend, prefetch, cache_state, tmp_path, spec_fn=spec,
+             **runner_kwargs):
     """One matrix cell; returns its {point: {metric: digest}} map."""
-    the_spec = spec(prefetch=prefetch)
+    the_spec = spec_fn(prefetch=prefetch)
     cache = None
     if cache_state != "fresh":
         cache = SweepCache(tmp_path / f"{backend}-{prefetch}-{cache_state}")
@@ -122,6 +123,93 @@ def test_remote_chaos_cell_matches_reference(
         respawn=RespawnPolicy(backoff_base=0.0, jitter=0.0),
     ).run()
     assert result.digests() == reference
+    assert result.pool_stats.deaths == 1
+    assert result.pool_stats.jobs_requeued == 1
+    assert not result.degraded
+
+
+# -- multiserver-job and cloning workload-class cells -------------------------
+
+#: Each model sweeps its own defining knob; two points per sweep keeps
+#: the added cells cheap while still exercising merge order.
+MODEL_AXES = {
+    "msj": {"rho": [0.4, 0.6]},
+    "cloning": {"clones": [1, 2]},
+}
+MODEL_FACTORIES = {
+    "msj": "tests.sweep_factories:msj_point",
+    "cloning": "tests.sweep_factories:cloning_point",
+}
+
+
+def model_spec_fn(model):
+    def build(prefetch=True):
+        return SweepSpec(
+            name=f"determinism-{model}",
+            kind="factory",
+            seed=23,
+            factory=MODEL_FACTORIES[model],
+            factory_kwargs={"prefetch": prefetch},
+            axes=MODEL_AXES[model],
+            max_events=300_000,
+        )
+
+    return build
+
+
+@pytest.fixture(scope="module", params=sorted(MODEL_AXES))
+def model(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def model_reference(model, tmp_path_factory):
+    digests = run_cell(
+        "serial", True, "fresh",
+        tmp_path_factory.mktemp(f"reference-{model}"),
+        spec_fn=model_spec_fn(model),
+    )
+    for point_digests in digests.values():
+        assert point_digests["response_time"]
+    return digests
+
+
+@pytest.mark.parametrize("prefetch", [True, False], ids=["prefetch", "direct"])
+@pytest.mark.parametrize("backend", ["serial", "spawn", "pool"])
+def test_model_cell_matches_reference(
+    backend, prefetch, model, model_reference, tmp_path
+):
+    digests = run_cell(
+        backend, prefetch, "fresh", tmp_path, spec_fn=model_spec_fn(model)
+    )
+    assert digests == model_reference
+
+
+@pytest.mark.parametrize("cache_state", ["cache-hit", "resume"])
+def test_model_cache_cell_matches_reference(
+    cache_state, model, model_reference, tmp_path
+):
+    digests = run_cell(
+        "pool", True, cache_state, tmp_path, spec_fn=model_spec_fn(model)
+    )
+    assert digests == model_reference
+
+
+def test_model_remote_chaos_cell_matches_reference(
+    model, model_reference, remote_fleet
+):
+    """Mid-run kill + respawn must reproduce the new models bit-for-bit."""
+    result = SweepRunner(
+        model_spec_fn(model)(prefetch=True),
+        backend="remote",
+        jobs=2,
+        transport=remote_fleet,
+        fault_plan=FaultPlan.single(
+            "kill", slave_id=0, round=1, phase="pre_run"
+        ),
+        respawn=RespawnPolicy(backoff_base=0.0, jitter=0.0),
+    ).run()
+    assert result.digests() == model_reference
     assert result.pool_stats.deaths == 1
     assert result.pool_stats.jobs_requeued == 1
     assert not result.degraded
